@@ -1,0 +1,79 @@
+"""E10 (performance) — wall-clock scaling of the implementations.
+
+Not a paper artefact; standard library benchmarking.  Measures, with
+pytest-benchmark statistics:
+
+* the functional oracle vs the message-passing protocol as N grows at
+  fixed m (the simulator's constant factor);
+* growth in m at minimal N (the exponential recursion, the quantity that
+  caps practical m);
+* the three algorithms side by side on comparable instances.
+
+Assertions pin the *shape*: message counts (exact) grow exponentially in
+m and quadratically in N at m=1, matching the closed forms of
+`repro.analysis.complexity`.
+"""
+
+import pytest
+
+from repro.core.byz import message_count, run_degradable_agreement
+from repro.core.oral_messages import run_oral_messages
+from repro.core.protocol import execute_degradable_protocol
+from repro.core.signed import run_signed_agreement
+from repro.core.spec import DegradableSpec
+
+
+def nodes_for(n):
+    return [f"p{k}" for k in range(n)]
+
+
+@pytest.mark.parametrize("n", [5, 7, 9, 12])
+def test_functional_scaling_in_n(benchmark, n):
+    """m=1: quadratic message growth in N."""
+    spec = DegradableSpec(m=1, u=2, n_nodes=n)
+    nodes = nodes_for(n)
+    result = benchmark(
+        lambda: run_degradable_agreement(spec, nodes, nodes[0], "v")
+    )
+    assert result.stats.messages == message_count(n, 1) == (n - 1) * (n - 1)
+    benchmark.extra_info["messages"] = result.stats.messages
+
+
+@pytest.mark.parametrize("m", [1, 2, 3])
+def test_functional_scaling_in_m(benchmark, m):
+    """Minimal N = 3m+1 (u=m): exponential growth in m."""
+    spec = DegradableSpec(m=m, u=m, n_nodes=3 * m + 1)
+    nodes = nodes_for(spec.n_nodes)
+    result = benchmark(
+        lambda: run_degradable_agreement(spec, nodes, nodes[0], "v")
+    )
+    assert result.stats.messages == message_count(spec.n_nodes, m)
+    benchmark.extra_info["messages"] = result.stats.messages
+
+
+@pytest.mark.parametrize("n", [5, 7, 9])
+def test_protocol_scaling_in_n(benchmark, n):
+    """The full simulator run at m=1: same messages, higher constant."""
+    spec = DegradableSpec(m=1, u=2, n_nodes=n)
+    nodes = nodes_for(n)
+
+    def run():
+        result, _ = execute_degradable_protocol(
+            spec, nodes, nodes[0], "v", record_trace=False
+        )
+        return result
+
+    result = benchmark(run)
+    assert all(v == "v" for v in result.decisions.values())
+
+
+def test_om_baseline_speed(benchmark):
+    nodes = nodes_for(7)
+    result = benchmark(lambda: run_oral_messages(2, nodes, nodes[0], "v"))
+    assert all(v == "v" for v in result.decisions.values())
+
+
+def test_sm_baseline_speed(benchmark):
+    nodes = nodes_for(7)
+    result = benchmark(lambda: run_signed_agreement(2, nodes, nodes[0], "v"))
+    assert all(v == "v" for v in result.decisions.values())

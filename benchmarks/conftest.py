@@ -1,0 +1,17 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every benchmark regenerates one paper artefact (table or figure), prints it
+(run with ``-s`` to see the tables inline), asserts the paper's qualitative
+claims, and times the regeneration with pytest-benchmark.  EXPERIMENTS.md
+records the printed outputs against the paper's statements.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def emit(title: str, body: str) -> None:
+    """Print an experiment artefact in a uniform, greppable frame."""
+    bar = "=" * 72
+    sys.stdout.write(f"\n{bar}\n{title}\n{bar}\n{body}\n")

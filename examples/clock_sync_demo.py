@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""Clock synchronization beyond a third faulty clocks (Section 6).
+
+1. Interactive convergence (the classical baseline) keeps fault-free
+   clocks together while fewer than a third are faulty — and is torn apart
+   by two-faced clocks once that bound is crossed.
+2. The paper's m/u-degradable clock synchronization: distributing clock
+   readings through degradable agreement, fault-free nodes either stay
+   synchronized or (at least m+1 of them) *detect* that more than m clocks
+   are faulty — the paper's conjectured guarantee, exercised empirically.
+3. Witness clocks (Section 6.2): add dedicated clock units so that clock
+   faults stay under a third even when processor faults do not.
+
+Run:  python examples/clock_sync_demo.py
+"""
+
+from repro.clocksync import (
+    DegradableClockSync,
+    InteractiveConvergence,
+    WitnessedClockSystem,
+    max_tolerable_faults,
+    witnesses_needed,
+)
+from repro.core import DegradableSpec
+from repro.sim.clock import ClockEnsemble, ConstantFace, TwoFacedClock
+
+
+def build_ensemble(n_good, faulty_faces):
+    ensemble = ClockEnsemble()
+    for i in range(n_good):
+        # small spread of initial offsets and drifts
+        ensemble.add_good(f"c{i}", drift=2e-5 * (i - n_good // 2), offset=0.02 * i)
+    for name, face in faulty_faces.items():
+        ensemble.add_faulty(name, face)
+    return ensemble
+
+
+def interactive_convergence_demo():
+    print("=== 1. Interactive convergence (baseline) ===")
+    # 6 good + 2 faulty out of 8: 2 < 8/3, within spec.
+    ensemble = build_ensemble(6, {
+        "bad0": TwoFacedClock({"c0": 4.0, "c1": -4.0}, 1.0),
+        "bad1": ConstantFace(1234.5),
+    })
+    algo = InteractiveConvergence(ensemble, delta=0.2)
+    history = algo.run(period=10.0, n_rounds=6)
+    print(f"  8 clocks, 2 faulty (< N/3 = {max_tolerable_faults(8)} ok): "
+          f"final skew {history.final_skew:.5f}")
+
+    # 4 good + 3 two-faced out of 7: 3 >= 7/3, beyond the bound.
+    ensemble = build_ensemble(4, {
+        f"bad{k}": TwoFacedClock({"c0": 3.0, "c1": 3.0}, -3.0) for k in range(3)
+    })
+    algo = InteractiveConvergence(ensemble, delta=4.0)
+    history = algo.run(period=10.0, n_rounds=6)
+    print(f"  7 clocks, 3 faulty (>= N/3): final skew "
+          f"{history.final_skew:.5f}  <- convergence not guaranteed\n")
+
+
+def degradable_sync_demo():
+    print("=== 2. m/u-degradable clock synchronization (conjecture) ===")
+    spec = DegradableSpec(m=1, u=2, n_nodes=7)
+    print(f"  {spec}; guarantee sought: either >= m+1 fault-free clocks")
+    print(f"  synchronized, or >= m+1 fault-free clocks detect > m faults")
+
+    for n_faulty, label in [(1, "f=1 <= m"), (2, "m < f=2 <= u")]:
+        faces = {}
+        for k in range(n_faulty):
+            faces[f"bad{k}"] = TwoFacedClock({"c0": 5.0, "c1": -5.0}, 9.0)
+        ensemble = build_ensemble(7 - n_faulty, faces)
+        sync = DegradableClockSync(ensemble, spec, delta=0.25)
+        report = sync.run(period=10.0, n_rounds=4)
+        final = report.final
+        print(f"  {label}: skew {final.skew_after:.5f}, "
+              f"detectors {sorted(map(str, final.detectors)) or 'none'}")
+        if n_faulty <= spec.m:
+            ok = report.condition1_holds(skew_bound=0.25, error_bound=1.0)
+            print(f"    condition 1 (all fault-free synced): {ok}")
+        else:
+            ok = report.condition2_holds(ensemble, skew_bound=0.25, error_bound=1.0)
+            print(f"    condition 2 (m+1 synced OR m+1 detectors): {ok}")
+    print()
+
+
+def witness_demo():
+    print("=== 3. Witness clocks (Section 6.2) ===")
+    # The Figure 1(b) system: 4 processor channels + 1 sensor using
+    # 1/2-degradable agreement; to tolerate 2 *clock* faults we need
+    # 3*2+1 = 7 clocks, i.e. witnesses on top of the 5 node clocks.
+    n_proc = 5
+    extra = witnesses_needed(n_proc, clock_faults=2)
+    print(f"  {n_proc} processors, want to tolerate 2 clock faults "
+          f"-> {extra} witness clocks (total {n_proc + extra})")
+    system = WitnessedClockSystem(
+        processors=[f"p{k}" for k in range(n_proc)],
+        n_witnesses=extra,
+        delta=0.2,
+    )
+    for k, proc in enumerate(system.processors):
+        system.add_good_clock(proc, drift=1e-5 * k, offset=0.01 * k)
+    witnesses = list(system.witnesses)
+    system.add_faulty_clock(witnesses[0], ConstantFace(99.0))
+    system.add_faulty_clock(witnesses[1], TwoFacedClock({"p0": 2.0}, -2.0))
+    for w in witnesses[2:]:
+        system.add_good_clock(w, offset=0.005)
+    report = system.run(period=10.0, n_rounds=5)
+    print(f"  2 faulty clocks out of {report.clock_population} "
+          f"(within spec: {report.within_spec}); final skew "
+          f"{report.history.final_skew:.5f}")
+    print(f"  processor times at mission end: "
+          f"{ {p: round(t, 3) for p, t in sorted(report.processor_times.items())} }")
+
+
+def main():
+    interactive_convergence_demo()
+    degradable_sync_demo()
+    witness_demo()
+
+
+if __name__ == "__main__":
+    main()

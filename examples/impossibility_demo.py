@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""The lower bounds, demonstrated executably (Section 5, Figure 2).
+
+Theorem 2: m/u-degradable agreement needs at least 2m+u+1 nodes.  We build
+the paper's three collusion scenarios (Figure 2, generalized to arbitrary
+m and u by group simulation) and run algorithm BYZ on them:
+
+* at N = 2m+u   — at least one agreement condition provably breaks;
+* at N = 2m+u+1 — all three scenarios are survived.
+
+We also demonstrate the *indistinguishability* at the heart of the proof:
+a targeted fault-free node receives byte-identical message streams in two
+different scenarios, so no deterministic algorithm can decide differently
+in them.
+
+Theorem 3: connectivity of at least m+u+1 is needed.  We run the protocol
+over sparse Harary graphs through the disjoint-path relay layer, with the
+faulty cut nodes corrupting traffic, at connectivity m+u (breaks) and
+m+u+1 (holds).
+
+Run:  python examples/impossibility_demo.py
+"""
+
+from repro.analysis import (
+    connectivity_scenarios,
+    make_groups,
+    run_scenario_triple,
+    theorem2_scenarios,
+)
+from repro.core import DegradableSpec, execute_degradable_protocol, sub_minimal_spec
+
+
+def demonstrate_triple(m, u):
+    print(f"--- Theorem 2 for m={m}, u={u} "
+          f"(bound: {2 * m + u + 1} nodes) ---")
+    below = run_scenario_triple(m, u, 2 * m + u)
+    print(below.summary())
+    assert not below.all_satisfied, "a correct protocol cannot pass all three"
+    above = run_scenario_triple(m, u, 2 * m + u + 1)
+    print(above.summary())
+    assert above.all_satisfied
+    print()
+
+
+def demonstrate_indistinguishability():
+    """Scenario (a) and (b) look identical to a B-group node (m=1, u=2, N=4)."""
+    m, u, n = 1, 2, 4
+    spec = sub_minimal_spec(m, u, n)
+    groups = make_groups(m, u, n)
+    scenarios = theorem2_scenarios(groups)
+    target = groups.group_b[0]
+
+    views = []
+    for scenario in scenarios[:2]:  # (a) and (b)
+        _, engine = execute_degradable_protocol(
+            spec,
+            groups.all_nodes,
+            groups.sender,
+            scenario.sender_value,
+            scenario.behaviors,
+        )
+        views.append(engine.trace.local_view(target))
+
+    identical = views[0] == views[1]
+    print(f"--- Indistinguishability (N = 2m+u = {n}) ---")
+    print(f"node {target!r} receives {len(views[0])} messages in scenario (a)")
+    print(f"and the exact same stream in scenario (b): {identical}")
+    assert identical
+    print("=> any deterministic protocol must have it decide identically,")
+    print("   which is what forces the Figure 2 contradiction.\n")
+
+
+def demonstrate_connectivity(m, u):
+    print(f"--- Theorem 3 for m={m}, u={u} "
+          f"(bound: connectivity {m + u + 1}) ---")
+    for k in (m + u, m + u + 1):
+        result = connectivity_scenarios(m, u, k)
+        verdict = "conditions hold" if result.both_satisfied else "BREAKS"
+        print(f"  connectivity {k}: {verdict}")
+        for label, report in (("F1 faulty (f=m)", result.f1_report),
+                              ("F2 faulty (f=u)", result.f2_report)):
+            status = "ok" if report.satisfied else "violated"
+            detail = "; ".join(report.violations) or "-"
+            print(f"    {label}: {status} {detail if status != 'ok' else ''}")
+    print()
+
+
+def main():
+    demonstrate_triple(1, 2)
+    demonstrate_triple(2, 3)
+    demonstrate_indistinguishability()
+    demonstrate_connectivity(1, 2)
+    demonstrate_connectivity(2, 3)
+    print("Both bounds of Section 5 are witnessed executably: one node or")
+    print("one unit of connectivity below the bound and a condition breaks;")
+    print("at the bound, algorithm BYZ (plus the disjoint-path relay layer)")
+    print("meets the full m/u-degradable agreement contract.")
+
+
+if __name__ == "__main__":
+    main()

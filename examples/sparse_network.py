@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Degradable agreement on a sparse network (Theorem 3 in practice).
+
+Algorithm BYZ assumes full connectivity; a real deployment rarely has it.
+The Theorem 3 sufficiency construction routes every logical message over
+m+u+1 vertex-disjoint paths and accepts a value carried by at least u+1
+copies (default otherwise).  This example runs the full protocol over a
+Harary graph of exactly the required connectivity and over a random
+irregular graph, with faulty nodes that lie *and* corrupt traffic they
+forward — then shows the whole thing come apart one connectivity unit
+below the bound.
+
+Run:  python examples/sparse_network.py
+"""
+
+from repro.core import DEFAULT, DegradableSpec, LieAboutSender, classify
+from repro.core.byz import run_degradable_agreement
+from repro.sim.network import Topology
+from repro.sim.routing import RoutedTransport, constant_corruptor
+
+M, U = 1, 2
+N = 8
+NODES = [f"p{k}" for k in range(N)]
+SPEC = DegradableSpec(m=M, u=U, n_nodes=N)
+
+
+def run_over(topology, label, faulty=(), corrupt=True):
+    corruptors = (
+        {node: constant_corruptor("junk") for node in faulty} if corrupt else {}
+    )
+    transport = RoutedTransport.for_spec(topology, M, U, corruptors)
+    behaviors = {node: LieAboutSender("junk", NODES[0]) for node in faulty}
+    result = run_degradable_agreement(
+        SPEC, NODES, NODES[0], "cruise", behaviors, transport=transport
+    )
+    report = classify(result, frozenset(faulty), SPEC)
+    fault_free = {
+        n: v for n, v in result.decisions.items() if n not in faulty
+    }
+    print(f"  {label}: f={len(faulty)}, "
+          f"{transport.copies_sent} path-copies sent, "
+          f"{transport.copies_corrupted} corrupted")
+    print(f"    decisions: {fault_free}")
+    print(f"    contract: {'SATISFIED' if report.satisfied else 'VIOLATED'}"
+          + (f"  ({'; '.join(report.violations)})" if report.violations else ""))
+    return report
+
+
+def main():
+    k = M + U + 1
+    print(f"{SPEC}; Theorem 3 wants connectivity >= {k}\n")
+
+    print(f"=== Harary graph with connectivity exactly {k} ===")
+    harary = Topology.k_connected_harary(NODES, k)
+    run_over(harary, "fault-free", ())
+    run_over(harary, "one lying router", (NODES[1],))
+    report = run_over(harary, "two lying routers", (NODES[1], NODES[5]))
+    assert report.satisfied
+
+    print(f"\n=== random irregular graph (connectivity >= {k}) ===")
+    random_topo = Topology.random_with_connectivity(
+        NODES, min_connectivity=k, edge_probability=0.75, seed=11
+    )
+    print(f"  edges: {random_topo.graph.number_of_edges()} "
+          f"(complete would be {N * (N - 1) // 2}), "
+          f"connectivity {random_topo.connectivity()}")
+    report = run_over(random_topo, "two lying routers", (NODES[2], NODES[6]))
+    assert report.satisfied
+
+    print(f"\n=== one unit below the bound: connectivity {k - 1} ===")
+    sparse = Topology.k_connected_harary(NODES, k - 1)
+    # With only m+u disjoint paths, the u+1 acceptance threshold starves:
+    # even m corrupting cut nodes erase the sender's value for some nodes.
+    cut = sorted(sparse.neighbors(NODES[0]), key=str)[:M]
+    transport = RoutedTransport(
+        sparse,
+        n_paths=k - 1,
+        accept_threshold=U + 1,
+        hop_corruptors={node: constant_corruptor("junk") for node in cut},
+    )
+    result = run_degradable_agreement(
+        SPEC, NODES, NODES[0], "cruise",
+        {node: LieAboutSender("junk", NODES[0]) for node in cut},
+        transport=transport,
+    )
+    report = classify(result, frozenset(cut), SPEC)
+    print(f"  f={M} (within m!): contract "
+          f"{'SATISFIED' if report.satisfied else 'VIOLATED'}")
+    for violation in report.violations:
+        print(f"    !! {violation}")
+    assert not report.satisfied
+    print("\nExactly the paper's threshold: m+u+1 connectivity suffices,")
+    print("m+u does not — even m faults then break full agreement.")
+
+
+if __name__ == "__main__":
+    main()

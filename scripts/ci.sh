@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Full CI gate: tests, benchmarks, examples, CLI battery.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== unit / property / integration tests =="
+python -m pytest tests/
+
+echo "== experiment benchmarks =="
+python -m pytest benchmarks/ --benchmark-only
+
+echo "== examples =="
+for example in examples/*.py; do
+    echo "  -> ${example}"
+    python "${example}" > /dev/null
+done
+
+echo "== CLI experiment battery =="
+python -m repro experiments
+python -m repro suite
+
+echo "CI green."

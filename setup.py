@@ -1,0 +1,9 @@
+"""Shim for environments without the ``wheel`` package (offline installs).
+
+``pip install -e .`` requires PEP 660 wheels; when that is unavailable,
+``python setup.py develop`` installs the same editable layout.
+All metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,93 @@
+"""repro — Degradable Agreement in the Presence of Byzantine Faults.
+
+A complete, executable reproduction of N. H. Vaidya's ICDCS 1993 paper:
+
+* :mod:`repro.core` — m/u-degradable agreement (algorithm BYZ), the
+  Lamport OM and Dolev Crusader baselines, interactive consistency,
+  outcome classification against conditions D.1–D.4, and the node /
+  connectivity bounds;
+* :mod:`repro.sim` — a deterministic synchronous-round simulator with
+  Byzantine/omission/timeout fault injection, topologies, disjoint-path
+  routing and hardware clocks;
+* :mod:`repro.channels` — the Section 3 multiple-channel systems with
+  external voters and forward/backward recovery;
+* :mod:`repro.clocksync` — Section 6 clock synchronization (interactive
+  convergence, degradable clock sync, witness clocks);
+* :mod:`repro.analysis` — lower-bound scenario machinery, reliability and
+  complexity analysis, Monte-Carlo fault injection, table rendering.
+
+Quickstart::
+
+    from repro import DegradableSpec, run_degradable_agreement, classify
+
+    spec = DegradableSpec(m=1, u=2, n_nodes=6)      # 1/2-degradable
+    nodes = ["S", "A", "B", "C", "D", "E"]
+    result = run_degradable_agreement(spec, nodes, "S", "engage")
+    report = classify(result, faulty=set(), spec=spec)
+    assert report.satisfied
+"""
+
+from repro.core import (
+    DEFAULT,
+    AgreementResult,
+    Behavior,
+    ConstantLiar,
+    DegradableSpec,
+    EchoAsBehavior,
+    HonestBehavior,
+    LieAboutSender,
+    OutcomeReport,
+    OutcomeShape,
+    RandomLiar,
+    ScriptedBehavior,
+    SilentBehavior,
+    TwoFacedAboutSender,
+    TwoFacedBehavior,
+    classify,
+    execute_degradable_protocol,
+    is_default,
+    k_of_n_vote,
+    majority,
+    message_count,
+    min_connectivity,
+    min_nodes,
+    minimal_spec,
+    run_crusader,
+    run_degradable_agreement,
+    run_oral_messages,
+    vote,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AgreementResult",
+    "Behavior",
+    "ConstantLiar",
+    "DEFAULT",
+    "DegradableSpec",
+    "EchoAsBehavior",
+    "HonestBehavior",
+    "LieAboutSender",
+    "OutcomeReport",
+    "OutcomeShape",
+    "RandomLiar",
+    "ScriptedBehavior",
+    "SilentBehavior",
+    "TwoFacedAboutSender",
+    "TwoFacedBehavior",
+    "__version__",
+    "classify",
+    "execute_degradable_protocol",
+    "is_default",
+    "k_of_n_vote",
+    "majority",
+    "message_count",
+    "min_connectivity",
+    "min_nodes",
+    "minimal_spec",
+    "run_crusader",
+    "run_degradable_agreement",
+    "run_oral_messages",
+    "vote",
+]

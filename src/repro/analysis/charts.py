@@ -1,0 +1,148 @@
+"""ASCII chart rendering for the experiment "figures".
+
+The paper's figures are diagrams rather than data plots, but the
+experiments produce series (degradation vs fault count, unsafe probability
+vs per-node fault rate, skew vs round) that deserve a visual rendering in
+a terminal-first library.  These renderers are deliberately dependency-free
+and deterministic so their output can be pinned in tests and pasted into
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.exceptions import AnalysisError
+
+#: Glyphs for horizontal bars, eighths resolution.
+_BLOCKS = ["", "▏", "▎", "▍", "▌", "▋", "▊", "▉"]
+_FULL = "█"
+
+
+def bar_chart(
+    items: Sequence[Tuple[str, float]],
+    width: int = 40,
+    max_value: Optional[float] = None,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart with right-aligned labels and values.
+
+    >>> print(bar_chart([("a", 2.0), ("b", 1.0)], width=4))
+    a | ████ 2
+    b | ██   1
+    """
+    if width < 1:
+        raise AnalysisError(f"width must be >= 1, got {width}")
+    if not items:
+        return "(no data)"
+    values = [v for _, v in items]
+    if any(v < 0 for v in values):
+        raise AnalysisError("bar_chart requires non-negative values")
+    top = max_value if max_value is not None else max(values)
+    if top <= 0:
+        top = 1.0
+    label_w = max(len(label) for label, _ in items)
+    lines = []
+    for label, value in items:
+        scaled = min(value / top, 1.0) * width
+        whole = int(scaled)
+        frac = int((scaled - whole) * 8)
+        bar = _FULL * whole + _BLOCKS[frac]
+        bar = bar.ljust(width)
+        lines.append(f"{label.ljust(label_w)} | {bar} {value:g}{unit}")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line trend: ▁▂▃▄▅▆▇█ scaled to the series range.
+
+    >>> sparkline([0, 1, 2, 3])
+    '▁▃▅█'
+    """
+    if not values:
+        return ""
+    glyphs = "▁▂▃▄▅▆▇█"
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    if span == 0:
+        return glyphs[0] * len(values)
+    out = []
+    for value in values:
+        idx = int((value - lo) / span * (len(glyphs) - 1))
+        out.append(glyphs[idx])
+    return "".join(out)
+
+
+def staircase(
+    series: Dict[str, Sequence[str]],
+    x_labels: Sequence[str],
+    legend: Optional[str] = None,
+) -> str:
+    """Categorical staircase (the E2 guarantee chart shape).
+
+    ``series`` maps a row label to one category string per x position.
+    """
+    if not series:
+        return "(no data)"
+    widths = [len(x) for x in x_labels]
+    for cells in series.values():
+        if len(cells) != len(x_labels):
+            raise AnalysisError("every series must match the x-label count")
+        for idx, cell in enumerate(cells):
+            widths[idx] = max(widths[idx], len(cell))
+    label_w = max(len(k) for k in series)
+    lines = []
+    header = " " * label_w + " | " + " ".join(
+        x.center(widths[i]) for i, x in enumerate(x_labels)
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for label, cells in series.items():
+        row = label.ljust(label_w) + " | " + " ".join(
+            cell.center(widths[i]) for i, cell in enumerate(cells)
+        )
+        lines.append(row)
+    if legend:
+        lines.append(legend)
+    return "\n".join(lines)
+
+
+def log_bar_chart(
+    items: Sequence[Tuple[str, float]],
+    width: int = 40,
+    floor: float = 1e-12,
+) -> str:
+    """Bar chart on a log scale — for probabilities spanning decades.
+
+    Values at or below *floor* render as empty bars; the scale runs from
+    ``log10(floor)`` to ``log10(max)``.
+    """
+    import math
+
+    if not items:
+        return "(no data)"
+    if floor <= 0:
+        raise AnalysisError(f"floor must be positive, got {floor}")
+    top = max(v for _, v in items)
+    if top <= floor:
+        return bar_chart([(label, 0.0) for label, _ in items], width=width)
+    lo_log, hi_log = math.log10(floor), math.log10(top)
+    span = hi_log - lo_log
+
+    scaled_items = []
+    for label, value in items:
+        if value <= floor:
+            scaled_items.append((label, 0.0))
+        else:
+            scaled_items.append(
+                (label, (math.log10(value) - lo_log) / span)
+            )
+    label_w = max(len(label) for label, _ in items)
+    lines = []
+    for (label, frac), (_, raw) in zip(scaled_items, items):
+        scaled = frac * width
+        whole = int(scaled)
+        part = int((scaled - whole) * 8)
+        bar = (_FULL * whole + _BLOCKS[part]).ljust(width)
+        lines.append(f"{label.ljust(label_w)} | {bar} {raw:.3g}")
+    return "\n".join(lines)

@@ -1,0 +1,294 @@
+"""Programmatic experiment runner.
+
+The pytest benchmarks in ``benchmarks/`` are the canonical regeneration
+harness; this module exposes the same experiments as plain library calls —
+for the CLI (``python -m repro experiments``), for notebooks, and for CI
+jobs that want a machine-readable verdict without pytest.  Each experiment
+returns an :class:`ExperimentResult` with a boolean verdict and the key
+measured numbers; :func:`write_results` persists the batch as JSON.
+
+Experiments run in "quick" sizes by default (seconds, not minutes); the
+qualitative claims checked are identical to the benchmarks'.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.analysis.adversary_search import exhaustive_search
+from repro.analysis.degradation import degradation_profile
+from repro.analysis.lowerbounds import connectivity_scenarios, run_scenario_triple
+from repro.analysis.montecarlo import run_campaign
+from repro.analysis.reliability import degradable_vs_byzantine
+from repro.analysis.complexity import byz_complexity, om_complexity
+from repro.channels.recovery import MissionSimulator
+from repro.channels.system import ByzantineChannelSystem, DegradableChannelSystem
+from repro.channels.voter import VoteOutcome
+from repro.core.behavior import LieAboutSender
+from repro.core.bounds import configurations, min_nodes
+from repro.core.spec import DegradableSpec
+from repro.exceptions import AnalysisError
+
+
+@dataclass
+class ExperimentResult:
+    experiment_id: str
+    title: str
+    passed: bool
+    duration_seconds: float
+    details: Dict[str, object] = field(default_factory=dict)
+
+
+def _e1_min_nodes() -> ExperimentResult:
+    start = time.perf_counter()
+    cells = 0
+    ok = True
+    for m in range(0, 3):
+        for u in range(m, m + 3):
+            spec = DegradableSpec(m=m, u=u, n_nodes=min_nodes(m, u))
+            summary = run_campaign(spec, n_trials=30, seed=m * 10 + u)
+            if summary.violations:
+                ok = False
+            if m >= 1:
+                below = run_scenario_triple(m, u, 2 * m + u)
+                if below.all_satisfied:
+                    ok = False
+            cells += 1
+    return ExperimentResult(
+        "E1",
+        "Section 2 minimum-node table (sufficiency + necessity)",
+        ok,
+        time.perf_counter() - start,
+        {"cells_validated": cells},
+    )
+
+
+def _e2_tradeoff() -> ExperimentResult:
+    start = time.perf_counter()
+    configs = sorted(configurations(7), reverse=True)
+    ok = configs == [(2, 2), (1, 4), (0, 6)]
+    staircase: Dict[str, str] = {}
+    for m, u in configs:
+        spec = DegradableSpec(m=m, u=u, n_nodes=7)
+        bands = []
+        for f in range(7):
+            summary = run_campaign(
+                spec, n_trials=25, fault_counts=[f], seed=100 * m + f
+            )
+            regime = spec.guarantee_for(f)
+            if summary.violations:
+                ok = False
+                bands.append("viol")
+            else:
+                bands.append({"byzantine": "FULL", "degraded": "2cls"}.get(regime, "."))
+        staircase[f"{m}/{u}"] = " ".join(bands)
+    return ExperimentResult(
+        "E2",
+        "seven-node trade-off staircase",
+        ok,
+        time.perf_counter() - start,
+        {"staircase": staircase},
+    )
+
+
+def _e3_channels() -> ExperimentResult:
+    start = time.perf_counter()
+    byz = ByzantineChannelSystem(m=1, computation=lambda v: v * 2)
+    degr = DegradableChannelSystem(m=1, u=2, computation=lambda v: v * 2)
+
+    def attack(system):
+        faulty = set(list(system.channels)[:2])
+        behaviors = {c: LieAboutSender(99, system.sender) for c in faulty}
+        return system.run(
+            21,
+            faulty=faulty,
+            agreement_behaviors=behaviors,
+            output_faults={c: (lambda honest: 42_000) for c in faulty},
+        )
+
+    byz_outcome = attack(byz).verdict.outcome
+    degr_outcome = attack(degr).verdict.outcome
+    ok = (
+        byz_outcome is VoteOutcome.INCORRECT
+        and degr_outcome in (VoteOutcome.CORRECT, VoteOutcome.DEFAULT)
+    )
+    return ExperimentResult(
+        "E3",
+        "Figure 1 channel systems under double collusion",
+        ok,
+        time.perf_counter() - start,
+        {
+            "byzantine_outcome": byz_outcome.value,
+            "degradable_outcome": degr_outcome.value,
+        },
+    )
+
+
+def _e4_impossibility() -> ExperimentResult:
+    start = time.perf_counter()
+    ok = True
+    cases = []
+    for m, u in [(1, 2), (2, 3)]:
+        below = run_scenario_triple(m, u, 2 * m + u)
+        above = run_scenario_triple(m, u, 2 * m + u + 1)
+        case_ok = (not below.all_satisfied) and above.all_satisfied
+        ok = ok and case_ok
+        cases.append({"m": m, "u": u, "ok": case_ok})
+    return ExperimentResult(
+        "E4",
+        "Figure 2 / Theorem 2 scenario triples",
+        ok,
+        time.perf_counter() - start,
+        {"cases": cases},
+    )
+
+
+def _e4b_search() -> ExperimentResult:
+    start = time.perf_counter()
+    at = exhaustive_search(1, 4)
+    below = exhaustive_search(1, 3, stop_at_first=True)
+    ok = at.contract_unbreakable and not below.contract_unbreakable
+    return ExperimentResult(
+        "E4b",
+        "exhaustive adversary search (1/1 instance)",
+        ok,
+        time.perf_counter() - start,
+        {
+            "profiles_at_bound": at.profiles_checked,
+            "violations_at_bound": len(at.violations),
+        },
+    )
+
+
+def _e5_connectivity() -> ExperimentResult:
+    start = time.perf_counter()
+    at = connectivity_scenarios(1, 2, 4)
+    below = connectivity_scenarios(1, 2, 3)
+    ok = at.both_satisfied and not below.both_satisfied
+    return ExperimentResult(
+        "E5",
+        "Theorem 3 connectivity bound (1/2 instance)",
+        ok,
+        time.perf_counter() - start,
+        {"at_bound_holds": at.both_satisfied, "below_breaks": not below.both_satisfied},
+    )
+
+
+def _e6_complexity() -> ExperimentResult:
+    start = time.perf_counter()
+    om = om_complexity(3)
+    cheap = byz_complexity(1, 3)
+    ok = (
+        cheap.messages < om.messages
+        and cheap.rounds < om.rounds
+        and cheap.n_nodes < om.n_nodes
+    )
+    return ExperimentResult(
+        "E6",
+        "cost of surviving u=3 faults (BYZ vs OM)",
+        ok,
+        time.perf_counter() - start,
+        {
+            "om_messages": om.messages,
+            "byz_m1_messages": cheap.messages,
+        },
+    )
+
+
+def _e8_reliability() -> ExperimentResult:
+    start = time.perf_counter()
+    head = degradable_vs_byzantine(1, 2, 0.03)
+    ok = (
+        head["degradable"].p_unsafe < head["byzantine_m"].p_unsafe
+        and head["extra_nodes_degradable"] == 1
+    )
+    mission = MissionSimulator(
+        DegradableChannelSystem(m=1, u=2, computation=lambda v: v * 2),
+        fault_probability=0.05,
+        clear_probability=0.7,
+        max_retries=2,
+        seed=2024,
+    ).run(120, sender_value=21)
+    ok = ok and mission.unsafe == 0
+    return ExperimentResult(
+        "E8",
+        "cost-effectiveness (reliability model + mission)",
+        ok,
+        time.perf_counter() - start,
+        {
+            "p_unsafe_byzantine": head["byzantine_m"].p_unsafe,
+            "p_unsafe_degradable": head["degradable"].p_unsafe,
+            "mission_unsafe_steps": mission.unsafe,
+        },
+    )
+
+
+def _e9_degradation() -> ExperimentResult:
+    start = time.perf_counter()
+    spec = DegradableSpec(m=1, u=2, n_nodes=5)
+    profile = degradation_profile(spec, trials_per_level=30, seed=5)
+    ok = (
+        profile.full_band_clean()
+        and profile.degraded_band_clean()
+        and profile.core_agreement_floor() >= spec.m + 1
+    )
+    return ExperimentResult(
+        "E9",
+        "degradation profile staircase (1/2 instance)",
+        ok,
+        time.perf_counter() - start,
+        {"core_floor": profile.core_agreement_floor()},
+    )
+
+
+#: Registry of quick experiments (E7 clock sync lives in the benchmark
+#: only — its adversary grid is already fast there).
+EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
+    "E1": _e1_min_nodes,
+    "E2": _e2_tradeoff,
+    "E3": _e3_channels,
+    "E4": _e4_impossibility,
+    "E4b": _e4b_search,
+    "E5": _e5_connectivity,
+    "E6": _e6_complexity,
+    "E8": _e8_reliability,
+    "E9": _e9_degradation,
+}
+
+
+def run_experiments(
+    only: Optional[List[str]] = None,
+) -> List[ExperimentResult]:
+    """Run all (or the selected) quick experiments."""
+    selected = list(EXPERIMENTS) if only is None else list(only)
+    unknown = [e for e in selected if e not in EXPERIMENTS]
+    if unknown:
+        raise AnalysisError(f"unknown experiment ids: {unknown!r}")
+    return [EXPERIMENTS[exp_id]() for exp_id in selected]
+
+
+def write_results(results: List[ExperimentResult], path: str) -> None:
+    """Persist experiment results as JSON."""
+    payload = {
+        "schema": "repro-experiments/1",
+        "results": [asdict(r) for r in results],
+        "all_passed": all(r.passed for r in results),
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, default=str)
+
+
+def summarize(results: List[ExperimentResult]) -> str:
+    lines = []
+    for result in results:
+        status = "PASS" if result.passed else "FAIL"
+        lines.append(
+            f"[{status}] {result.experiment_id:<4} "
+            f"{result.title} ({result.duration_seconds:.2f}s)"
+        )
+    passed = sum(1 for r in results if r.passed)
+    lines.append(f"{passed}/{len(results)} experiments passed")
+    return "\n".join(lines)

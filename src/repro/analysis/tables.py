@@ -1,0 +1,84 @@
+"""Plain-text table rendering for the experiment harness.
+
+Every benchmark prints its results through :func:`render_table`, so the
+regenerated paper artefacts (the Section 2 minimum-node table, the
+seven-node trade-off list, the reliability and complexity grids) all share
+one format and are easy to diff against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.core.bounds import min_nodes, min_nodes_table, trade_off_curve
+from repro.exceptions import AnalysisError
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render a fixed-width text table."""
+    str_rows: List[List[str]] = [[_cell(c) for c in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise AnalysisError(
+                f"row width {len(row)} does not match {len(headers)} headers"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for idx, cell in enumerate(row):
+            widths[idx] = max(widths[idx], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(
+            " | ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def section2_min_nodes_table(
+    m_values: Optional[List[int]] = None,
+    u_values: Optional[List[int]] = None,
+) -> str:
+    """Regenerate the Section 2 table: minimum nodes for each (m, u).
+
+    Rows: ``u``; columns: ``m``; dash where ``u < m`` (as in the paper).
+    """
+    m_values = m_values if m_values is not None else [0, 1, 2, 3]
+    u_values = u_values if u_values is not None else [0, 1, 2, 3, 4, 5, 6]
+    table = min_nodes_table(m_values, u_values)
+    headers = ["u \\ m"] + [str(m) for m in m_values]
+    rows = [[u] + table[i] for i, u in enumerate(u_values)]
+    return render_table(
+        headers,
+        rows,
+        title="Minimum number of nodes for m/u-degradable agreement (2m+u+1)",
+    )
+
+
+def seven_node_tradeoff_table(n_nodes: int = 7) -> str:
+    """The paper's node-budget trade-off list (7 nodes by default)."""
+    rows = [
+        [m, u, f"{m}/{u}-degradable", min_nodes(m, u)]
+        for m, u in sorted(trade_off_curve(n_nodes), reverse=True)
+    ]
+    return render_table(
+        ["m", "u", "configuration", "min nodes"],
+        rows,
+        title=f"Maximal configurations achievable with {n_nodes} nodes",
+    )

@@ -1,0 +1,56 @@
+"""Multiple-channel fault-tolerant systems (Section 3 of the paper).
+
+The application layer that motivates degradable agreement: replicated
+computation channels fed by a sensor through an agreement protocol and
+drained into an external voter, with forward/backward recovery on top.
+"""
+
+from repro.channels.multisensor import (
+    MultiSensorReport,
+    MultiSensorSystem,
+    fault_tolerant_midpoint,
+)
+from repro.channels.pipeline import (
+    PipelineStats,
+    ReplicatedPipeline,
+    StepRecord,
+)
+from repro.channels.recovery import (
+    MissionSimulator,
+    MissionStats,
+    RecoveryAction,
+    RecoveryController,
+    StepOutcome,
+)
+from repro.channels.system import (
+    ByzantineChannelSystem,
+    ChannelRunReport,
+    DegradableChannelSystem,
+)
+from repro.channels.voter import (
+    ExternalVoter,
+    MajorityVoter,
+    VoteOutcome,
+    VoterVerdict,
+)
+
+__all__ = [
+    "ByzantineChannelSystem",
+    "ChannelRunReport",
+    "DegradableChannelSystem",
+    "ExternalVoter",
+    "MajorityVoter",
+    "MissionSimulator",
+    "MissionStats",
+    "MultiSensorReport",
+    "PipelineStats",
+    "ReplicatedPipeline",
+    "StepRecord",
+    "MultiSensorSystem",
+    "fault_tolerant_midpoint",
+    "RecoveryAction",
+    "RecoveryController",
+    "StepOutcome",
+    "VoteOutcome",
+    "VoterVerdict",
+]

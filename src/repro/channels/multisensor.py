@@ -1,0 +1,215 @@
+"""Multi-sensor channel systems (the Section 3 aside, made concrete).
+
+The paper notes: "the proposed approach is useful when multiple senders
+measure the same quantity and send its value to the channels", then limits
+its discussion to a single sender.  This module builds that multi-sender
+system as an extension:
+
+* ``k`` sensors each measure the same physical quantity (with bounded
+  per-sensor measurement error); each sensor's reading is distributed to
+  the channels via its own m/u-degradable agreement instance;
+* every fault-free channel then holds a vector of ``k`` entries, each
+  either a reading or ``V_d``, and fuses it with a fault-tolerant midpoint
+  (discard the ``s`` lowest and highest readings, where ``s`` is the
+  sensor-fault bound, then take the midpoint);
+* channels that see more than ``s`` defaulted/out-of-range entries enter
+  the default (safe) state instead of fusing garbage.
+
+Guarantees inherited from the agreement layer: with at most ``m`` faulty
+nodes, all fault-free channels fuse identical vectors (so their states are
+identical); with up to ``u`` faults they split into at most two classes,
+one of which is the safe default state — C.3 lifted to multiple sensors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import AbstractSet, Dict, Hashable, List, Optional, Sequence
+
+from repro.channels.voter import ExternalVoter, VoterVerdict
+from repro.core.behavior import BehaviorMap
+from repro.core.byz import run_degradable_agreement
+from repro.core.spec import DegradableSpec
+from repro.core.values import DEFAULT, Value, is_default
+from repro.exceptions import ConfigurationError
+
+NodeId = Hashable
+
+
+def fault_tolerant_midpoint(
+    readings: Sequence[float], discard: int
+) -> Optional[float]:
+    """Midpoint of the readings after discarding ``discard`` extremes each side.
+
+    Returns ``None`` when not enough readings survive — the caller treats
+    that as the default state.  This is the classic fault-tolerant
+    averaging rule: with at most ``discard`` arbitrary readings, the result
+    stays within the range of the true ones.
+    """
+    if discard < 0:
+        raise ConfigurationError(f"discard must be >= 0, got {discard}")
+    if len(readings) <= 2 * discard:
+        return None
+    kept = sorted(readings)[discard : len(readings) - discard]
+    return (kept[0] + kept[-1]) / 2.0
+
+
+@dataclass
+class MultiSensorReport:
+    """Outcome of one multi-sensor acquisition cycle."""
+
+    true_value: float
+    #: per-channel, per-sensor agreed reading (V_d possible)
+    vectors: Dict[NodeId, Dict[NodeId, Value]]
+    #: per-channel fused value (None = default/safe state)
+    fused: Dict[NodeId, Optional[float]]
+    verdict: VoterVerdict
+    faulty: AbstractSet[NodeId]
+
+    def fault_free_channels(self) -> List[NodeId]:
+        return [c for c in self.fused if c not in self.faulty]
+
+    def states_two_class(self) -> bool:
+        """Fault-free channels hold at most one non-default fused value."""
+        values = {
+            self.fused[c]
+            for c in self.fault_free_channels()
+            if self.fused[c] is not None
+        }
+        return len(values) <= 1
+
+    def max_fusion_error(self) -> Optional[float]:
+        """Largest |fused - true| among fault-free, non-default channels."""
+        errors = [
+            abs(self.fused[c] - self.true_value)
+            for c in self.fault_free_channels()
+            if self.fused[c] is not None
+        ]
+        return max(errors) if errors else None
+
+
+class MultiSensorSystem:
+    """``k`` sensors + ``2m + u`` channels + external voter.
+
+    Parameters
+    ----------
+    m, u:
+        Degradable agreement parameters for the *combined* node population
+        (sensors and channels all participate in every agreement
+        instance, so the fault bounds cover both kinds of node).
+    n_sensors:
+        Number of replicated sensors; must exceed ``2 * sensor_faults``.
+    sensor_faults:
+        Bound ``s`` on faulty sensors used by the fusion rule.
+    tolerance:
+        Half-width of the plausible-reading window around a channel's
+        fused estimate; wildly implausible readings count as suspect.
+    """
+
+    def __init__(
+        self,
+        m: int,
+        u: int,
+        n_sensors: int,
+        sensor_faults: int,
+        tolerance: float = 1.0,
+    ) -> None:
+        if n_sensors <= 2 * sensor_faults:
+            raise ConfigurationError(
+                f"need more than 2*{sensor_faults} sensors, got {n_sensors}"
+            )
+        if tolerance <= 0:
+            raise ConfigurationError(f"tolerance must be positive, got {tolerance}")
+        self.sensors: List[NodeId] = [f"sensor{k}" for k in range(n_sensors)]
+        self.channels: List[NodeId] = [f"ch{k}" for k in range(2 * m + u)]
+        self.nodes: List[NodeId] = self.sensors + self.channels
+        self.spec = DegradableSpec(m=m, u=u, n_nodes=len(self.nodes))
+        self.sensor_faults = sensor_faults
+        self.tolerance = tolerance
+        self.voter = ExternalVoter.for_degradable(m, u)
+
+    def run(
+        self,
+        true_value: float,
+        sensor_readings: Optional[Dict[NodeId, float]] = None,
+        behaviors: Optional[BehaviorMap] = None,
+        faulty: Optional[AbstractSet[NodeId]] = None,
+    ) -> MultiSensorReport:
+        """One acquisition: k agreement instances, fusion, external vote.
+
+        ``sensor_readings`` defaults to every sensor reading the true value
+        exactly; pass per-sensor values to model measurement noise.  Faulty
+        sensors lie through their agreement *behaviours* (e.g. a two-faced
+        sender behaviour), which overrides whatever honest reading they
+        hold.
+        """
+        faulty = frozenset(faulty or ())
+        behaviors = dict(behaviors or {})
+        readings = dict(sensor_readings or {})
+        for sensor in self.sensors:
+            readings.setdefault(sensor, true_value)
+
+        vectors: Dict[NodeId, Dict[NodeId, Value]] = {
+            c: {} for c in self.channels
+        }
+        for sensor in self.sensors:
+            result = run_degradable_agreement(
+                self.spec,
+                self.nodes,
+                sensor,
+                readings[sensor],
+                behaviors,
+            )
+            for channel in self.channels:
+                vectors[channel][sensor] = result.decisions[channel]
+
+        fused: Dict[NodeId, Optional[float]] = {}
+        for channel in self.channels:
+            fused[channel] = self._fuse(vectors[channel])
+
+        outputs = [
+            DEFAULT if fused[c] is None else round(fused[c], 9)
+            for c in self.channels
+        ]
+        verdict = self._judge(outputs, true_value)
+        return MultiSensorReport(
+            true_value=true_value,
+            vectors=vectors,
+            fused=fused,
+            verdict=verdict,
+            faulty=faulty,
+        )
+
+    def _fuse(self, vector: Dict[NodeId, Value]) -> Optional[float]:
+        numeric = [
+            float(v)
+            for v in vector.values()
+            if not is_default(v) and isinstance(v, (int, float))
+        ]
+        suspects = len(vector) - len(numeric)
+        if suspects > self.sensor_faults:
+            return None  # too many missing/garbled sensors: safe state
+        # The full sensor-fault budget must still be discarded among the
+        # numeric readings: a defaulted entry does NOT certify that the
+        # defaulted *sensor* was the faulty one — faulty channels can
+        # push an honest sensor's agreement to V_d while the truly faulty
+        # sensor's wild reading arrives as a perfectly agreed number.
+        return fault_tolerant_midpoint(numeric, self.sensor_faults)
+
+    def _judge(self, outputs: Sequence[Value], true_value: float) -> VoterVerdict:
+        """Tolerance-aware classification of the external vote.
+
+        Sensor noise makes exact equality the wrong notion of "correct":
+        a fused value within ``tolerance`` of the true quantity is a
+        correct actuator input.
+        """
+        from repro.channels.voter import VoteOutcome
+
+        voted = self.voter.vote(list(outputs))
+        if is_default(voted):
+            outcome = VoteOutcome.DEFAULT
+        elif isinstance(voted, (int, float)) and abs(voted - true_value) <= self.tolerance:
+            outcome = VoteOutcome.CORRECT
+        else:
+            outcome = VoteOutcome.INCORRECT
+        return VoterVerdict(value=voted, outcome=outcome)

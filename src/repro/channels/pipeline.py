@@ -1,0 +1,328 @@
+"""Replicated state machines over degradable agreement (Section 3, B.2/C.3
+extended across time).
+
+The paper's conditions B.2 / C.3 speak about channel *state*: "all the
+fault-free channels are in an identical state, up to m faults" and, in the
+degraded band, "the channels in one class are in a default (i.e. a safe)
+state".  A single agreement round shows this for one input; real channel
+systems iterate — each step's sensor input is agreed, applied to the local
+state, and the external entity votes on the outputs.
+
+This module runs that loop and makes the temporal guarantees observable:
+
+* with at most ``m`` faults per step, fault-free channel states stay
+  *identical forever* (lock-step replication);
+* in a degraded step, a fault-free channel that received ``V_d`` **holds**
+  (safe state: it keeps its previous state and flags itself stale) rather
+  than apply a guessed input;
+* a stale channel resynchronizes through *backward recovery*: when the
+  external entity sees the default it re-runs the step, and a clean retry
+  delivers the same agreed input to everyone — including the previously
+  stale channels, which replay and rejoin;
+* state checksums let the external entity audit divergence without
+  trusting any single channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import AbstractSet, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.channels.voter import ExternalVoter, VoteOutcome, VoterVerdict
+from repro.core.behavior import BehaviorMap
+from repro.core.byz import run_degradable_agreement
+from repro.core.spec import DegradableSpec
+from repro.core.values import DEFAULT, Value, is_default
+from repro.exceptions import ConfigurationError
+
+NodeId = Hashable
+
+#: Deterministic replicated transition: (state, input) -> (state', output).
+Transition = Callable[[Value, Value], Tuple[Value, Value]]
+
+
+@dataclass
+class StepRecord:
+    """Everything observable about one pipeline step (after retries)."""
+
+    step_no: int
+    input_value: Value
+    attempts: int
+    verdict: VoterVerdict
+    #: channels that held (received V_d) on the *final* attempt
+    stale: Tuple[NodeId, ...]
+    #: fault-free channel states after the step
+    states: Dict[NodeId, Value] = field(default_factory=dict)
+
+    @property
+    def advanced(self) -> bool:
+        return self.verdict.outcome is not VoteOutcome.DEFAULT
+
+
+@dataclass
+class PipelineStats:
+    steps: int = 0
+    lockstep_steps: int = 0
+    degraded_steps: int = 0
+    retried_steps: int = 0
+    held_steps: int = 0
+    unsafe_steps: int = 0
+    max_stale_channels: int = 0
+
+
+class ReplicatedPipeline:
+    """A bank of ``2m + u`` replicated state machines fed by agreement.
+
+    Parameters
+    ----------
+    m, u:
+        Agreement parameters; the node population is the sensor plus the
+        ``2m + u`` channels.
+    transition:
+        The deterministic replicated step function.
+    initial_state:
+        Starting state of every channel.
+    max_retries:
+        Backward-recovery budget per step.
+    """
+
+    def __init__(
+        self,
+        m: int,
+        u: int,
+        transition: Transition,
+        initial_state: Value = 0,
+        max_retries: int = 2,
+        sender: NodeId = "sensor",
+    ) -> None:
+        if max_retries < 0:
+            raise ConfigurationError(f"max_retries must be >= 0, got {max_retries}")
+        self.spec = DegradableSpec(m=m, u=u, n_nodes=2 * m + u + 1)
+        self.sender = sender
+        self.channels: List[NodeId] = [f"ch{k}" for k in range(2 * m + u)]
+        self.transition = transition
+        self.max_retries = max_retries
+        self.voter = ExternalVoter.for_degradable(m, u)
+        self.states: Dict[NodeId, Value] = {
+            ch: initial_state for ch in self.channels
+        }
+        #: channels currently holding (missed the last applied input)
+        self.stale: set = set()
+        self.history: List[StepRecord] = []
+        self.stats = PipelineStats()
+
+    @property
+    def nodes(self) -> List[NodeId]:
+        return [self.sender] + self.channels
+
+    # ------------------------------------------------------------------
+    def run_step(
+        self,
+        input_value: Value,
+        faulty: Optional[AbstractSet[NodeId]] = None,
+        behaviors_per_attempt: Optional[
+            Sequence[Optional[BehaviorMap]]
+        ] = None,
+    ) -> StepRecord:
+        """Execute one step with backward recovery.
+
+        ``behaviors_per_attempt[a]`` supplies the Byzantine behaviours for
+        attempt ``a`` (transient faults may clear on retry); shorter lists
+        fall back to fault-free retries.
+        """
+        faulty = frozenset(faulty or ())
+        behaviors_per_attempt = list(behaviors_per_attempt or [])
+        record: Optional[StepRecord] = None
+
+        for attempt in range(self.max_retries + 1):
+            behaviors = (
+                behaviors_per_attempt[attempt]
+                if attempt < len(behaviors_per_attempt)
+                else None
+            )
+            result = run_degradable_agreement(
+                self.spec, self.nodes, self.sender, input_value, behaviors
+            )
+            outputs, stale = self._apply(result.decisions, faulty, dry_run=True)
+            verdict = self.voter.judge(
+                outputs, self._expected_output(input_value)
+            )
+            if verdict.outcome is not VoteOutcome.DEFAULT or attempt == self.max_retries:
+                # Commit only steps the external entity accepted.  A final
+                # defaulted attempt is ABORTED — nobody advances — because
+                # partially committing it would let the bank drift away
+                # from the reference the external entity validates against
+                # and poison every later vote.  (A real deployment would
+                # drive this with an explicit commit/abort broadcast; the
+                # abort models its effect.)
+                if verdict.outcome is not VoteOutcome.DEFAULT:
+                    self._apply(result.decisions, faulty, dry_run=False)
+                else:
+                    self.stale = set(stale)
+                record = StepRecord(
+                    step_no=len(self.history),
+                    input_value=input_value,
+                    attempts=attempt + 1,
+                    verdict=verdict,
+                    stale=tuple(sorted(stale, key=str)),
+                    states={
+                        ch: self.states[ch]
+                        for ch in self.channels
+                        if ch not in faulty
+                    },
+                )
+                break
+        assert record is not None  # loop always commits
+        self._account(record)
+        self.history.append(record)
+        return record
+
+    def _expected_output(self, input_value: Value) -> Value:
+        """What a channel that followed every step would output now.
+
+        Computed on a shadow copy of an always-correct replica.
+        """
+        state = self._reference_state()
+        _, output = self.transition(state, input_value)
+        return output
+
+    def _reference_state(self) -> Value:
+        state = self._initial_reference
+        for record in self.history:
+            if record.advanced:
+                state, _ = self.transition(state, record.input_value)
+        return state
+
+    @property
+    def _initial_reference(self) -> Value:
+        # all channels start identical; remember the first configured state
+        if not hasattr(self, "_init_state"):
+            self._init_state = next(iter(self.states.values()))
+        return self._init_state
+
+    def _apply(
+        self,
+        decisions: Dict[NodeId, Value],
+        faulty: AbstractSet[NodeId],
+        dry_run: bool,
+    ) -> Tuple[List[Value], set]:
+        """Apply the agreed input at every channel; return outputs + stale set."""
+        outputs: List[Value] = []
+        stale: set = set()
+        new_states: Dict[NodeId, Value] = {}
+        for channel in self.channels:
+            agreed = decisions[channel]
+            if channel in faulty:
+                # A faulty channel's output is garbage; its internal state
+                # is frozen rather than modelled as corrupt so that a later
+                # recovered channel resumes as a *stale* replica (it missed
+                # the inputs applied while it was down) instead of crashing
+                # the deterministic transition on junk.
+                outputs.append(("garbage", channel))
+                new_states[channel] = self.states[channel]
+                continue
+            if is_default(agreed):
+                # Safe hold: no state change, default output.
+                outputs.append(DEFAULT)
+                new_states[channel] = self.states[channel]
+                stale.add(channel)
+            else:
+                base = self.states[channel]
+                new_state, output = self.transition(base, agreed)
+                new_states[channel] = new_state
+                outputs.append(output)
+        if not dry_run:
+            self.states.update(new_states)
+            self.stale = stale
+        return outputs, stale
+
+    def _account(self, record: StepRecord) -> None:
+        stats = self.stats
+        stats.steps += 1
+        if record.attempts > 1:
+            stats.retried_steps += 1
+        if record.stale:
+            stats.degraded_steps += 1
+        else:
+            stats.lockstep_steps += 1
+        if not record.advanced:
+            stats.held_steps += 1
+        if record.verdict.outcome is VoteOutcome.INCORRECT:
+            stats.unsafe_steps += 1
+        stats.max_stale_channels = max(
+            stats.max_stale_channels, len(record.stale)
+        )
+
+    # ------------------------------------------------------------------
+    # Audit
+    # ------------------------------------------------------------------
+    def fault_free_states(self, faulty: AbstractSet[NodeId] = frozenset()) -> Dict[NodeId, Value]:
+        return {
+            ch: self.states[ch] for ch in self.channels if ch not in faulty
+        }
+
+    def states_identical(self, faulty: AbstractSet[NodeId] = frozenset()) -> bool:
+        states = list(self.fault_free_states(faulty).values())
+        return all(s == states[0] for s in states) if states else True
+
+    def state_classes(self, faulty: AbstractSet[NodeId] = frozenset()) -> int:
+        """Number of distinct fault-free channel states (C.3's class count)."""
+        return len(set(self.fault_free_states(faulty).values()))
+
+    # ------------------------------------------------------------------
+    # State-transfer resynchronization (extension)
+    # ------------------------------------------------------------------
+    def resync(
+        self,
+        channels: Optional[Sequence[NodeId]] = None,
+        faulty: Optional[AbstractSet[NodeId]] = None,
+    ) -> List[NodeId]:
+        """Quorum state transfer: let behind channels catch up safely.
+
+        Note that under the commit/abort semantics a *committed* step never
+        strands a fault-free channel (commit needs ``m + u`` matching
+        outputs, which forces the stale count to zero whenever ``f <= u``),
+        so the main customer of this primitive is a channel **recovering
+        from a fault**: it resumes with a frozen, out-of-date state and must
+        rejoin before contributing again.
+
+        Rule: adopt the state claimed by at least ``m + u`` of the
+        ``2m + u`` channels.  With at most ``u`` faulty claimants a
+        fabricated state can never gather that much support; with at most
+        ``m`` faulty, the up-to-date state always does.  No quorum — stay
+        behind (safe).
+
+        Parameters
+        ----------
+        channels:
+            Channels to resynchronize; defaults to the recorded stale set.
+        faulty:
+            Currently-faulty channels; they claim garbage states.
+
+        Returns the channels that successfully rejoined.
+        """
+        faulty = frozenset(faulty or ())
+        targets = list(channels) if channels is not None else sorted(
+            self.stale, key=str
+        )
+        quorum = self.voter.k  # m + u
+        counts: Dict[Value, int] = {}
+        for channel in self.channels:
+            state = (
+                ("bogus-state", channel)
+                if channel in faulty
+                else self.states[channel]
+            )
+            counts[state] = counts.get(state, 0) + 1
+        winners = [s for s, c in counts.items() if c >= quorum]
+        if len(winners) != 1:
+            return []
+        target = winners[0]
+        rejoined: List[NodeId] = []
+        for channel in targets:
+            if channel in faulty or channel not in self.states:
+                continue
+            self.states[channel] = target
+            rejoined.append(channel)
+        self.stale -= set(rejoined)
+        return rejoined

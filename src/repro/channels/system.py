@@ -1,0 +1,248 @@
+"""Multiple-channel fault-tolerant systems (Section 3, Figure 1).
+
+Two system shapes:
+
+* :class:`DegradableChannelSystem` — the paper's proposal (Figure 1(b)):
+  one sender (sensor) plus ``2m + u`` computation channels; the sender's
+  value is distributed by m/u-degradable agreement; fault-free channels
+  compute on the agreed value (or enter the *default state* when agreement
+  yields ``V_d``); the external entity applies the
+  ``(m+u)``-out-of-``(2m+u)`` vote.  Guarantees C.1–C.3.
+
+* :class:`ByzantineChannelSystem` — the baseline (Figure 1(a)): ``3m``
+  channels fed through Lamport agreement, majority-voted externally.
+  Guarantees B.1–B.2, i.e. nothing once ``f > m``.
+
+Faults are injected at two places, matching the paper's failure model:
+agreement-phase Byzantine behaviour (the channel lies while relaying) and
+output-phase corruption (the channel computes garbage).  A channel listed
+as faulty gets both by default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import AbstractSet, Callable, Dict, Hashable, List, Optional
+
+from repro.core.behavior import BehaviorMap
+from repro.core.byz import run_degradable_agreement
+from repro.core.oral_messages import run_oral_messages
+from repro.core.spec import DegradableSpec
+from repro.core.values import DEFAULT, Value, is_default
+from repro.channels.voter import ExternalVoter, MajorityVoter, VoteOutcome, VoterVerdict
+from repro.exceptions import ConfigurationError
+
+NodeId = Hashable
+
+#: The replicated computation every channel performs on the agreed input.
+Computation = Callable[[Value], Value]
+
+#: What a faulty channel hands the voter, given what it should have output.
+OutputFault = Callable[[Value], Value]
+
+
+@dataclass
+class ChannelRunReport:
+    """Everything observable from one sensor-to-actuator cycle."""
+
+    sender_value: Value
+    expected_output: Value
+    #: Input value each channel settled on after agreement (V_d possible).
+    agreed_inputs: Dict[NodeId, Value]
+    #: Output each channel handed the voter.
+    channel_outputs: Dict[NodeId, Value]
+    verdict: VoterVerdict
+    faulty: AbstractSet[NodeId]
+    sender_faulty: bool
+
+    # ------------------------------------------------------------------
+    # Condition checks (C.1–C.3 / B.1)
+    # ------------------------------------------------------------------
+    def fault_free_channels(self) -> List[NodeId]:
+        return [c for c in self.agreed_inputs if c not in self.faulty]
+
+    def condition_c1(self) -> bool:
+        """External entity obtains the correct value (C.1 / B.1)."""
+        return self.verdict.outcome is VoteOutcome.CORRECT
+
+    def condition_c2(self) -> bool:
+        """External entity obtains the correct value *or* the default (C.2)."""
+        return self.verdict.outcome in (VoteOutcome.CORRECT, VoteOutcome.DEFAULT)
+
+    def condition_c3_identical(self) -> bool:
+        """All fault-free channels in an identical state (C.3, f <= m)."""
+        states = {self.agreed_inputs[c] for c in self.fault_free_channels()}
+        return len(states) <= 1
+
+    def condition_c3_two_class(self) -> bool:
+        """Fault-free channels split into at most two classes, one of which
+        is the default (safe) state (C.3, f <= u)."""
+        states = {self.agreed_inputs[c] for c in self.fault_free_channels()}
+        non_default = {s for s in states if not is_default(s)}
+        return len(non_default) <= 1
+
+
+class DegradableChannelSystem:
+    """Figure 1(b): sender + ``2m + u`` channels + (m+u)-of-(2m+u) voter."""
+
+    def __init__(
+        self,
+        m: int,
+        u: int,
+        computation: Computation,
+        sender: NodeId = "sensor",
+        channel_prefix: str = "ch",
+    ) -> None:
+        self.spec = DegradableSpec(m=m, u=u, n_nodes=2 * m + u + 1)
+        self.sender = sender
+        self.channels: List[NodeId] = [
+            f"{channel_prefix}{k}" for k in range(2 * m + u)
+        ]
+        self.computation = computation
+        self.voter = ExternalVoter.for_degradable(m, u)
+
+    @property
+    def nodes(self) -> List[NodeId]:
+        return [self.sender] + self.channels
+
+    def run(
+        self,
+        sender_value: Value,
+        faulty: Optional[AbstractSet[NodeId]] = None,
+        agreement_behaviors: Optional[BehaviorMap] = None,
+        output_faults: Optional[Dict[NodeId, OutputFault]] = None,
+    ) -> ChannelRunReport:
+        """One sensor-to-actuator cycle.
+
+        Parameters
+        ----------
+        sender_value:
+            The sensor reading.
+        faulty:
+            The faulty node set (sender and/or channels).  Channels in this
+            set with no explicit behaviours get default adversarial ones.
+        agreement_behaviors:
+            Byzantine behaviour during value distribution, keyed by node.
+        output_faults:
+            Output-stage corruption per faulty channel.
+        """
+        faulty = frozenset(faulty or ())
+        unknown = faulty - set(self.nodes)
+        if unknown:
+            raise ConfigurationError(f"faulty ids not in system: {sorted(map(str, unknown))}")
+        behaviors = dict(agreement_behaviors or {})
+        output_faults = dict(output_faults or {})
+
+        result = run_degradable_agreement(
+            self.spec, self.nodes, self.sender, sender_value, behaviors
+        )
+        agreed_inputs = {c: result.decisions[c] for c in self.channels}
+
+        expected_output = self.computation(sender_value)
+        channel_outputs: Dict[NodeId, Value] = {}
+        for channel in self.channels:
+            honest_output = self._channel_output(agreed_inputs[channel])
+            if channel in faulty:
+                fault = output_faults.get(channel)
+                channel_outputs[channel] = (
+                    fault(honest_output) if fault else _default_output_fault(honest_output)
+                )
+            else:
+                channel_outputs[channel] = honest_output
+
+        verdict = self.voter.judge(
+            [channel_outputs[c] for c in self.channels], expected_output
+        )
+        return ChannelRunReport(
+            sender_value=sender_value,
+            expected_output=expected_output,
+            agreed_inputs=agreed_inputs,
+            channel_outputs=channel_outputs,
+            verdict=verdict,
+            faulty=faulty,
+            sender_faulty=self.sender in faulty,
+        )
+
+    def _channel_output(self, agreed_input: Value) -> Value:
+        """Fault-free channel logic: compute, or stay in the default state."""
+        if is_default(agreed_input):
+            return DEFAULT
+        return self.computation(agreed_input)
+
+
+class ByzantineChannelSystem:
+    """Figure 1(a): sender + ``3m`` channels + majority voter (baseline)."""
+
+    def __init__(
+        self,
+        m: int,
+        computation: Computation,
+        sender: NodeId = "sensor",
+        channel_prefix: str = "ch",
+    ) -> None:
+        if m < 1:
+            raise ConfigurationError(f"m must be >= 1, got {m}")
+        self.m = m
+        self.sender = sender
+        self.channels: List[NodeId] = [f"{channel_prefix}{k}" for k in range(3 * m)]
+        self.computation = computation
+        self.voter = MajorityVoter(n=3 * m)
+
+    @property
+    def nodes(self) -> List[NodeId]:
+        return [self.sender] + self.channels
+
+    def run(
+        self,
+        sender_value: Value,
+        faulty: Optional[AbstractSet[NodeId]] = None,
+        agreement_behaviors: Optional[BehaviorMap] = None,
+        output_faults: Optional[Dict[NodeId, OutputFault]] = None,
+    ) -> ChannelRunReport:
+        faulty = frozenset(faulty or ())
+        unknown = faulty - set(self.nodes)
+        if unknown:
+            raise ConfigurationError(f"faulty ids not in system: {sorted(map(str, unknown))}")
+        behaviors = dict(agreement_behaviors or {})
+        output_faults = dict(output_faults or {})
+
+        result = run_oral_messages(
+            self.m, self.nodes, self.sender, sender_value, behaviors
+        )
+        agreed_inputs = {c: result.decisions[c] for c in self.channels}
+
+        expected_output = self.computation(sender_value)
+        channel_outputs: Dict[NodeId, Value] = {}
+        for channel in self.channels:
+            agreed = agreed_inputs[channel]
+            honest_output = DEFAULT if is_default(agreed) else self.computation(agreed)
+            if channel in faulty:
+                fault = output_faults.get(channel)
+                channel_outputs[channel] = (
+                    fault(honest_output) if fault else _default_output_fault(honest_output)
+                )
+            else:
+                channel_outputs[channel] = honest_output
+
+        verdict = self.voter.judge(
+            [channel_outputs[c] for c in self.channels], expected_output
+        )
+        return ChannelRunReport(
+            sender_value=sender_value,
+            expected_output=expected_output,
+            agreed_inputs=agreed_inputs,
+            channel_outputs=channel_outputs,
+            verdict=verdict,
+            faulty=faulty,
+            sender_faulty=self.sender in faulty,
+        )
+
+
+def _default_output_fault(honest_output: Value) -> Value:
+    """Default corruption for a faulty channel's output stage.
+
+    Deterministic and adversarial: emits a value distinct from both the
+    honest output and the default, maximizing the chance of fooling the
+    voter.
+    """
+    return ("corrupted", honest_output)

@@ -1,0 +1,107 @@
+"""External voter (Section 3).
+
+The external entity (e.g. a fly-by-wire actuator controller) receives one
+output per computation channel and votes.  Two voters appear in the paper:
+
+* the plain **majority voter** of the 3m-channel Byzantine system in
+  Figure 1(a);
+* the **(m+u)-out-of-(2m+u)** voter of the degradable system in Figure
+  1(b) (footnote 2: the vote is the value supported by at least ``m + u``
+  of the ``2m + u`` outputs, and the default value otherwise).
+
+The voter's verdict is classified against the value the system *should*
+have produced: ``CORRECT`` enables forward recovery, ``DEFAULT`` enables a
+safe action or backward recovery, and ``INCORRECT`` is the unsafe case the
+degradable design exists to avoid.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+from repro.core.values import DEFAULT, Value, is_default
+from repro.core.vote import k_of_n_vote, majority
+from repro.exceptions import ConfigurationError
+
+NodeId = Hashable
+
+
+class VoteOutcome(enum.Enum):
+    """Safety classification of the voter's verdict."""
+
+    CORRECT = "correct"
+    DEFAULT = "default"
+    INCORRECT = "incorrect"
+
+
+@dataclass(frozen=True)
+class VoterVerdict:
+    value: Value
+    outcome: VoteOutcome
+
+    @property
+    def safe(self) -> bool:
+        """A verdict is safe unless it is an undetected wrong value."""
+        return self.outcome is not VoteOutcome.INCORRECT
+
+
+class ExternalVoter:
+    """``k``-out-of-``n`` voter as used by the degradable channel system."""
+
+    def __init__(self, k: int, n: int) -> None:
+        if not 1 <= k <= n:
+            raise ConfigurationError(f"need 1 <= k <= n, got k={k}, n={n}")
+        self.k = k
+        self.n = n
+
+    @classmethod
+    def for_degradable(cls, m: int, u: int) -> "ExternalVoter":
+        """The paper's ``(m+u)``-out-of-``(2m+u)`` configuration."""
+        return cls(k=m + u, n=2 * m + u)
+
+    def vote(self, outputs: Sequence[Value]) -> Value:
+        if len(outputs) != self.n:
+            raise ConfigurationError(
+                f"voter expects {self.n} channel outputs, got {len(outputs)}"
+            )
+        return k_of_n_vote(self.k, outputs)
+
+    def judge(self, outputs: Sequence[Value], expected: Value) -> VoterVerdict:
+        value = self.vote(outputs)
+        return VoterVerdict(value=value, outcome=_classify(value, expected))
+
+    def __repr__(self) -> str:
+        return f"ExternalVoter({self.k}-out-of-{self.n})"
+
+
+class MajorityVoter:
+    """Strict-majority voter of the Byzantine baseline system."""
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise ConfigurationError(f"need at least one channel, got {n}")
+        self.n = n
+
+    def vote(self, outputs: Sequence[Value]) -> Value:
+        if len(outputs) != self.n:
+            raise ConfigurationError(
+                f"voter expects {self.n} channel outputs, got {len(outputs)}"
+            )
+        return majority(outputs)
+
+    def judge(self, outputs: Sequence[Value], expected: Value) -> VoterVerdict:
+        value = self.vote(outputs)
+        return VoterVerdict(value=value, outcome=_classify(value, expected))
+
+    def __repr__(self) -> str:
+        return f"MajorityVoter(n={self.n})"
+
+
+def _classify(voted: Value, expected: Value) -> VoteOutcome:
+    if voted == expected:
+        return VoteOutcome.CORRECT
+    if is_default(voted):
+        return VoteOutcome.DEFAULT
+    return VoteOutcome.INCORRECT

@@ -1,0 +1,364 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Exposes the library's main entry points for interactive exploration:
+
+* ``table``        — the Section 2 minimum-node table;
+* ``tradeoff``     — maximal (m, u) configurations for a node budget;
+* ``run``          — execute one agreement instance with chosen faults;
+* ``scenarios``    — the Theorem 2 triple at / below the node bound;
+* ``connectivity`` — the Theorem 3 pair at / below the connectivity bound;
+* ``reliability``  — correct/safe/unsafe probabilities for a design;
+* ``complexity``   — cost comparison for surviving u faults;
+* ``search``       — exhaustive adversary search for 1/u instances;
+* ``mission``      — fly the Figure 1(b) channel system with transient faults.
+
+Every command prints plain text; exit status is 0 on success, 1 when an
+executed check fails (e.g. a violated agreement contract), 2 on usage
+errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.adversary_search import exhaustive_search
+from repro.analysis.charts import bar_chart, log_bar_chart
+from repro.analysis.complexity import byz_complexity, om_complexity
+from repro.analysis.lowerbounds import connectivity_scenarios, run_scenario_triple
+from repro.analysis.reliability import compare_configurations
+from repro.analysis.tables import (
+    render_table,
+    section2_min_nodes_table,
+    seven_node_tradeoff_table,
+)
+from repro.channels.recovery import MissionSimulator
+from repro.channels.system import DegradableChannelSystem
+from repro.core.behavior import (
+    BehaviorMap,
+    ConstantLiar,
+    LieAboutSender,
+    SilentBehavior,
+    TwoFacedBehavior,
+)
+from repro.core.byz import run_degradable_agreement
+from repro.core.conditions import classify
+from repro.core.spec import DegradableSpec
+from repro.exceptions import ReproError
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Degradable agreement (Vaidya, ICDCS 1993) toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table", help="Section 2 minimum-node table")
+
+    p = sub.add_parser("tradeoff", help="maximal (m,u) configs for a node budget")
+    p.add_argument("nodes", type=int)
+
+    p = sub.add_parser("run", help="execute one agreement instance")
+    p.add_argument("-m", type=int, required=True)
+    p.add_argument("-u", type=int, required=True)
+    p.add_argument("-n", "--nodes", type=int, default=None,
+                   help="node count (default 2m+u+1)")
+    p.add_argument("--value", default="alpha", help="sender's value")
+    p.add_argument("--faulty", default="",
+                   help="comma-separated faulty node ids (S, p1, p2, ...)")
+    p.add_argument("--adversary", default="lie",
+                   choices=["lie", "silent", "constant", "two-faced"])
+    p.add_argument("--verbose", action="store_true",
+                   help="narrate the full execution (messages and ballots)")
+
+    p = sub.add_parser("scenarios", help="Theorem 2 triple at and below the bound")
+    p.add_argument("-m", type=int, required=True)
+    p.add_argument("-u", type=int, required=True)
+
+    p = sub.add_parser("connectivity", help="Theorem 3 pair at and below the bound")
+    p.add_argument("-m", type=int, required=True)
+    p.add_argument("-u", type=int, required=True)
+
+    p = sub.add_parser("reliability", help="correct/safe/unsafe probabilities")
+    p.add_argument("nodes", type=int)
+    p.add_argument("-p", "--p-node", type=float, default=0.03)
+
+    p = sub.add_parser("complexity", help="cost of surviving u faults")
+    p.add_argument("-u", type=int, required=True)
+
+    p = sub.add_parser("search", help="exhaustive adversary search (m=1)")
+    p.add_argument("-u", type=int, required=True)
+    p.add_argument("--below", action="store_true",
+                   help="search one node below the bound instead")
+
+    p = sub.add_parser("mission", help="fly the Figure 1(b) channel system")
+    p.add_argument("--steps", type=int, default=300)
+    p.add_argument("-p", "--fault-probability", type=float, default=0.05)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser(
+        "report", help="regenerate every table/figure into one markdown report"
+    )
+    p.add_argument("-o", "--out", default="",
+                   help="write the report here (default: stdout)")
+    p.add_argument("--no-battery", action="store_true",
+                   help="skip the experiment battery header")
+
+    p = sub.add_parser(
+        "clocksync", help="evaluate the degradable clock-sync conjecture"
+    )
+    p.add_argument("-m", type=int, default=1)
+    p.add_argument("-u", type=int, default=2)
+    p.add_argument("-n", "--nodes", type=int, default=None)
+
+    p = sub.add_parser(
+        "suite", help="run a scenario suite (built-in golden set by default)"
+    )
+    p.add_argument("path", nargs="?", default="",
+                   help="JSON scenario-suite file; omit for the reference suite")
+    p.add_argument("--save", default="",
+                   help="write the reference suite JSON to this path and exit")
+
+    p = sub.add_parser(
+        "experiments", help="run the quick experiment battery (E1..E9)"
+    )
+    p.add_argument("--only", default="",
+                   help="comma-separated experiment ids (default: all)")
+    p.add_argument("--out", default="",
+                   help="write JSON results to this path")
+
+    return parser
+
+
+def _cmd_table(args) -> int:
+    print(section2_min_nodes_table())
+    return 0
+
+
+def _cmd_tradeoff(args) -> int:
+    print(seven_node_tradeoff_table(args.nodes))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    n = args.nodes if args.nodes is not None else 2 * args.m + args.u + 1
+    spec = DegradableSpec(m=args.m, u=args.u, n_nodes=n)
+    nodes = ["S"] + [f"p{k}" for k in range(1, n)]
+    faulty = {f for f in args.faulty.split(",") if f}
+    unknown = faulty - set(nodes)
+    if unknown:
+        print(f"unknown node ids: {sorted(unknown)}", file=sys.stderr)
+        return 2
+    behaviors: BehaviorMap = {}
+    for node in faulty:
+        if args.adversary == "lie":
+            behaviors[node] = LieAboutSender("forged", "S")
+        elif args.adversary == "silent":
+            behaviors[node] = SilentBehavior()
+        elif args.adversary == "constant":
+            behaviors[node] = ConstantLiar("forged")
+        else:
+            behaviors[node] = TwoFacedBehavior(
+                {p: ("x" if i % 2 else "y") for i, p in enumerate(nodes)}
+            )
+    if args.verbose:
+        from repro.core.narrate import narrate_execution
+
+        print(narrate_execution(
+            spec, nodes, "S", args.value, behaviors, faulty=faulty
+        ))
+        result = run_degradable_agreement(spec, nodes, "S", args.value, behaviors)
+        report = classify(result, faulty, spec)
+        return 0 if report.satisfied else 1
+    result = run_degradable_agreement(spec, nodes, "S", args.value, behaviors)
+    report = classify(result, faulty, spec)
+    print(f"{spec}; f={len(faulty)} ({report.regime} regime)")
+    for node in nodes[1:]:
+        marker = "x" if node in faulty else " "
+        print(f"  [{marker}] {node} -> {result.decisions[node]!r}")
+    print(f"shape: {report.shape.value}")
+    if report.satisfied:
+        print("contract: SATISFIED")
+        return 0
+    print("contract: VIOLATED")
+    for violation in report.violations:
+        print(f"  !! {violation}")
+    return 1
+
+
+def _cmd_scenarios(args) -> int:
+    below = run_scenario_triple(args.m, args.u, 2 * args.m + args.u)
+    above = run_scenario_triple(args.m, args.u, 2 * args.m + args.u + 1)
+    print(below.summary())
+    print(above.summary())
+    ok = (not below.all_satisfied) and above.all_satisfied
+    print(
+        "Theorem 2 witnessed: breaks below the bound, holds at it."
+        if ok
+        else "UNEXPECTED: Theorem 2 pattern not observed"
+    )
+    return 0 if ok else 1
+
+
+def _cmd_connectivity(args) -> int:
+    at = connectivity_scenarios(args.m, args.u, args.m + args.u + 1)
+    below = connectivity_scenarios(args.m, args.u, args.m + args.u)
+    print(f"connectivity {at.connectivity}: "
+          f"{'holds' if at.both_satisfied else 'BREAKS'}")
+    print(f"connectivity {below.connectivity}: "
+          f"{'breaks' if not below.both_satisfied else 'HOLDS (unexpected)'}")
+    ok = at.both_satisfied and not below.both_satisfied
+    return 0 if ok else 1
+
+
+def _cmd_reliability(args) -> int:
+    points = compare_configurations(args.nodes, args.p_node)
+    rows = [
+        [f"{p.m}/{p.u}", p.n_nodes, p.p_correct, p.p_safe_degraded, p.p_unsafe]
+        for p in points
+    ]
+    print(render_table(
+        ["config", "nodes", "P(correct)", "P(safe degraded)", "P(unsafe)"],
+        rows,
+        title=f"{args.nodes} nodes, per-node fault probability {args.p_node}",
+    ))
+    print("\nP(unsafe), log scale:")
+    print(log_bar_chart([(f"{p.m}/{p.u}", p.p_unsafe) for p in points]))
+    return 0
+
+
+def _cmd_complexity(args) -> int:
+    rows = []
+    om = om_complexity(args.u)
+    rows.append(["OM", om.n_nodes, om.rounds, om.messages])
+    for m in range(1, args.u + 1):
+        point = byz_complexity(m, args.u)
+        rows.append([f"BYZ(m={m})", point.n_nodes, point.rounds, point.messages])
+    print(render_table(
+        ["algorithm", "nodes", "rounds", "messages"],
+        rows,
+        title=f"Cost of surviving u={args.u} faults safely",
+    ))
+    print("\nmessages, log scale:")
+    print(log_bar_chart([(str(r[0]), float(r[3])) for r in rows], floor=1.0))
+    return 0
+
+
+def _cmd_search(args) -> int:
+    n = 2 + args.u + (0 if args.below else 1)
+    result = exhaustive_search(args.u, n, stop_at_first=args.below)
+    print(f"1/{args.u}-degradable at N={n}: "
+          f"{result.profiles_checked} adversary profiles checked")
+    if result.contract_unbreakable:
+        print("no violating adversary exists over the 3-symbol domain")
+        return 0 if not args.below else 1
+    witness = result.violations[0]
+    print(f"violation found: faulty={witness.faulty}")
+    for violation in witness.report.violations:
+        print(f"  {violation}")
+    return 1 if not args.below else 0
+
+
+def _cmd_mission(args) -> int:
+    system = DegradableChannelSystem(m=1, u=2, computation=lambda v: v * 2)
+    sim = MissionSimulator(
+        system,
+        fault_probability=args.fault_probability,
+        seed=args.seed,
+    )
+    stats = sim.run(args.steps, sender_value=21)
+    print(bar_chart([
+        ("forward", stats.forward),
+        ("recovered", stats.recovered),
+        ("safe stops", stats.safe_stops),
+        ("unsafe", stats.unsafe),
+    ], width=40))
+    print(f"availability {stats.availability:.3f}, safety {stats.safety:.3f}")
+    return 0 if stats.unsafe == 0 else 1
+
+
+def _cmd_report(args) -> int:
+    from repro.analysis.report import generate_report, write_report
+
+    if args.out:
+        write_report(args.out, include_battery=not args.no_battery)
+        print(f"report written to {args.out}")
+    else:
+        print(generate_report(include_battery=not args.no_battery))
+    return 0
+
+
+def _cmd_clocksync(args) -> int:
+    from repro.clocksync.evaluation import evaluate_conjecture
+
+    n = args.nodes if args.nodes is not None else 2 * args.m + args.u + 2
+    spec = DegradableSpec(m=args.m, u=args.u, n_nodes=n)
+    evaluation = evaluate_conjecture(spec)
+    print(evaluation.render())
+    return 0 if evaluation.all_hold else 1
+
+
+def _cmd_suite(args) -> int:
+    from repro.analysis.scenario import ScenarioSuite, reference_suite
+
+    if args.save:
+        reference_suite().save(args.save)
+        print(f"reference suite written to {args.save}")
+        return 0
+    suite = ScenarioSuite.load(args.path) if args.path else reference_suite()
+    runs = suite.run()
+    for run in runs:
+        status = "PASS" if run.ok else "FAIL"
+        print(f"[{status}] {run.scenario.name}: shape={run.report.shape.value}")
+        for violation in run.report.violations:
+            print(f"    !! {violation}")
+        for node, actual in run.mismatches.items():
+            print(f"    golden mismatch at {node}: got {actual!r}")
+    failures = [r for r in runs if not r.ok]
+    print(f"{len(runs) - len(failures)}/{len(runs)} scenarios passed")
+    return 0 if not failures else 1
+
+
+def _cmd_experiments(args) -> int:
+    from repro.analysis.runner import run_experiments, summarize, write_results
+
+    only = [e for e in args.only.split(",") if e] or None
+    results = run_experiments(only)
+    print(summarize(results))
+    if args.out:
+        write_results(results, args.out)
+        print(f"results written to {args.out}")
+    return 0 if all(r.passed for r in results) else 1
+
+
+_COMMANDS = {
+    "table": _cmd_table,
+    "tradeoff": _cmd_tradeoff,
+    "run": _cmd_run,
+    "scenarios": _cmd_scenarios,
+    "connectivity": _cmd_connectivity,
+    "reliability": _cmd_reliability,
+    "complexity": _cmd_complexity,
+    "search": _cmd_search,
+    "mission": _cmd_mission,
+    "report": _cmd_report,
+    "clocksync": _cmd_clocksync,
+    "suite": _cmd_suite,
+    "experiments": _cmd_experiments,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,63 @@
+"""Clock synchronization (Section 6 of the paper).
+
+Three approaches:
+
+* :mod:`repro.clocksync.convergence` — the classical interactive
+  convergence baseline (tolerates strictly under a third faulty clocks);
+* :mod:`repro.clocksync.degradable` — the paper's m/u-degradable clock
+  synchronization formulation, with an agreement-based candidate algorithm
+  for its (open) conjecture;
+* :mod:`repro.clocksync.witnesses` — the Section 6.2 hardware alternative:
+  extra witness clock units keep clock faults under a third even when
+  processor faults exceed it.
+"""
+
+from repro.clocksync.convergence import (
+    InteractiveConvergence,
+    SyncHistory,
+    SyncRoundReport,
+    max_tolerable_faults,
+)
+from repro.clocksync.degradable import (
+    ClockFaceBehavior,
+    DegradableClockSync,
+    DegradableSyncReport,
+    DegradableSyncRound,
+)
+from repro.clocksync.evaluation import (
+    ADVERSARY_FAMILIES,
+    ConjectureCell,
+    ConjectureEvaluation,
+    evaluate_conjecture,
+)
+from repro.clocksync.protocol import (
+    ClockFaceInjector,
+    ClockSyncProcess,
+    ProtocolConvergence,
+)
+from repro.clocksync.witnesses import (
+    WitnessedClockSystem,
+    WitnessedSystemReport,
+    witnesses_needed,
+)
+
+__all__ = [
+    "ADVERSARY_FAMILIES",
+    "ClockFaceBehavior",
+    "ConjectureCell",
+    "ConjectureEvaluation",
+    "evaluate_conjecture",
+    "ClockFaceInjector",
+    "ClockSyncProcess",
+    "ProtocolConvergence",
+    "DegradableClockSync",
+    "DegradableSyncReport",
+    "DegradableSyncRound",
+    "InteractiveConvergence",
+    "SyncHistory",
+    "SyncRoundReport",
+    "WitnessedClockSystem",
+    "WitnessedSystemReport",
+    "max_tolerable_faults",
+    "witnesses_needed",
+]

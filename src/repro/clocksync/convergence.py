@@ -1,0 +1,125 @@
+"""Interactive Convergence clock synchronization (baseline, Section 6).
+
+The classic software algorithm (Lamport & Melliar-Smith's CNV): at each
+resynchronization point every fault-free node reads all clocks, replaces any
+reading that differs from its own by more than ``delta`` with its own
+reading (the *egocentric* filter), and adjusts its clock to the average.
+
+Guarantee: with ``N`` clocks, fewer than ``N / 3`` faulty, initial skew at
+most ``delta`` and negligible drift between resyncs, fault-free clocks stay
+within roughly ``2 * delta * f / N`` of each other — and the skew contracts
+at every round.  With a third or more faulty clocks the algorithm can be
+defeated by two-faced clocks, which is the impossibility the paper cites
+([3], [5]) and the reason Section 6 proposes *degradable* synchronization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List
+
+from repro.exceptions import ConfigurationError
+from repro.sim.clock import ClockEnsemble
+
+NodeId = Hashable
+
+
+@dataclass
+class SyncRoundReport:
+    """State after one resynchronization."""
+
+    real_time: float
+    skew_before: float
+    skew_after: float
+    max_error_after: float
+    corrections: Dict[NodeId, float] = field(default_factory=dict)
+
+
+@dataclass
+class SyncHistory:
+    """Full record of a synchronization run."""
+
+    rounds: List[SyncRoundReport] = field(default_factory=list)
+
+    @property
+    def final_skew(self) -> float:
+        return self.rounds[-1].skew_after if self.rounds else 0.0
+
+    @property
+    def max_skew(self) -> float:
+        return max((r.skew_after for r in self.rounds), default=0.0)
+
+    def converged(self, bound: float) -> bool:
+        """True iff the fault-free skew stayed within *bound* every round."""
+        return all(r.skew_after <= bound for r in self.rounds)
+
+
+class InteractiveConvergence:
+    """The CNV algorithm over a :class:`ClockEnsemble`.
+
+    Parameters
+    ----------
+    ensemble:
+        Clocks (fault-free and faulty faces) of all nodes.
+    delta:
+        Egocentric filter window: readings farther than this from the
+        observer's own clock are replaced by the observer's own reading.
+    """
+
+    def __init__(self, ensemble: ClockEnsemble, delta: float) -> None:
+        if delta <= 0:
+            raise ConfigurationError(f"delta must be positive, got {delta}")
+        self.ensemble = ensemble
+        self.delta = delta
+
+    def resync(self, real_time: float) -> SyncRoundReport:
+        """Execute one synchronization round at *real_time*."""
+        ensemble = self.ensemble
+        skew_before = ensemble.skew(real_time)
+        corrections: Dict[NodeId, float] = {}
+        # All fault-free nodes compute their corrections from the same
+        # pre-adjustment snapshot, then apply them "simultaneously".
+        for observer in ensemble.fault_free:
+            own = ensemble.clocks[observer].read(real_time)
+            filtered: List[float] = []
+            for source in ensemble.nodes:
+                if source == observer:
+                    reading = own
+                else:
+                    reading = ensemble.read(source, observer, real_time)
+                if abs(reading - own) > self.delta:
+                    reading = own
+                filtered.append(reading)
+            corrections[observer] = sum(filtered) / len(filtered) - own
+        for observer, delta in corrections.items():
+            ensemble.clocks[observer].adjust(delta)
+        return SyncRoundReport(
+            real_time=real_time,
+            skew_before=skew_before,
+            skew_after=ensemble.skew(real_time),
+            max_error_after=ensemble.max_error(real_time),
+            corrections=corrections,
+        )
+
+    def run(
+        self,
+        period: float,
+        n_rounds: int,
+        start_time: float = 0.0,
+    ) -> SyncHistory:
+        """Resynchronize every *period* time units for *n_rounds* rounds."""
+        if period <= 0:
+            raise ConfigurationError(f"period must be positive, got {period}")
+        if n_rounds < 1:
+            raise ConfigurationError(f"n_rounds must be >= 1, got {n_rounds}")
+        history = SyncHistory()
+        for k in range(1, n_rounds + 1):
+            history.rounds.append(self.resync(start_time + k * period))
+        return history
+
+
+def max_tolerable_faults(n_clocks: int) -> int:
+    """Faults interactive convergence tolerates: strictly under a third."""
+    if n_clocks < 1:
+        raise ConfigurationError(f"need at least one clock, got {n_clocks}")
+    return (n_clocks - 1) // 3

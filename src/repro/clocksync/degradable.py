@@ -1,0 +1,257 @@
+"""m/u-degradable clock synchronization (Section 6.1).
+
+The paper *formulates* this problem and conjectures it is solvable with
+more than ``2m + u`` clocks; no algorithm is given.  We implement the
+natural construction the paper's own observation suggests — distribute
+every clock reading through m/u-degradable agreement, so that even past the
+``N/3`` barrier "at least ``m + 1`` fault-free nodes agree on the same
+value" — and test the conjecture empirically (experiment E7).
+
+Problem statement (verbatim structure from the paper):
+
+1. if at most ``m`` clocks are faulty, all fault-free clocks must be
+   synchronized and approximate real time;
+2. if more than ``m`` but at most ``u`` clocks are faulty, then either at
+   least ``m + 1`` fault-free clocks are synchronized and approximate real
+   time, or at least ``m + 1`` fault-free clocks detect the existence of
+   more than ``m`` faulty clocks.
+
+Our algorithm, per resynchronization round at each fault-free node ``i``:
+
+a. obtain every node ``j``'s clock reading via one m/u-degradable
+   agreement instance with ``j`` as sender (a two-faced faulty clock maps
+   to a two-faced agreement *sender*; agreement then bounds the damage:
+   with ``f <= u`` faults the fault-free receivers split over at most one
+   real value and ``V_d`` per sender);
+b. count *suspect* entries: agreements that yielded ``V_d`` plus readings
+   farther than ``delta`` from node ``i``'s own clock;
+c. if more than ``m`` entries are suspect, raise the **detection flag**
+   (sound: with ``f <= m`` faults at most ``m`` entries can be suspect,
+   because fault-free senders' readings are delivered exactly and lie
+   within ``delta``);
+d. otherwise adjust to the egocentric-filtered average, as in interactive
+   convergence.
+
+The experiments check conditions 1 and 2 against adversaries ranging from
+benign (wrong constant) to aggressive (two-faced, split-the-herd) — see
+``benchmarks/bench_clock_sync.py`` and EXPERIMENTS.md for the verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Set
+
+from repro.core.behavior import Behavior, BehaviorMap, Path
+from repro.core.byz import run_degradable_agreement
+from repro.core.spec import DegradableSpec
+from repro.core.values import Value, is_default
+from repro.exceptions import ConfigurationError
+from repro.sim.clock import ClockEnsemble
+
+NodeId = Hashable
+
+
+class ClockFaceBehavior(Behavior):
+    """Adapts a faulty node's clock *face* into an agreement behaviour.
+
+    When the faulty node acts as the sender of its own reading's agreement
+    instance, the value it "sends" to each receiver is whatever its clock
+    face shows that receiver.  In every other role it behaves honestly —
+    the experiments that want relaying faults too can compose behaviours.
+    """
+
+    def __init__(self, ensemble: ClockEnsemble, node: NodeId, real_time: float) -> None:
+        self.ensemble = ensemble
+        self.node = node
+        self.real_time = real_time
+
+    def send(self, path: Path, source: NodeId, destination: NodeId, honest_value: Value) -> Value:
+        if path == ():  # acting as the top-level sender of its own reading
+            return self.ensemble.read(self.node, destination, self.real_time)
+        return honest_value
+
+
+@dataclass
+class DegradableSyncRound:
+    """Per-round outcome of degradable clock synchronization."""
+
+    real_time: float
+    skew_before: float
+    skew_after: float
+    max_error_after: float
+    #: Fault-free nodes that raised the "more than m faulty" flag.
+    detectors: Set[NodeId] = field(default_factory=set)
+    #: Fault-free nodes that adjusted their clocks this round.
+    adjusters: Set[NodeId] = field(default_factory=set)
+
+
+@dataclass
+class DegradableSyncReport:
+    """Full run outcome plus the paper's condition checks."""
+
+    spec: DegradableSpec
+    n_faulty: int
+    rounds: List[DegradableSyncRound] = field(default_factory=list)
+
+    @property
+    def final(self) -> DegradableSyncRound:
+        if not self.rounds:
+            raise ConfigurationError("no rounds executed")
+        return self.rounds[-1]
+
+    def condition1_holds(self, skew_bound: float, error_bound: float) -> bool:
+        """All fault-free clocks synchronized and approximating real time."""
+        return all(
+            r.skew_after <= skew_bound and r.max_error_after <= error_bound
+            for r in self.rounds
+        )
+
+    def condition2_holds(
+        self,
+        ensemble: ClockEnsemble,
+        skew_bound: float,
+        error_bound: float,
+    ) -> bool:
+        """Either m+1 fault-free synced clocks, or m+1 fault-free detectors.
+
+        Checked on the final round state.
+        """
+        final = self.final
+        need = self.spec.m + 1
+        if len(final.detectors) >= need:
+            return True
+        synced = _largest_synced_group(
+            ensemble, final.real_time, skew_bound, error_bound
+        )
+        return len(synced) >= need
+
+
+class DegradableClockSync:
+    """The agreement-based synchronization algorithm described above."""
+
+    def __init__(
+        self,
+        ensemble: ClockEnsemble,
+        spec: DegradableSpec,
+        delta: float,
+        relay_behaviors: Optional[BehaviorMap] = None,
+    ) -> None:
+        if delta <= 0:
+            raise ConfigurationError(f"delta must be positive, got {delta}")
+        if len(ensemble.nodes) != spec.n_nodes:
+            raise ConfigurationError(
+                f"spec expects {spec.n_nodes} nodes, ensemble has "
+                f"{len(ensemble.nodes)}"
+            )
+        self.ensemble = ensemble
+        self.spec = spec
+        self.delta = delta
+        #: Additional Byzantine behaviour of faulty nodes when *relaying*
+        #: other nodes' readings (on top of lying about their own).
+        self.relay_behaviors = dict(relay_behaviors or {})
+
+    # ------------------------------------------------------------------
+    def resync(self, real_time: float) -> DegradableSyncRound:
+        ensemble = self.ensemble
+        nodes = ensemble.nodes
+        skew_before = ensemble.skew(real_time)
+
+        # One degradable-agreement instance per clock: vectors[i][j] is what
+        # fault-free node i concluded about node j's reading.
+        vectors: Dict[NodeId, Dict[NodeId, Value]] = {n: {} for n in nodes}
+        for sender in nodes:
+            behaviors: BehaviorMap = {}
+            for faulty in ensemble.faulty:
+                if faulty == sender:
+                    behaviors[faulty] = ClockFaceBehavior(
+                        ensemble, faulty, real_time
+                    )
+                elif faulty in self.relay_behaviors:
+                    behaviors[faulty] = self.relay_behaviors[faulty]
+            honest_reading = (
+                ensemble.clocks[sender].read(real_time)
+                if sender not in ensemble.faulty
+                else ensemble.read(sender, sender, real_time)
+            )
+            result = run_degradable_agreement(
+                self.spec, nodes, sender, honest_reading, behaviors
+            )
+            for node in nodes:
+                vectors[node][sender] = result.decision_of(node)
+
+        detectors: Set[NodeId] = set()
+        adjusters: Set[NodeId] = set()
+        corrections: Dict[NodeId, float] = {}
+        for observer in ensemble.fault_free:
+            own = ensemble.clocks[observer].read(real_time)
+            suspects = 0
+            filtered: List[float] = []
+            for source in nodes:
+                value = own if source == observer else vectors[observer][source]
+                if is_default(value) or not isinstance(value, (int, float)):
+                    suspects += 1
+                    filtered.append(own)
+                elif abs(value - own) > self.delta:
+                    suspects += 1
+                    filtered.append(own)
+                else:
+                    filtered.append(float(value))
+            if suspects > self.spec.m:
+                detectors.add(observer)
+            else:
+                corrections[observer] = sum(filtered) / len(filtered) - own
+                adjusters.add(observer)
+        for observer, correction in corrections.items():
+            ensemble.clocks[observer].adjust(correction)
+
+        return DegradableSyncRound(
+            real_time=real_time,
+            skew_before=skew_before,
+            skew_after=ensemble.skew(real_time),
+            max_error_after=ensemble.max_error(real_time),
+            detectors=detectors,
+            adjusters=adjusters,
+        )
+
+    def run(
+        self, period: float, n_rounds: int, start_time: float = 0.0
+    ) -> DegradableSyncReport:
+        if period <= 0:
+            raise ConfigurationError(f"period must be positive, got {period}")
+        report = DegradableSyncReport(
+            spec=self.spec, n_faulty=len(self.ensemble.faulty)
+        )
+        for k in range(1, n_rounds + 1):
+            report.rounds.append(self.resync(start_time + k * period))
+        return report
+
+
+def _largest_synced_group(
+    ensemble: ClockEnsemble,
+    real_time: float,
+    skew_bound: float,
+    error_bound: float,
+) -> List[NodeId]:
+    """Largest set of fault-free clocks mutually within *skew_bound* and
+    within *error_bound* of real time.
+
+    Readings are one-dimensional, so the largest mutually-close group is a
+    sliding window over the sorted readings.
+    """
+    candidates = [
+        (ensemble.clocks[n].read(real_time), n)
+        for n in ensemble.fault_free
+        if abs(ensemble.clocks[n].error(real_time)) <= error_bound
+    ]
+    candidates.sort(key=lambda pair: pair[0])
+    best: List[NodeId] = []
+    for lo in range(len(candidates)):
+        group = [
+            node
+            for reading, node in candidates[lo:]
+            if reading - candidates[lo][0] <= skew_bound
+        ]
+        if len(group) > len(best):
+            best = group
+    return best

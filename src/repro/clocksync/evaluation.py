@@ -1,0 +1,158 @@
+"""Systematic evaluation of the degradable clock-sync conjecture.
+
+Section 6.1 conjectures that m/u-degradable clock synchronization is
+achievable with more than ``2m + u`` clocks.  The library's candidate
+algorithm lives in :mod:`repro.clocksync.degradable`; this module is the
+harness that confronts it with a structured adversary grid and reports,
+per cell, whether the paper's two conditions held — the machinery behind
+benchmark E7 and the ``python -m repro clocksync`` command.
+
+The verdict is *evidence about the conjecture*, never a proof: a clean
+grid supports it, a failing cell would be a counterexample to the
+candidate algorithm (not necessarily to the conjecture).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.analysis.tables import render_table
+from repro.clocksync.degradable import DegradableClockSync
+from repro.core.spec import DegradableSpec
+from repro.exceptions import AnalysisError
+from repro.sim.clock import (
+    ClockEnsemble,
+    ClockFace,
+    ConstantFace,
+    SkewedFace,
+    TwoFacedClock,
+)
+
+#: Builds the k-th faulty clock face for an adversary family.
+FaceFactory = Callable[[int], ClockFace]
+
+#: The standard adversary families the conjecture is tested against.
+ADVERSARY_FAMILIES: Dict[str, FaceFactory] = {
+    "stuck": lambda k: ConstantFace(500.0 + k),
+    "fast": lambda k: SkewedFace(rate=2.0 + k),
+    "two-faced": lambda k: TwoFacedClock(
+        {"c0": 5.0 + k, "c1": -5.0 - k}, 9.0
+    ),
+    "split-herd": lambda k: TwoFacedClock(
+        {"c0": 0.2, "c1": 0.2, "c2": -0.2}, -0.2
+    ),
+    "subtle": lambda k: TwoFacedClock({}, fallback_offset=0.1 * (k + 1)),
+}
+
+
+@dataclass
+class ConjectureCell:
+    adversary: str
+    n_faulty: int
+    condition: int  # 1 or 2, per the paper's formulation
+    holds: bool
+    final_skew: float
+    detectors: int
+
+
+@dataclass
+class ConjectureEvaluation:
+    spec: DegradableSpec
+    skew_bound: float
+    error_bound: float
+    cells: List[ConjectureCell] = field(default_factory=list)
+
+    @property
+    def all_hold(self) -> bool:
+        return all(cell.holds for cell in self.cells)
+
+    @property
+    def counterexamples(self) -> List[ConjectureCell]:
+        return [cell for cell in self.cells if not cell.holds]
+
+    def render(self) -> str:
+        rows = [
+            [
+                cell.adversary,
+                cell.n_faulty,
+                cell.condition,
+                "holds" if cell.holds else "FAILS",
+                f"{cell.final_skew:.4f}",
+                cell.detectors,
+            ]
+            for cell in self.cells
+        ]
+        verdict = (
+            "every cell satisfies the Section 6.1 formulation — evidence "
+            "FOR the conjecture"
+            if self.all_hold
+            else f"{len(self.counterexamples)} cell(s) FAILED — the "
+            f"candidate algorithm is refuted on them"
+        )
+        return (
+            render_table(
+                ["adversary", "f", "condition", "verdict", "final skew",
+                 "detectors"],
+                rows,
+                title=f"Degradable clock sync conjecture grid ({self.spec})",
+            )
+            + "\n"
+            + verdict
+        )
+
+
+def evaluate_conjecture(
+    spec: DegradableSpec,
+    skew_bound: float = 0.25,
+    error_bound: float = 1.0,
+    n_rounds: int = 4,
+    period: float = 10.0,
+    families: Optional[Dict[str, FaceFactory]] = None,
+) -> ConjectureEvaluation:
+    """Run the full adversary-by-fault-count grid for one spec."""
+    if n_rounds < 1:
+        raise AnalysisError(f"n_rounds must be >= 1, got {n_rounds}")
+    families = dict(families or ADVERSARY_FAMILIES)
+    evaluation = ConjectureEvaluation(
+        spec=spec, skew_bound=skew_bound, error_bound=error_bound
+    )
+    for adversary, make_face in sorted(families.items()):
+        for f in range(spec.u + 1):
+            ensemble = _build_ensemble(spec.n_nodes - f, f, make_face)
+            sync = DegradableClockSync(ensemble, spec, delta=skew_bound)
+            report = sync.run(period=period, n_rounds=n_rounds)
+            if f <= spec.m:
+                condition = 1
+                holds = report.condition1_holds(skew_bound, error_bound)
+            else:
+                condition = 2
+                holds = report.condition2_holds(
+                    ensemble, skew_bound, error_bound
+                )
+            evaluation.cells.append(
+                ConjectureCell(
+                    adversary=adversary,
+                    n_faulty=f,
+                    condition=condition,
+                    holds=holds,
+                    final_skew=report.final.skew_after,
+                    detectors=len(report.final.detectors),
+                )
+            )
+    return evaluation
+
+
+def _build_ensemble(
+    n_good: int, n_faulty: int, make_face: FaceFactory
+) -> ClockEnsemble:
+    ensemble = ClockEnsemble()
+    for i in range(n_good):
+        ensemble.add_good(
+            f"c{i}",
+            drift=1e-5 * (i - n_good // 2),
+            offset=0.02 * i,
+        )
+    for k in range(n_faulty):
+        ensemble.add_faulty(f"bad{k}", make_face(k))
+    return ensemble

@@ -1,0 +1,171 @@
+"""Message-passing clock synchronization over the round engine.
+
+The functional algorithms in :mod:`repro.clocksync.convergence` and
+:mod:`repro.clocksync.degradable` read the clock matrix directly; this
+module runs interactive convergence as an *actual protocol*: every node
+broadcasts a :class:`~repro.sim.messages.ClockReadingPayload` through the
+synchronous engine, faulty nodes' readings are corrupted in flight by a
+dedicated injector (realizing two-faced clocks as two-faced *messages*),
+and each node computes its correction from the readings it received —
+substituting its own reading for absent ones, which doubles as the
+egocentric filter's treatment of crashed clocks.
+
+This exercises the full stack (engine delivery, per-destination
+corruption, absence detection) on a payload type the agreement protocols
+never use, and the tests cross-check its corrections against the
+functional implementation on identical inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.sim.clock import ClockEnsemble
+from repro.sim.engine import FaultInjector, SynchronousEngine
+from repro.sim.messages import ClockReadingPayload, Message
+from repro.sim.network import Topology
+from repro.sim.node import Process
+
+NodeId = Hashable
+
+
+class ClockFaceInjector(FaultInjector):
+    """Rewrites faulty nodes' clock-reading messages per destination.
+
+    The ensemble's :class:`~repro.sim.clock.ClockFace` decides what each
+    observer sees — exactly the power a malicious clock has.
+    """
+
+    def __init__(self, ensemble: ClockEnsemble, real_time: float) -> None:
+        self.ensemble = ensemble
+        self.real_time = real_time
+
+    def intercept(self, round_no: int, message: Message) -> List[Message]:
+        if message.source not in self.ensemble.faulty:
+            return [message]
+        if not isinstance(message.payload, ClockReadingPayload):
+            return [message]
+        shown = self.ensemble.read(
+            message.source, message.destination, self.real_time
+        )
+        return [
+            message.with_payload(
+                ClockReadingPayload(reading=shown, epoch=message.payload.epoch)
+            )
+        ]
+
+
+class ClockSyncProcess(Process):
+    """One node of the message-passing convergence protocol.
+
+    Round 1: broadcast the local reading.  Round 2: collect readings,
+    apply the egocentric filter (|reading - own| > delta, or absent,
+    counts as own), decide the correction.
+    """
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        all_nodes: Sequence[NodeId],
+        own_reading: float,
+        delta: float,
+        epoch: int = 0,
+    ) -> None:
+        super().__init__(node_id)
+        self.all_nodes = list(all_nodes)
+        self.own_reading = own_reading
+        self.delta = delta
+        self.epoch = epoch
+        self.received: Dict[NodeId, float] = {}
+
+    def step(self, round_no: int, inbox: Sequence[Message]) -> List[Message]:
+        if round_no == 1:
+            payload = ClockReadingPayload(
+                reading=self.own_reading, epoch=self.epoch
+            )
+            return [
+                self.send(dest, payload, round_no, tag="clock")
+                for dest in self.all_nodes
+                if dest != self.node_id
+            ]
+        if round_no == 2 and not self.decided:
+            for message in inbox:
+                payload = message.payload
+                if (
+                    isinstance(payload, ClockReadingPayload)
+                    and payload.epoch == self.epoch
+                ):
+                    self.received[message.source] = payload.reading
+            filtered: List[float] = []
+            for node in self.all_nodes:
+                if node == self.node_id:
+                    filtered.append(self.own_reading)
+                    continue
+                reading = self.received.get(node, self.own_reading)
+                if abs(reading - self.own_reading) > self.delta:
+                    reading = self.own_reading
+                filtered.append(reading)
+            self.decide(sum(filtered) / len(filtered) - self.own_reading)
+        return []
+
+
+class ProtocolConvergence:
+    """Interactive convergence where every exchange is a real message."""
+
+    def __init__(
+        self,
+        ensemble: ClockEnsemble,
+        delta: float,
+        topology: Optional[Topology] = None,
+    ) -> None:
+        if delta <= 0:
+            raise ConfigurationError(f"delta must be positive, got {delta}")
+        self.ensemble = ensemble
+        self.delta = delta
+        self.topology = topology or Topology.complete(ensemble.nodes)
+
+    def resync(self, real_time: float, epoch: int = 0) -> Dict[NodeId, float]:
+        """One protocol round; applies and returns per-node corrections."""
+        ensemble = self.ensemble
+        processes = [
+            ClockSyncProcess(
+                node_id=node,
+                all_nodes=ensemble.nodes,
+                own_reading=ensemble.clocks[node].read(real_time)
+                if node not in ensemble.faulty
+                else ensemble.read(node, node, real_time),
+                delta=self.delta,
+                epoch=epoch,
+            )
+            for node in ensemble.nodes
+        ]
+        engine = SynchronousEngine(
+            self.topology,
+            processes,
+            injectors=[ClockFaceInjector(ensemble, real_time)],
+            record_trace=False,
+        )
+        engine.run(3)
+        corrections: Dict[NodeId, float] = {}
+        for process in processes:
+            if process.node_id in ensemble.faulty:
+                continue
+            corrections[process.node_id] = process.decision
+            ensemble.clocks[process.node_id].adjust(process.decision)
+        return corrections
+
+    def run(
+        self, period: float, n_rounds: int, start_time: float = 0.0
+    ) -> List[float]:
+        """Resync repeatedly; returns the fault-free skew after each round."""
+        if period <= 0:
+            raise ConfigurationError(f"period must be positive, got {period}")
+        if n_rounds < 1:
+            raise ConfigurationError(f"n_rounds must be >= 1, got {n_rounds}")
+        skews: List[float] = []
+        for k in range(1, n_rounds + 1):
+            t = start_time + k * period
+            self.resync(t, epoch=k)
+            skews.append(self.ensemble.skew(t))
+        return skews

@@ -1,0 +1,138 @@
+"""Witness clocks (Section 6.2).
+
+The paper's pragmatic alternative to degradable clock synchronization:
+keep *clock* failures below a third by (i) assuming hardware clocks fail
+far less often than processors, and/or (ii) adding dedicated clock units —
+"witnesses", by analogy with Paris's replicated-file witnesses [8] — beyond
+the one attached to each processor.
+
+The construction here models a system of ``n_processors`` (running
+m/u-degradable agreement, so up to ``u`` *processor* faults) whose time
+base is an ensemble of ``n_processors + n_witnesses`` clock units kept
+together by interactive convergence.  As long as clock faults stay at or
+below ``max_clock_faults()`` — strictly under a third of the *clock*
+population — every fault-free processor reads synchronized time, even
+while more than a third of the processors are Byzantine.
+
+Example from the paper: the four-channel system of Figure 1(b) uses
+1/2-degradable agreement for the processors; two witness clocks raise the
+clock population to 7 so that two clock failures are tolerable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List
+
+from repro.clocksync.convergence import (
+    InteractiveConvergence,
+    SyncHistory,
+    max_tolerable_faults,
+)
+from repro.exceptions import ConfigurationError
+from repro.sim.clock import ClockEnsemble, ClockFace
+
+NodeId = Hashable
+
+
+def witnesses_needed(n_processors: int, clock_faults: int) -> int:
+    """Witness clocks needed so *clock_faults* failures stay under a third.
+
+    ``3 * clock_faults + 1`` total clocks are required; each processor
+    brings one, witnesses supply the rest.
+    """
+    if n_processors < 1:
+        raise ConfigurationError(f"need at least one processor, got {n_processors}")
+    if clock_faults < 0:
+        raise ConfigurationError(f"clock_faults must be >= 0, got {clock_faults}")
+    return max(0, 3 * clock_faults + 1 - n_processors)
+
+
+@dataclass
+class WitnessedSystemReport:
+    n_processors: int
+    n_witnesses: int
+    n_clock_faults: int
+    history: SyncHistory
+    #: reading each fault-free processor ends up with at the final resync
+    processor_times: Dict[NodeId, float] = None
+
+    @property
+    def clock_population(self) -> int:
+        return self.n_processors + self.n_witnesses
+
+    @property
+    def within_spec(self) -> bool:
+        """True iff the fault count respects the under-a-third clock bound."""
+        return self.n_clock_faults <= max_tolerable_faults(self.clock_population)
+
+
+class WitnessedClockSystem:
+    """Processors plus witness clock units synchronized by convergence.
+
+    Parameters
+    ----------
+    processors:
+        Processor node ids; each owns one clock unit with the same id.
+    n_witnesses:
+        Number of extra clock units (ids ``("witness", k)``).
+    delta:
+        Egocentric filter window for the convergence algorithm.
+    """
+
+    def __init__(
+        self,
+        processors: List[NodeId],
+        n_witnesses: int,
+        delta: float,
+    ) -> None:
+        if n_witnesses < 0:
+            raise ConfigurationError(f"n_witnesses must be >= 0, got {n_witnesses}")
+        self.processors = list(processors)
+        self.witnesses = [("witness", k) for k in range(n_witnesses)]
+        self.delta = delta
+        self.ensemble = ClockEnsemble()
+
+    # ------------------------------------------------------------------
+    # Population setup
+    # ------------------------------------------------------------------
+    def add_good_clock(self, unit: NodeId, drift: float = 0.0, offset: float = 0.0) -> None:
+        self.ensemble.add_good(unit, drift=drift, offset=offset)
+
+    def add_faulty_clock(self, unit: NodeId, face: ClockFace) -> None:
+        self.ensemble.add_faulty(unit, face)
+
+    @property
+    def clock_units(self) -> List[NodeId]:
+        return self.processors + self.witnesses
+
+    def missing_units(self) -> List[NodeId]:
+        return [u for u in self.clock_units if u not in self.ensemble.clocks]
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(
+        self, period: float, n_rounds: int, start_time: float = 0.0
+    ) -> WitnessedSystemReport:
+        missing = self.missing_units()
+        if missing:
+            raise ConfigurationError(
+                f"clock units without a clock: {missing!r}; add good or "
+                f"faulty clocks for every processor and witness first"
+            )
+        algorithm = InteractiveConvergence(self.ensemble, self.delta)
+        history = algorithm.run(period, n_rounds, start_time=start_time)
+        final_time = start_time + n_rounds * period
+        processor_times = {
+            p: self.ensemble.clocks[p].read(final_time)
+            for p in self.processors
+            if p not in self.ensemble.faulty
+        }
+        return WitnessedSystemReport(
+            n_processors=len(self.processors),
+            n_witnesses=len(self.witnesses),
+            n_clock_faults=len(self.ensemble.faulty),
+            history=history,
+            processor_times=processor_times,
+        )

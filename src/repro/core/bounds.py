@@ -1,0 +1,117 @@
+"""Resource bounds for m/u-degradable agreement (Section 2 and Section 5).
+
+Pure functions computing the paper's bounds plus enumeration helpers used to
+regenerate the Section 2 table ("minimum number of nodes necessary for
+different values of m and u") and the seven-node trade-off example.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.exceptions import AnalysisError
+
+
+def min_nodes(m: int, u: int) -> int:
+    """Minimum node count for m/u-degradable agreement: ``2m + u + 1``.
+
+    Theorem 2 proves necessity; Theorem 1 (algorithm BYZ) proves
+    sufficiency.  With ``m = u`` this reduces to Lamport's ``3m + 1``.
+    """
+    _check_params(m, u)
+    return 2 * m + u + 1
+
+
+def min_connectivity(m: int, u: int) -> int:
+    """Minimum network connectivity: ``m + u + 1`` (Theorem 3).
+
+    With ``m = u`` this reduces to the classic ``2m + 1`` connectivity bound
+    for Byzantine agreement.
+    """
+    _check_params(m, u)
+    return m + u + 1
+
+
+def max_u(m: int, n_nodes: int) -> int:
+    """Largest ``u`` achievable with ``n_nodes`` nodes for a given ``m``.
+
+    From ``N >= 2m + u + 1``: ``u <= N - 2m - 1``.  Raises
+    :class:`AnalysisError` when even ``u = m`` does not fit (i.e. when
+    ``n_nodes < 3m + 1``).
+    """
+    _check_params(m, m)
+    u = n_nodes - 2 * m - 1
+    if u < m:
+        raise AnalysisError(
+            f"{n_nodes} nodes cannot support m={m}: need at least {3 * m + 1}"
+        )
+    return u
+
+
+def max_byzantine_faults(n_nodes: int) -> int:
+    """Classic bound: largest ``m`` with full agreement, ``floor((N-1)/3)``."""
+    if n_nodes < 1:
+        raise AnalysisError(f"need at least one node, got {n_nodes}")
+    return (n_nodes - 1) // 3
+
+
+def feasible(m: int, u: int, n_nodes: int) -> bool:
+    """True iff m/u-degradable agreement is achievable with ``n_nodes``."""
+    if m < 0 or u < m:
+        return False
+    return n_nodes >= min_nodes(m, u)
+
+
+def configurations(n_nodes: int) -> Iterator[Tuple[int, int]]:
+    """Yield every maximal (m, u) configuration a system of ``n_nodes`` supports.
+
+    For each feasible ``m`` (``0 <= m <= (N-1)/3``) the *largest* ``u`` is
+    reported, mirroring the paper's seven-node example: 7 nodes support
+    2/2-, 1/4- and 0/6-degradable agreement.
+    """
+    if n_nodes < 1:
+        raise AnalysisError(f"need at least one node, got {n_nodes}")
+    for m in range(max_byzantine_faults(n_nodes), -1, -1):
+        u = n_nodes - 2 * m - 1
+        if u >= m:
+            yield (m, u)
+
+
+def min_nodes_table(
+    m_values: Optional[List[int]] = None, u_values: Optional[List[int]] = None
+) -> List[List[Optional[int]]]:
+    """Regenerate the Section 2 table of minimum node counts.
+
+    Rows are indexed by ``u`` and columns by ``m``; entries with ``u < m``
+    are ``None`` (the paper marks them with a dash).  Defaults reproduce the
+    published grid ``m in 0..3``, ``u in 0..6``.
+    """
+    if m_values is None:
+        m_values = [0, 1, 2, 3]
+    if u_values is None:
+        u_values = [0, 1, 2, 3, 4, 5, 6]
+    table: List[List[Optional[int]]] = []
+    for u in u_values:
+        row: List[Optional[int]] = []
+        for m in m_values:
+            row.append(min_nodes(m, u) if u >= m else None)
+        table.append(row)
+    return table
+
+
+def trade_off_curve(n_nodes: int) -> List[Tuple[int, int]]:
+    """The m-vs-u frontier for a fixed node budget, as a sorted list.
+
+    Each entry ``(m, u)`` is a maximal configuration; decreasing ``m`` by one
+    buys two additional units of ``u`` (since ``u = N - 2m - 1``), which is
+    the "trade-off between Byzantine agreement and degraded agreement" the
+    paper highlights.
+    """
+    return sorted(configurations(n_nodes))
+
+
+def _check_params(m: int, u: int) -> None:
+    if m < 0:
+        raise AnalysisError(f"m must be non-negative, got {m}")
+    if u < m:
+        raise AnalysisError(f"u must satisfy u >= m, got m={m}, u={u}")

@@ -1,0 +1,88 @@
+"""Dolev's Crusader Agreement — the second baseline (Dolev 1982).
+
+Crusader agreement weakens Byzantine agreement: with at most ``f`` faulty
+nodes out of ``n > 3f``,
+
+* (CR.1) if the sender is fault-free, every fault-free receiver agrees on
+  the sender's value;
+* (CR.2) if the sender is faulty, every fault-free receiver either agrees
+  on one common value or *detects* that the sender is faulty (here: decides
+  the default value ``V_d``).
+
+The paper cites Crusader agreement as the "seemingly weaker" prior notion;
+degradable agreement generalizes the same two-class idea across a *range*
+of fault counts.  Structurally, the algorithm below is exactly
+``BYZ(1, f)``: one direct round, one echo round, and the threshold vote
+``VOTE(n - 1 - f, n - 1)``.
+
+Uniqueness argument for CR.2 (n > 3f): if fault-free receivers i and i'
+decided distinct non-default values v and v', each saw at least ``n-1-f``
+ballots for its value; since a faulty sender leaves at most ``f-1`` faulty
+receivers, at least ``n-2f`` *fault-free* receivers hold v — and those
+honest echoes reach i' too, so ``(n-2f) + (n-1-f) <= n-1`` forces
+``n <= 3f``, a contradiction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional, Sequence
+
+from repro.core.behavior import BehaviorMap
+from repro.core.byz import AgreementResult, _Execution, _byz_base
+from repro.core.values import Value
+from repro.exceptions import ConfigurationError
+
+NodeId = Hashable
+
+
+def run_crusader(
+    f: int,
+    nodes: Sequence[NodeId],
+    sender: NodeId,
+    sender_value: Value,
+    behaviors: Optional[BehaviorMap] = None,
+    require_quorum: bool = True,
+) -> AgreementResult:
+    """Execute Crusader agreement tolerating *f* faults.
+
+    Parameters mirror :func:`repro.core.byz.run_degradable_agreement`.
+    With ``require_quorum`` (default) the node count must exceed ``3f``.
+    """
+    node_list = list(nodes)
+    if len(set(node_list)) != len(node_list):
+        raise ConfigurationError("duplicate node identifiers")
+    if sender not in node_list:
+        raise ConfigurationError(f"sender {sender!r} is not among the nodes")
+    if f < 0:
+        raise ConfigurationError(f"f must be non-negative, got {f}")
+    if require_quorum and len(node_list) <= 3 * f:
+        raise ConfigurationError(
+            f"Crusader agreement with f={f} needs more than {3 * f} nodes, "
+            f"got {len(node_list)}"
+        )
+
+    receivers = tuple(p for p in node_list if p != sender)
+    n = len(node_list)
+    ctx = _Execution(threshold_m=f, behaviors=behaviors)
+    direct: Dict[NodeId, Value] = {
+        r: ctx.transmit((), sender, r, sender_value) for r in receivers
+    }
+    decisions = _byz_base(
+        receivers=receivers,
+        sender=sender,
+        direct=direct,
+        path=(),
+        threshold=n - 1 - f,
+        ctx=ctx,
+    )
+    ctx.stats.rounds = 2
+    return AgreementResult(
+        decisions=decisions, sender=sender, sender_value=sender_value, stats=ctx.stats
+    )
+
+
+def crusader_message_count(n_nodes: int) -> int:
+    """Messages Crusader agreement exchanges: direct + full echo round."""
+    if n_nodes < 2:
+        return 0
+    return (n_nodes - 1) + (n_nodes - 1) * (n_nodes - 2)

@@ -1,0 +1,145 @@
+"""Fault detection from degradable-agreement outcomes.
+
+Degradable agreement turns fault *masking* into fault *evidence*: within
+the full-agreement band (``f <= m``) a fault-free sender's instance can
+never resolve to ``V_d`` at a fault-free receiver (condition D.1), so
+every defaulted instance a node observes is attributable to a faulty
+sender — of which there are at most ``m``.  Hence the sound detector:
+
+    **observing more than m defaulted instances implies f > m.**
+
+This is exactly the primitive Section 6.1's degradable clock
+synchronization needs ("at least m + 1 fault-free nodes detect the
+existence of more than m faulty clocks"), extracted into a reusable module
+with its soundness property pinned by exhaustive tests.
+
+Two layers:
+
+* :class:`FaultCountDetector` — the sound "more than m faulty" flag, from
+  one node's observations of a batch of agreement instances (one per
+  sender);
+* :class:`SuspectTracker` — best-effort *identification*: which senders'
+  instances defaulted.  Identification is inherently heuristic in the
+  degraded band: with ``f > m``, fault-free senders can legitimately
+  default at some receivers (they are victims, not culprits), so suspects
+  are documented as "faulty OR victimized", never as a verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import AbstractSet, Dict, Hashable, List, Optional, Set
+
+from repro.core.spec import DegradableSpec
+from repro.core.values import Value, is_default
+from repro.exceptions import ConfigurationError
+
+NodeId = Hashable
+
+
+@dataclass
+class FaultCountDetector:
+    """Sound detector for "more than m nodes are faulty", at one observer.
+
+    Feed it the observer's decision for each sender's agreement instance
+    (one instance per sender per round of observations).  The flag
+    :attr:`detected` is **sound**: it can only be raised when the true
+    fault count exceeds ``m`` — never by at most ``m`` faults, however
+    adversarial (see ``tests/core/test_detection.py`` for the exhaustive
+    check).  It is not *complete*: adversaries that avoid defaults go
+    undetected (they are then bounded by the agreement guarantees instead).
+    """
+
+    spec: DegradableSpec
+    observer: NodeId
+    #: senders whose instance defaulted at this observer, this batch
+    defaulted: Set[NodeId] = field(default_factory=set)
+    observed: Set[NodeId] = field(default_factory=set)
+
+    def observe(self, sender: NodeId, decision: Value) -> None:
+        """Record the observer's decision for *sender*'s instance."""
+        if sender in self.observed:
+            raise ConfigurationError(
+                f"duplicate observation for sender {sender!r}; call reset() "
+                f"between batches"
+            )
+        self.observed.add(sender)
+        if is_default(decision):
+            self.defaulted.add(sender)
+
+    @property
+    def evidence(self) -> int:
+        """Number of defaulted instances observed so far."""
+        return len(self.defaulted)
+
+    @property
+    def detected(self) -> bool:
+        """True iff the evidence proves more than ``m`` faults."""
+        return self.evidence > self.spec.m
+
+    def reset(self) -> None:
+        self.defaulted.clear()
+        self.observed.clear()
+
+
+@dataclass
+class SuspectTracker:
+    """Accumulates per-sender default evidence across observation batches.
+
+    ``suspects()`` returns senders whose instances defaulted at least
+    ``threshold`` times.  Interpretation discipline:
+
+    * with ``f <= m`` (full band): every suspect **is** faulty (D.1 makes
+      fault-free senders undefaultable);
+    * with ``m < f <= u`` (degraded band): a suspect is *faulty or a
+      victim* — conditions D.3/D.4 allow fault-free senders' instances to
+      default at some receivers.  Use suspects to prioritize repair /
+      re-test, never to excommunicate.
+    """
+
+    spec: DegradableSpec
+    counts: Dict[NodeId, int] = field(default_factory=dict)
+    batches: int = 0
+
+    def ingest(self, detector: FaultCountDetector) -> None:
+        """Fold one batch of observations in."""
+        self.batches += 1
+        for sender in detector.defaulted:
+            self.counts[sender] = self.counts.get(sender, 0) + 1
+
+    def suspects(self, threshold: int = 1) -> List[NodeId]:
+        if threshold < 1:
+            raise ConfigurationError(f"threshold must be >= 1, got {threshold}")
+        return sorted(
+            (node for node, count in self.counts.items() if count >= threshold),
+            key=str,
+        )
+
+    def persistent_suspects(self) -> List[NodeId]:
+        """Senders that defaulted in *every* batch so far."""
+        if self.batches == 0:
+            return []
+        return self.suspects(threshold=self.batches)
+
+
+def quorum_detection(
+    detectors: Dict[NodeId, FaultCountDetector],
+    fault_free: Optional[AbstractSet[NodeId]] = None,
+) -> bool:
+    """The Section 6.1 quorum condition: do at least ``m + 1`` (fault-free)
+    observers detect more than ``m`` faults?
+
+    Pass *fault_free* in experiments where ground truth is known; omit it
+    to evaluate the condition over all observers (what a deployed system
+    can actually compute — sound either way, since faulty observers
+    claiming detection only matter when counted, and the experiments count
+    fault-free ones).
+    """
+    if not detectors:
+        return False
+    observers = detectors.values()
+    if fault_free is not None:
+        observers = [d for d in observers if d.observer in fault_free]
+    some = next(iter(detectors.values()))
+    needed = some.spec.m + 1
+    return sum(1 for d in observers if d.detected) >= needed

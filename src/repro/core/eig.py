@@ -1,0 +1,194 @@
+"""Exponential Information Gathering (EIG) tree for algorithm BYZ.
+
+The message-passing implementation of BYZ(m, m) runs ``m + 1`` synchronous
+rounds.  Every value a node learns is labelled by the *path* of senders it
+travelled through: the direct value from the top-level sender ``s`` has path
+``(s,)``; the value receiver ``j`` relayed about it has path ``(s, j)``; and
+so on.  After the final round each node holds one value per path, organized
+as a tree, and computes its decision by folding the tree bottom-up with the
+paper's threshold vote.
+
+Resolve rule (derived from the recursive definition in Section 4 — see the
+module docstring of :mod:`repro.core.byz`): for a system of ``N`` nodes with
+global parameter ``m``, at node ``i``,
+
+* a *leaf* path (length ``m + 1``, or 2 when ``m = 0``) resolves to the
+  stored value;
+* an internal path ``pi`` resolves to ``VOTE(n_pi - 1 - m, n_pi - 1)`` over
+  the stored value for ``pi`` itself (node i's "own" ballot ``w_i``) plus
+  the resolved values of the children ``pi + (j,)`` for every node ``j``
+  outside ``pi`` and different from ``i``, where ``n_pi = N - len(pi) + 1``
+  is the number of participants of the sub-protocol that ``pi`` names.
+
+The same tree, folded with a majority vote instead, implements Lamport's
+OM(m) — the resolver is pluggable for exactly that reason.
+
+Missing values (messages that never arrived) are stored as the default
+value ``V_d``, matching the paper's assumption that message absence is
+detected.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Iterable, Iterator, List, Sequence, Tuple
+
+from repro.core.values import DEFAULT, Value
+from repro.core.vote import majority, vote
+from repro.exceptions import ProtocolError
+
+NodeId = Hashable
+PathT = Tuple[NodeId, ...]
+
+#: A resolver takes (threshold, ballots) and returns the voted value.
+Resolver = Callable[[int, Sequence[Value]], Value]
+
+
+def byz_resolver(threshold: int, ballots: Sequence[Value]) -> Value:
+    """The paper's ``VOTE(alpha, beta)`` as an EIG resolver."""
+    return vote(threshold, ballots)
+
+
+def majority_resolver(threshold: int, ballots: Sequence[Value]) -> Value:
+    """Strict-majority resolver (ignores the threshold) — yields OM(m)."""
+    return majority(ballots)
+
+
+class EIGTree:
+    """Per-node store of path-labelled values plus the resolve fold.
+
+    Parameters
+    ----------
+    owner:
+        The node this tree belongs to (its id never appears inside stored
+        paths: nobody relays a value *to* a node through that same node).
+    all_nodes:
+        Every node id in the system, sender included.
+    depth:
+        Maximum path length, i.e. number of message rounds
+        (``m + 1``, or 2 for ``m = 0``).
+    """
+
+    def __init__(self, owner: NodeId, all_nodes: Sequence[NodeId], depth: int) -> None:
+        if depth < 1:
+            raise ProtocolError(f"EIG depth must be >= 1, got {depth}")
+        self.owner = owner
+        self.all_nodes: Tuple[NodeId, ...] = tuple(all_nodes)
+        if owner not in self.all_nodes:
+            raise ProtocolError(f"owner {owner!r} not among nodes")
+        self.n_total = len(self.all_nodes)
+        self.depth = depth
+        self._values: Dict[PathT, Value] = {}
+
+    # ------------------------------------------------------------------
+    # Storage
+    # ------------------------------------------------------------------
+    def store(self, path: PathT, value: Value) -> None:
+        """Record the value received for *path* (overwrites silently)."""
+        self._validate_path(path)
+        self._values[path] = value
+
+    def value(self, path: PathT) -> Value:
+        """Stored value for *path*; ``V_d`` when nothing arrived."""
+        return self._values.get(path, DEFAULT)
+
+    def has(self, path: PathT) -> bool:
+        return path in self._values
+
+    def stored_paths(self, length: int) -> List[PathT]:
+        """All stored paths of the given length, in deterministic order."""
+        return sorted(
+            (p for p in self._values if len(p) == length),
+            key=lambda p: tuple(str(x) for x in p),
+        )
+
+    def _validate_path(self, path: PathT) -> None:
+        if not path:
+            raise ProtocolError("EIG path must be non-empty")
+        if len(path) > self.depth:
+            raise ProtocolError(
+                f"EIG path {path!r} longer than tree depth {self.depth}"
+            )
+        if len(set(path)) != len(path):
+            raise ProtocolError(f"EIG path {path!r} repeats a node")
+        if self.owner in path:
+            raise ProtocolError(
+                f"EIG path {path!r} contains the tree owner {self.owner!r}"
+            )
+        unknown = [p for p in path if p not in self.all_nodes]
+        if unknown:
+            raise ProtocolError(f"EIG path contains unknown nodes {unknown!r}")
+
+    # ------------------------------------------------------------------
+    # Path enumeration (used to know which messages to expect / relay)
+    # ------------------------------------------------------------------
+    def expected_paths(self, length: int, root: NodeId) -> Iterator[PathT]:
+        """Every path of the given length starting at *root* that this tree
+        could legitimately receive (distinct nodes, owner excluded)."""
+        if length < 1 or length > self.depth:
+            return
+        yield from self._extend((root,), length)
+
+    def _extend(self, prefix: PathT, length: int) -> Iterator[PathT]:
+        if self.owner in prefix:
+            return
+        if len(prefix) == length:
+            yield prefix
+            return
+        for node in self.all_nodes:
+            if node in prefix or node == self.owner:
+                continue
+            yield from self._extend(prefix + (node,), length)
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+    def resolve(
+        self, root: NodeId, m: int, resolver: Resolver = byz_resolver
+    ) -> Value:
+        """Fold the tree rooted at ``(root,)`` into this node's decision."""
+        return self._resolve_path((root,), m, resolver)
+
+    def _resolve_path(self, path: PathT, m: int, resolver: Resolver) -> Value:
+        if len(path) >= self.depth:
+            return self.value(path)
+        n_pi = self.n_total - len(path) + 1
+        threshold = n_pi - 1 - m
+        if threshold <= 0:
+            raise ProtocolError(
+                f"non-positive vote threshold at path {path!r}: n_pi={n_pi}, m={m}"
+            )
+        ballots: List[Value] = [self.value(path)]
+        for child in self.all_nodes:
+            if child in path or child == self.owner:
+                continue
+            ballots.append(self._resolve_path(path + (child,), m, resolver))
+        if len(ballots) != n_pi - 1:
+            raise ProtocolError(
+                f"ballot count mismatch at {path!r}: got {len(ballots)}, "
+                f"expected {n_pi - 1}"
+            )
+        return resolver(threshold, ballots)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def items(self) -> Iterable[Tuple[PathT, Value]]:
+        return self._values.items()
+
+
+def expected_path_count(n_nodes: int, depth: int) -> int:
+    """Number of paths an EIG tree holds when fully populated.
+
+    ``sum over r in 1..depth of (n-1)(n-2)...(n-r)`` from the perspective of
+    one receiver (paths avoid the owner).
+    """
+    total = 0
+    for length in range(1, depth + 1):
+        term = 1
+        for k in range(length):
+            term *= n_nodes - 1 - k
+        total += term
+    return total

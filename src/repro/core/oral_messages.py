@@ -1,0 +1,121 @@
+"""Lamport's Oral Messages algorithm OM(m) — the classic baseline.
+
+Implemented with the same behaviour-driven execution model as
+:mod:`repro.core.byz` so the two algorithms can be compared message for
+message.  Differences from BYZ(m, m):
+
+* the final (and every recursive) vote is a **strict majority** rather than
+  the threshold vote ``VOTE(n - 1 - m, n - 1)``;
+* ``OM(0)`` is a single direct round (no echo);
+* correctness requires ``N > 3m`` and guarantees nothing for ``f > m`` —
+  which is precisely the gap degradable agreement fills.
+
+When no majority exists, the receiver adopts the default value ``V_d`` so
+that outcomes are directly comparable with BYZ.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional, Sequence, Tuple
+
+from repro.core.behavior import BehaviorMap, Path
+from repro.core.byz import AgreementResult, _Execution
+from repro.core.values import Value
+from repro.core.vote import majority
+from repro.exceptions import ConfigurationError
+
+NodeId = Hashable
+
+
+def run_oral_messages(
+    m: int,
+    nodes: Sequence[NodeId],
+    sender: NodeId,
+    sender_value: Value,
+    behaviors: Optional[BehaviorMap] = None,
+    require_quorum: bool = True,
+) -> AgreementResult:
+    """Execute OM(m) and return every receiver's decision.
+
+    Parameters
+    ----------
+    m:
+        Fault bound: number of traitors tolerated.
+    nodes:
+        All node identifiers, sender included.
+    sender:
+        The commanding general.
+    sender_value:
+        Its order.
+    behaviors:
+        Behaviours of faulty nodes (absent = fault-free).
+    require_quorum:
+        When true (default), raise if ``len(nodes) <= 3m`` — the regime in
+        which OM(m) is known to fail.  The violation experiments pass
+        ``False`` to demonstrate exactly that failure.
+    """
+    node_list = list(nodes)
+    if len(set(node_list)) != len(node_list):
+        raise ConfigurationError("duplicate node identifiers")
+    if sender not in node_list:
+        raise ConfigurationError(f"sender {sender!r} is not among the nodes")
+    if m < 0:
+        raise ConfigurationError(f"m must be non-negative, got {m}")
+    if require_quorum and len(node_list) <= 3 * m:
+        raise ConfigurationError(
+            f"OM({m}) needs more than {3 * m} nodes, got {len(node_list)}"
+        )
+
+    ctx = _Execution(threshold_m=m, behaviors=behaviors)
+    decisions = _om(m, tuple(node_list), sender, sender_value, (), ctx)
+    ctx.stats.rounds = m + 1
+    return AgreementResult(
+        decisions=decisions, sender=sender, sender_value=sender_value, stats=ctx.stats
+    )
+
+
+def _om(
+    t: int,
+    nodes: Tuple[NodeId, ...],
+    sender: NodeId,
+    held_value: Value,
+    path: Path,
+    ctx: _Execution,
+) -> Dict[NodeId, Value]:
+    receivers = tuple(p for p in nodes if p != sender)
+    direct: Dict[NodeId, Value] = {
+        r: ctx.transmit(path, sender, r, held_value) for r in receivers
+    }
+    if t == 0:
+        # OM(0): every receiver simply adopts the value it received.
+        return dict(direct)
+
+    sub_path = path + (sender,)
+    sub: Dict[NodeId, Dict[NodeId, Value]] = {
+        j: _om(t - 1, receivers, j, direct[j], sub_path, ctx) for j in receivers
+    }
+    decisions: Dict[NodeId, Value] = {}
+    for i in receivers:
+        ballots = [direct[i] if j == i else sub[j][i] for j in receivers]
+        ctx.stats.votes += 1
+        decisions[i] = majority(ballots)
+    return decisions
+
+
+def om_message_count(n_nodes: int, m: int) -> int:
+    """Messages OM(m) exchanges with ``n_nodes`` nodes.
+
+    Recurrence::
+
+        M(n, 0) = n - 1
+        M(n, t) = (n - 1) + (n - 1) * M(n - 1, t - 1)
+    """
+    if n_nodes < 2:
+        return 0
+
+    def rec(n: int, t: int) -> int:
+        if t == 0:
+            return n - 1
+        return (n - 1) + (n - 1) * rec(n - 1, t - 1)
+
+    return rec(n_nodes, m)

@@ -1,0 +1,254 @@
+"""Message-passing implementation of algorithm BYZ (and OM) on the simulator.
+
+While :mod:`repro.core.byz` executes the recursion directly, this module
+runs the *actual distributed protocol*: ``m + 1`` synchronous communication
+rounds of relay messages over a :class:`~repro.sim.network.Topology`,
+followed by the EIG resolve.  Fault-free nodes here genuinely only see their
+own inboxes; Byzantine corruption happens in flight via
+:class:`~repro.sim.faults.ByzantineRelayInjector`, driven by the same
+behaviour objects as the functional oracle — which is what makes exact
+differential testing between the two implementations possible.
+
+Round structure (engine rounds; ``R = spec.rounds``):
+
+* round 1 — the sender emits the direct wave (paths of length 1) and
+  decides its own value;
+* rounds ``2 .. R`` — every receiver ingests the previous wave into its EIG
+  tree (substituting ``V_d`` for expected-but-absent messages, per model
+  assumption (b)) and relays it with its own id appended;
+* round ``R + 1`` — receivers ingest the final wave and decide by folding
+  their EIG tree.
+
+The protocol assumes full connectivity (as the paper does for algorithm
+BYZ).  For sparse topologies, wrap the engine with the disjoint-path relay
+layer from :mod:`repro.sim.routing`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.core.behavior import BehaviorMap
+from repro.core.byz import AgreementResult, ExecutionStats
+from repro.core.eig import EIGTree, Resolver, byz_resolver, majority_resolver
+from repro.core.spec import DegradableSpec
+from repro.core.values import DEFAULT, Value
+from repro.exceptions import ConfigurationError, ProtocolError
+from repro.sim.engine import FaultInjector, SynchronousEngine
+from repro.sim.faults import behavior_injectors
+from repro.sim.messages import Message, RelayPayload
+from repro.sim.network import Topology
+from repro.sim.node import Process
+
+NodeId = Hashable
+
+
+class AgreementProcess(Process):
+    """One node of the EIG-based agreement protocol.
+
+    Parameterized by EIG depth and resolver so the same machinery yields
+    algorithm BYZ (threshold vote, depth ``max(m,1)+1``) and Lamport's OM
+    (majority vote, depth ``m+1``).
+    """
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        all_nodes: Sequence[NodeId],
+        sender: NodeId,
+        m: int,
+        depth: int,
+        resolver: Resolver,
+        value: Value = None,
+        tag: str = "agreement",
+    ) -> None:
+        super().__init__(node_id)
+        self.all_nodes: Tuple[NodeId, ...] = tuple(all_nodes)
+        self.sender = sender
+        self.m = m
+        self.depth = depth
+        self.resolver = resolver
+        self.value = value
+        self.tag = tag
+        self.is_sender = node_id == sender
+        if not self.is_sender:
+            self.tree = EIGTree(node_id, self.all_nodes, depth)
+
+    # ------------------------------------------------------------------
+    def step(self, round_no: int, inbox: Sequence[Message]) -> List[Message]:
+        if self.is_sender:
+            return self._sender_step(round_no)
+        return self._receiver_step(round_no, inbox)
+
+    def _sender_step(self, round_no: int) -> List[Message]:
+        if round_no == 1:
+            self.decide(self.value)
+            payload = RelayPayload(path=(self.node_id,), value=self.value)
+            return [
+                self.send(dest, payload, round_no, tag=self.tag)
+                for dest in self.all_nodes
+                if dest != self.node_id
+            ]
+        return []
+
+    def _receiver_step(self, round_no: int, inbox: Sequence[Message]) -> List[Message]:
+        self._ingest(round_no, inbox)
+        outgoing: List[Message] = []
+        if 2 <= round_no <= self.depth:
+            outgoing = self._relay_wave(round_no)
+        if round_no == self.depth + 1 and not self.decided:
+            self.decide(self.tree.resolve(self.sender, self.m, self.resolver))
+        return outgoing
+
+    def _ingest(self, round_no: int, inbox: Sequence[Message]) -> None:
+        """Store the previous wave; mark absent expected messages as V_d."""
+        wave_length = round_no - 1
+        if wave_length < 1 or wave_length > self.depth:
+            return
+        for message in inbox:
+            payload = message.payload
+            if not isinstance(payload, RelayPayload) or message.tag != self.tag:
+                continue
+            path = payload.path
+            if len(path) != wave_length:
+                continue  # stale or malformed relay; absence handling covers it
+            if path[0] != self.sender:
+                continue
+            if path[-1] != message.source:
+                # A node may only relay under its own identity; the engine
+                # already prevents source forgery, so a mismatched last hop
+                # is a Byzantine fabrication we refuse to file.
+                continue
+            if self.node_id in path:
+                continue
+            self.tree.store(path, payload.value)
+        # Absence detection (assumption (b)): every expected path of this
+        # wave that did not arrive is recorded as the default value.
+        for path in self.tree.expected_paths(wave_length, self.sender):
+            if not self.tree.has(path):
+                self.tree.store(path, DEFAULT)
+
+    def _relay_wave(self, round_no: int) -> List[Message]:
+        """Forward every value of the previous wave, tagged with our id."""
+        previous_length = round_no - 1
+        outgoing: List[Message] = []
+        for path in self.tree.stored_paths(previous_length):
+            extended = path + (self.node_id,)
+            payload = RelayPayload(path=extended, value=self.tree.value(path))
+            for dest in self.all_nodes:
+                if dest in extended:
+                    continue
+                outgoing.append(self.send(dest, payload, round_no, tag=self.tag))
+        return outgoing
+
+
+# ----------------------------------------------------------------------
+# Construction helpers
+# ----------------------------------------------------------------------
+def make_byz_processes(
+    spec: DegradableSpec,
+    nodes: Sequence[NodeId],
+    sender: NodeId,
+    sender_value: Value,
+    tag: str = "byz",
+) -> List[AgreementProcess]:
+    """Processes for one m/u-degradable agreement instance."""
+    if len(nodes) != spec.n_nodes:
+        raise ConfigurationError(
+            f"spec expects {spec.n_nodes} nodes, got {len(nodes)}"
+        )
+    if sender not in nodes:
+        raise ConfigurationError(f"sender {sender!r} not among nodes")
+    return [
+        AgreementProcess(
+            node_id=node,
+            all_nodes=nodes,
+            sender=sender,
+            m=spec.m,
+            depth=spec.rounds,
+            resolver=byz_resolver,
+            value=sender_value if node == sender else None,
+            tag=tag,
+        )
+        for node in nodes
+    ]
+
+
+def make_om_processes(
+    m: int,
+    nodes: Sequence[NodeId],
+    sender: NodeId,
+    sender_value: Value,
+    tag: str = "om",
+) -> List[AgreementProcess]:
+    """Processes for one Lamport OM(m) instance (depth m+1, majority)."""
+    if sender not in nodes:
+        raise ConfigurationError(f"sender {sender!r} not among nodes")
+    return [
+        AgreementProcess(
+            node_id=node,
+            all_nodes=nodes,
+            sender=sender,
+            m=m,
+            depth=m + 1 if m > 0 else 1,
+            resolver=majority_resolver,
+            value=sender_value if node == sender else None,
+            tag=tag,
+        )
+        for node in nodes
+    ]
+
+
+def execute_degradable_protocol(
+    spec: DegradableSpec,
+    nodes: Sequence[NodeId],
+    sender: NodeId,
+    sender_value: Value,
+    behaviors: Optional[BehaviorMap] = None,
+    topology: Optional[Topology] = None,
+    extra_injectors: Optional[Sequence[FaultInjector]] = None,
+    record_trace: bool = True,
+) -> Tuple[AgreementResult, SynchronousEngine]:
+    """Run the full message-passing protocol and package the outcome.
+
+    Returns the same :class:`~repro.core.byz.AgreementResult` shape as the
+    functional oracle (decisions of every receiver) plus the engine, whose
+    trace the experiments mine for views and message counts.
+    """
+    topology = topology or Topology.complete(nodes)
+    processes = make_byz_processes(spec, nodes, sender, sender_value)
+    injectors: List[FaultInjector] = []
+    if behaviors:
+        injectors.extend(behavior_injectors(behaviors))
+    if extra_injectors:
+        injectors.extend(extra_injectors)
+    engine = SynchronousEngine(
+        topology, processes, injectors, record_trace=record_trace
+    )
+    rounds = engine.run(spec.rounds + 1)
+    decisions: Dict[NodeId, Value] = {}
+    for process in processes:
+        if process.node_id == sender:
+            continue
+        if not process.decided:
+            raise ProtocolError(
+                f"receiver {process.node_id!r} failed to decide within "
+                f"{rounds} rounds"
+            )
+        decisions[process.node_id] = process.decision
+    stats = ExecutionStats(messages=_count_messages(engine), rounds=rounds)
+    result = AgreementResult(
+        decisions=decisions,
+        sender=sender,
+        sender_value=sender_value,
+        stats=stats,
+    )
+    return result, engine
+
+
+def _count_messages(engine: SynchronousEngine) -> int:
+    if engine.trace is None:
+        return 0
+    from repro.sim.trace import EventKind
+
+    return engine.trace.count(EventKind.SENT)

@@ -1,0 +1,330 @@
+"""Signed-messages agreement — Lamport's SM(m) (third baseline).
+
+The paper's model is *oral* messages; the classic alternative assumes
+unforgeable signatures, under which Byzantine agreement is solvable for any
+number of faults with only ``m + 2`` nodes (Lamport, Shostak & Pease,
+algorithm SM(m)).  Including it lets the experiments position degradable
+agreement between the two regimes:
+
+* oral OM(m): ``3m + 1`` nodes, no guarantee beyond ``m``;
+* oral m/u-degradable BYZ: ``2m + u + 1`` nodes, graceful two-class
+  degradation up to ``u``;
+* signed SM(m): ``m + 2`` nodes, full agreement up to ``m`` — but requires
+  an authentication infrastructure the paper's target systems (FTMP-class
+  flight hardware) historically avoided.
+
+Signature model
+---------------
+We simulate unforgeability *structurally* instead of cryptographically: a
+:class:`SignedMessage` carries the value plus the ordered chain of
+signatures it accumulated, and the execution engine refuses to accept any
+message whose chain was not legitimately derivable — a faulty node may
+sign arbitrary values **as itself** (when it is the sender), may extend
+chains of messages it genuinely received, may drop or selectively forward,
+but can never introduce another node's signature.  That is exactly the
+power the SM model grants the adversary.
+
+Algorithm SM(m) (receiver ``i``):
+
+* round 1: the sender signs and sends its value to every lieutenant;
+* a lieutenant receiving a valid message with ``r`` signatures and a value
+  not yet in its set ``V_i`` adds the value to ``V_i`` and, if ``r <= m``,
+  appends its signature and forwards to every node not in the chain;
+* after round ``m + 1``: decide ``choice(V_i)`` — the value itself when
+  ``|V_i| == 1``, otherwise the default value ``V_d``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.byz import AgreementResult, ExecutionStats
+from repro.core.values import DEFAULT, Value
+from repro.exceptions import ConfigurationError, ProtocolError
+
+NodeId = Hashable
+
+
+@dataclass(frozen=True)
+class SignedMessage:
+    """A value with its ordered signature chain (``chain[0]`` is the sender)."""
+
+    value: Value
+    chain: Tuple[NodeId, ...]
+
+    def __post_init__(self) -> None:
+        if not self.chain:
+            raise ProtocolError("signature chain must be non-empty")
+        if len(set(self.chain)) != len(self.chain):
+            raise ProtocolError(f"duplicate signatures in chain {self.chain!r}")
+
+    @property
+    def n_signatures(self) -> int:
+        return len(self.chain)
+
+    def extended_by(self, node: NodeId) -> "SignedMessage":
+        if node in self.chain:
+            raise ProtocolError(f"{node!r} already signed {self.chain!r}")
+        return SignedMessage(self.value, self.chain + (node,))
+
+
+#: (destination, message) pairs a node emits in one round.
+Emission = Tuple[NodeId, SignedMessage]
+
+
+class SignedBehavior(ABC):
+    """Adversarial strategy for a faulty node under the signature model.
+
+    The engine validates every emission: chains must either be a fresh
+    single signature by the node itself (only legal for the top-level
+    sender in round 1) or an extension-by-self of a message the node
+    actually received.  Violations raise :class:`ProtocolError` — the
+    simulation enforces unforgeability rather than trusting the adversary.
+    """
+
+    @abstractmethod
+    def emissions(
+        self,
+        node: NodeId,
+        round_no: int,
+        received: Sequence[SignedMessage],
+        all_nodes: Sequence[NodeId],
+        is_sender: bool,
+        sender_value: Value,
+        max_chain: int,
+    ) -> List[Emission]:
+        """Messages the faulty node sends this round."""
+
+
+class TwoFacedSigner(SignedBehavior):
+    """A faulty *sender* that signs different values for different nodes.
+
+    This is the strongest attack signatures leave open: the sender can sign
+    two contradictory orders, but any lieutenant relaying them exposes the
+    contradiction, which is why SM still reaches agreement (everyone ends
+    with the same value *set* and falls to ``V_d`` together).
+    """
+
+    def __init__(self, faces: Dict[NodeId, Value], fallback: Value) -> None:
+        self.faces = dict(faces)
+        self.fallback = fallback
+
+    def emissions(self, node, round_no, received, all_nodes, is_sender, sender_value, max_chain):
+        if not is_sender or round_no != 1:
+            return []
+        out: List[Emission] = []
+        for dest in all_nodes:
+            if dest == node:
+                continue
+            value = self.faces.get(dest, self.fallback)
+            out.append((dest, SignedMessage(value, (node,))))
+        return out
+
+
+class SelectiveForwarder(SignedBehavior):
+    """A faulty lieutenant that forwards valid messages only to a subset.
+
+    Cannot alter values (signatures!) — the only remaining lever is
+    withholding.  ``allowed`` is the set of destinations it serves.
+    """
+
+    def __init__(self, allowed: Set[NodeId]) -> None:
+        self.allowed = set(allowed)
+        self._relayed: Set[SignedMessage] = set()
+
+    def emissions(self, node, round_no, received, all_nodes, is_sender, sender_value, max_chain):
+        out: List[Emission] = []
+        for message in received:
+            if message in self._relayed or message.n_signatures >= max_chain:
+                continue
+            self._relayed.add(message)
+            if node in message.chain:
+                continue
+            extended = message.extended_by(node)
+            for dest in all_nodes:
+                if dest in extended.chain or dest not in self.allowed:
+                    continue
+                out.append((dest, extended))
+        return out
+
+
+class SilentSigner(SignedBehavior):
+    """Crash-faulty node: signs and sends nothing."""
+
+    def emissions(self, node, round_no, received, all_nodes, is_sender, sender_value, max_chain):
+        return []
+
+
+class _HonestState:
+    """Per-node protocol state for a fault-free lieutenant."""
+
+    __slots__ = ("values", "outbox_seen")
+
+    def __init__(self) -> None:
+        self.values: Set[Value] = set()
+        self.outbox_seen: Set[SignedMessage] = set()
+
+
+def run_signed_agreement(
+    m: int,
+    nodes: Sequence[NodeId],
+    sender: NodeId,
+    sender_value: Value,
+    behaviors: Optional[Dict[NodeId, SignedBehavior]] = None,
+) -> AgreementResult:
+    """Execute SM(m) and return every lieutenant's decision.
+
+    Requires ``len(nodes) >= m + 2`` (with fewer there is at most one
+    lieutenant and agreement is vacuous anyway, but the classic statement
+    assumes it).  Tolerates up to ``m`` faulty nodes *including* the
+    sender, for any ratio of faulty to total — the signature advantage.
+    """
+    node_list = list(nodes)
+    if len(set(node_list)) != len(node_list):
+        raise ConfigurationError("duplicate node identifiers")
+    if sender not in node_list:
+        raise ConfigurationError(f"sender {sender!r} is not among the nodes")
+    if m < 0:
+        raise ConfigurationError(f"m must be non-negative, got {m}")
+    if len(node_list) < m + 2:
+        raise ConfigurationError(
+            f"SM({m}) needs at least {m + 2} nodes, got {len(node_list)}"
+        )
+    behaviors = dict(behaviors or {})
+    lieutenants = [p for p in node_list if p != sender]
+    max_chain = m + 1
+    stats = ExecutionStats(rounds=m + 1)
+
+    states: Dict[NodeId, _HonestState] = {p: _HonestState() for p in lieutenants}
+    # All messages a node has ever accepted (needed to validate faulty
+    # extensions: you may only extend what you actually received).
+    received_log: Dict[NodeId, Set[SignedMessage]] = {p: set() for p in node_list}
+
+    inboxes: Dict[NodeId, List[SignedMessage]] = {p: [] for p in node_list}
+
+    # Round 1: the sender emits.
+    pending: List[Tuple[NodeId, NodeId, SignedMessage]] = []
+    if sender in behaviors:
+        emissions = behaviors[sender].emissions(
+            sender, 1, [], node_list, True, sender_value, max_chain
+        )
+        for dest, message in emissions:
+            _validate_emission(sender, message, received_log[sender], is_sender=True)
+            pending.append((sender, dest, message))
+    else:
+        root = SignedMessage(sender_value, (sender,))
+        for dest in lieutenants:
+            pending.append((sender, dest, root))
+
+    for round_no in range(1, max_chain + 1):
+        # Deliver this round's messages.
+        for source, dest, message in pending:
+            stats.messages += 1
+            inboxes[dest].append(message)
+            received_log[dest].add(message)
+        pending = []
+        if round_no == max_chain:
+            break
+        # Every lieutenant processes and relays for the next round.
+        next_round = round_no + 1
+        for node in lieutenants:
+            inbox, inboxes[node] = inboxes[node], []
+            if node in behaviors:
+                emissions = behaviors[node].emissions(
+                    node, next_round, inbox, node_list, False, None, max_chain
+                )
+                for dest, message in emissions:
+                    _validate_emission(
+                        node, message, received_log[node], is_sender=False
+                    )
+                    pending.append((node, dest, message))
+                continue
+            state = states[node]
+            for message in inbox:
+                if not _valid_inbound(message, sender, node, max_chain):
+                    continue
+                if message.value in state.values:
+                    continue
+                state.values.add(message.value)
+                if message.n_signatures <= m:
+                    extended = message.extended_by(node)
+                    for dest in node_list:
+                        if dest in extended.chain:
+                            continue
+                        pending.append((node, dest, extended))
+
+    # Final inbox flush (messages delivered in the last round still count).
+    for node in lieutenants:
+        if node in behaviors:
+            continue
+        state = states[node]
+        for message in inboxes[node]:
+            if _valid_inbound(message, sender, node, max_chain):
+                state.values.add(message.value)
+
+    decisions: Dict[NodeId, Value] = {}
+    for node in lieutenants:
+        if node in behaviors:
+            decisions[node] = DEFAULT  # a faulty node's decision is moot
+            continue
+        values = states[node].values
+        decisions[node] = next(iter(values)) if len(values) == 1 else DEFAULT
+
+    return AgreementResult(
+        decisions=decisions, sender=sender, sender_value=sender_value, stats=stats
+    )
+
+
+def _valid_inbound(
+    message: SignedMessage, sender: NodeId, node: NodeId, max_chain: int
+) -> bool:
+    """SM validity: chain rooted at the sender, bounded, not including me."""
+    return (
+        message.chain[0] == sender
+        and node not in message.chain
+        and message.n_signatures <= max_chain
+    )
+
+
+def _validate_emission(
+    node: NodeId,
+    message: SignedMessage,
+    received: Set[SignedMessage],
+    is_sender: bool,
+) -> None:
+    """Structural unforgeability check for adversarial emissions."""
+    if message.chain[-1] != node:
+        raise ProtocolError(
+            f"{node!r} attempted to emit a message it did not sign last: "
+            f"{message.chain!r}"
+        )
+    if message.n_signatures == 1:
+        if not is_sender:
+            raise ProtocolError(
+                f"lieutenant {node!r} attempted to originate a signed value"
+            )
+        return
+    parent = SignedMessage(message.value, message.chain[:-1])
+    if parent not in received:
+        raise ProtocolError(
+            f"{node!r} attempted to extend a message it never received: "
+            f"{message.chain!r} value {message.value!r}"
+        )
+
+
+def sm_message_count(n_nodes: int, m: int) -> int:
+    """Worst-case fault-free message count of SM(m).
+
+    A fault-free execution carries a single value: the sender sends
+    ``n - 1`` messages; each lieutenant relays the first copy it accepts
+    once, to every node not in its chain.  The count depends on delivery
+    order; this bound assumes every lieutenant relays the direct copy:
+    ``(n-1) + (n-1)(n-2)`` for ``m >= 1``, ``n - 1`` for ``m = 0``.
+    """
+    if n_nodes < 2:
+        return 0
+    if m == 0:
+        return n_nodes - 1
+    return (n_nodes - 1) + (n_nodes - 1) * (n_nodes - 2)

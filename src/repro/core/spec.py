@@ -1,0 +1,158 @@
+"""Parameter specification for m/u-degradable agreement.
+
+:class:`DegradableSpec` bundles the three parameters of an agreement
+instance — ``m`` (full-agreement fault bound), ``u`` (degraded-agreement
+fault bound) and ``n_nodes`` (total nodes, sender included) — and validates
+them against the paper's requirements:
+
+* ``0 <= m <= u``  (Section 2 assumes ``u >= m``; ``m = u`` degenerates to
+  classic Byzantine agreement),
+* ``n_nodes >= 2m + u + 1``  (Theorem 2: necessary; Theorem 1: sufficient).
+
+The spec also knows the vote thresholds the algorithm uses at each recursion
+level, so protocol code never recomputes them ad hoc.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DegradableSpec:
+    """An m/u-degradable agreement instance over ``n_nodes`` nodes.
+
+    Attributes
+    ----------
+    m:
+        Number of faults up to which full Byzantine agreement (conditions
+        D.1/D.2) is guaranteed.
+    u:
+        Number of faults up to which degraded agreement (conditions D.3/D.4)
+        is guaranteed.  ``u >= m``.
+    n_nodes:
+        Total number of nodes including the sender.  Must exceed
+        ``2m + u`` (Theorem 2).
+    """
+
+    m: int
+    u: int
+    n_nodes: int
+
+    def __post_init__(self) -> None:
+        if self.m < 0:
+            raise ConfigurationError(f"m must be non-negative, got m={self.m}")
+        if self.u < self.m:
+            raise ConfigurationError(
+                f"u must satisfy u >= m, got m={self.m}, u={self.u}"
+            )
+        if self.n_nodes <= 2 * self.m + self.u:
+            raise ConfigurationError(
+                f"m/u-degradable agreement needs more than 2m+u = "
+                f"{2 * self.m + self.u} nodes, got n_nodes={self.n_nodes}"
+            )
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def n_receivers(self) -> int:
+        """Number of receivers (every node except the sender)."""
+        return self.n_nodes - 1
+
+    @property
+    def min_nodes(self) -> int:
+        """Minimum node count for these (m, u): ``2m + u + 1``."""
+        return 2 * self.m + self.u + 1
+
+    @property
+    def min_connectivity(self) -> int:
+        """Minimum network connectivity for these (m, u): ``m + u + 1``."""
+        return self.m + self.u + 1
+
+    @property
+    def rounds(self) -> int:
+        """Rounds of message exchange algorithm BYZ(m, m) uses: ``m + 1``.
+
+        The ``m = 0`` entry still uses one direct round plus one echo round,
+        i.e. 2 rounds, because a single round cannot bound a faulty sender's
+        divergence (condition D.4); see DESIGN.md.
+        """
+        return max(self.m, 1) + 1
+
+    @property
+    def recursion_depth(self) -> int:
+        """Recursion parameter ``t`` the top-level BYZ call starts from."""
+        return max(self.m, 1)
+
+    @property
+    def is_pure_byzantine(self) -> bool:
+        """True when ``m == u``: the spec degenerates to Lamport agreement."""
+        return self.m == self.u
+
+    def vote_threshold(self, n_participants: int) -> int:
+        """The ``alpha`` of ``VOTE(alpha, beta)`` at a recursion level.
+
+        Algorithm BYZ applied to ``n`` nodes always votes with
+        ``alpha = n - 1 - m`` over ``beta = n - 1`` ballots (``m`` is the
+        *global* parameter, fixed across recursion levels).
+        """
+        alpha = n_participants - 1 - self.m
+        if alpha <= 0:
+            raise ConfigurationError(
+                f"BYZ vote threshold not positive: n={n_participants}, m={self.m}"
+            )
+        return alpha
+
+    def guarantee_for(self, n_faulty: int) -> str:
+        """Classify what the spec promises for a given fault count.
+
+        Returns one of ``"byzantine"`` (conditions D.1/D.2 hold),
+        ``"degraded"`` (conditions D.3/D.4 hold) or ``"none"``.
+        """
+        if n_faulty < 0:
+            raise ConfigurationError(f"fault count must be >= 0, got {n_faulty}")
+        if n_faulty <= self.m:
+            return "byzantine"
+        if n_faulty <= self.u:
+            return "degraded"
+        return "none"
+
+    def min_agreeing_fault_free(self) -> int:
+        """Nodes guaranteed to agree on one value with up to ``u`` faults.
+
+        Section 2: with ``N > 2m + u`` and at most ``u`` faults, at least
+        ``m + 1`` fault-free nodes (sender included) agree on an identical
+        value.
+        """
+        return self.m + 1
+
+    def __str__(self) -> str:
+        return f"{self.m}/{self.u}-degradable agreement over {self.n_nodes} nodes"
+
+
+def minimal_spec(m: int, u: int) -> DegradableSpec:
+    """Build the smallest legal spec for the given (m, u): ``N = 2m+u+1``."""
+    return DegradableSpec(m=m, u=u, n_nodes=2 * m + u + 1)
+
+
+def sub_minimal_spec(m: int, u: int, n_nodes: int) -> DegradableSpec:
+    """Build a spec *below* the Theorem 2 node bound, bypassing validation.
+
+    Only the lower-bound experiments use this: they deliberately run the
+    protocol with ``n_nodes <= 2m + u`` to demonstrate that some agreement
+    condition must break.  ``m``/``u`` sanity is still enforced.
+    """
+    if m < 0:
+        raise ConfigurationError(f"m must be non-negative, got m={m}")
+    if u < m:
+        raise ConfigurationError(f"u must satisfy u >= m, got m={m}, u={u}")
+    if n_nodes < 2:
+        raise ConfigurationError(f"need at least 2 nodes, got {n_nodes}")
+    spec = object.__new__(DegradableSpec)
+    object.__setattr__(spec, "m", m)
+    object.__setattr__(spec, "u", u)
+    object.__setattr__(spec, "n_nodes", n_nodes)
+    return spec

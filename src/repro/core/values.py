@@ -1,0 +1,84 @@
+"""Value domain for degradable agreement.
+
+The paper assumes a *default value* ``V_d`` that is "distinguishable from all
+other values".  We model it as a singleton sentinel, :data:`DEFAULT`, that
+compares unequal to every ordinary Python value and is safe to use as a
+dictionary key or set member.
+
+Ordinary agreement values can be any hashable Python object (ints, strings,
+tuples, ...).  The helpers here keep the rest of the code base honest about
+the distinction between "some value" and "the default value".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable
+
+
+class DefaultValue:
+    """The distinguished default value ``V_d``.
+
+    A singleton: every construction attempt returns the same instance, so
+    identity (``is DEFAULT``) and equality (``== DEFAULT``) agree.  The value
+    is falsy, hashable and deep-copy stable, which lets protocol code treat
+    it like any other payload while analysis code can still tell it apart
+    from all application values.
+    """
+
+    _instance: "DefaultValue | None" = None
+
+    def __new__(cls) -> "DefaultValue":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "V_d"
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __eq__(self, other: object) -> bool:
+        return other is self
+
+    def __ne__(self, other: object) -> bool:
+        return other is not self
+
+    def __hash__(self) -> int:
+        return hash("repro.core.values.DefaultValue")
+
+    def __copy__(self) -> "DefaultValue":
+        return self
+
+    def __deepcopy__(self, memo: dict) -> "DefaultValue":
+        return self
+
+    def __reduce__(self):
+        # Pickling round-trips to the same singleton.
+        return (DefaultValue, ())
+
+
+#: The default value ``V_d`` used throughout the library.
+DEFAULT = DefaultValue()
+
+#: Type alias for anything a sender may try to agree on.
+Value = Hashable
+
+
+def is_default(value: Any) -> bool:
+    """Return ``True`` iff *value* is the default value ``V_d``."""
+    return value is DEFAULT
+
+
+def non_default(values: Iterable[Any]) -> list:
+    """Return the subset of *values* that are not the default value.
+
+    Order is preserved.  Useful when classifying agreement outcomes, where
+    the default class and the "real value" class must be separated.
+    """
+    return [v for v in values if v is not DEFAULT]
+
+
+def distinct_non_default(values: Iterable[Any]) -> set:
+    """Return the set of distinct non-default values in *values*."""
+    return {v for v in values if v is not DEFAULT}

@@ -1,0 +1,50 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything raised by this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """A protocol or system was configured with inconsistent parameters.
+
+    Raised, for example, when an ``m/u``-degradable agreement instance is
+    requested with ``u < m``, with fewer than ``2m + u + 1`` nodes, or on a
+    network whose connectivity is below ``m + u + 1``.
+    """
+
+
+class ProtocolError(ReproError):
+    """A protocol observed an execution state that should be impossible.
+
+    This indicates a bug in the protocol implementation or in the simulator,
+    never legitimate Byzantine behaviour: Byzantine messages are *expected*
+    and must be absorbed by the vote logic, not raised as errors.
+    """
+
+
+class SimulationError(ReproError):
+    """The simulation engine was driven incorrectly.
+
+    Examples: delivering a message to a node that does not exist, running a
+    round after the engine finished, or registering two processes under the
+    same node identifier.
+    """
+
+
+class RoutingError(SimulationError):
+    """A virtual link could not be established over the physical topology.
+
+    Raised by :mod:`repro.sim.routing` when the requested number of
+    vertex-disjoint paths between two nodes does not exist.
+    """
+
+
+class AnalysisError(ReproError):
+    """An analysis routine was invoked with out-of-domain arguments."""

@@ -1,0 +1,103 @@
+"""Message objects exchanged through the synchronous simulator.
+
+The paper's system model makes three assumptions about messages (Section 4):
+
+(a) every message sent is delivered correctly,
+(b) the absence of a message can be detected, and
+(c) the source of a received message can be identified.
+
+The simulator enforces (a) and (c) structurally — the engine delivers every
+message it is handed and stamps the true source; Byzantine nodes can corrupt
+*payloads* but cannot forge another node's identity.  Assumption (b) is
+realized by receivers enumerating the messages they expect each round and
+substituting ``V_d`` for the missing ones; fault injection (omission, the
+Section 6.1 timeout model) works by removing messages in flight, which the
+receiver then observes as absence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Hashable, Optional, Tuple
+
+NodeId = Hashable
+
+
+@dataclass(frozen=True)
+class Message:
+    """One point-to-point message.
+
+    Attributes
+    ----------
+    source:
+        True originating node (unforgeable; set by the engine).
+    destination:
+        Receiving node.
+    payload:
+        Protocol-specific content.  Agreement protocols use
+        :class:`RelayPayload`.
+    round_sent:
+        Round in which the message was handed to the engine; it is
+        delivered at the start of ``round_sent + 1``.
+    tag:
+        Protocol/instance label so independent protocol instances can share
+        one engine without crosstalk.
+    """
+
+    source: NodeId
+    destination: NodeId
+    payload: Any
+    round_sent: int = 0
+    tag: str = ""
+
+    def with_payload(self, payload: Any) -> "Message":
+        """Copy of this message with a different payload (adversary use)."""
+        return replace(self, payload=payload)
+
+
+@dataclass(frozen=True)
+class RelayPayload:
+    """Payload used by the EIG-based agreement protocols.
+
+    ``path`` is the full relay path *including* the relayer sending this
+    message (so a direct send from sender ``s`` carries ``path == (s,)``);
+    ``value`` is the value being relayed.
+    """
+
+    path: Tuple[NodeId, ...]
+    value: Any
+
+    def __post_init__(self) -> None:
+        if not self.path:
+            raise ValueError("RelayPayload.path must be non-empty")
+
+
+@dataclass(frozen=True)
+class ClockReadingPayload:
+    """Payload used by the clock-synchronization protocols."""
+
+    reading: float
+    epoch: int = 0
+
+
+@dataclass
+class Envelope:
+    """A message in transit, with routing metadata used by the relay layer.
+
+    The disjoint-path routing substrate (:mod:`repro.sim.routing`) wraps
+    logical messages in envelopes that carry the remaining hop list.
+    """
+
+    message: Message
+    route: Tuple[NodeId, ...] = field(default_factory=tuple)
+    hops_taken: int = 0
+
+    def next_hop(self) -> Optional[NodeId]:
+        if self.hops_taken < len(self.route):
+            return self.route[self.hops_taken]
+        return None
+
+    def advance(self) -> "Envelope":
+        return Envelope(
+            message=self.message, route=self.route, hops_taken=self.hops_taken + 1
+        )

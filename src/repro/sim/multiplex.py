@@ -1,0 +1,122 @@
+"""Process multiplexing: several protocol instances on one engine.
+
+The engine allows one :class:`~repro.sim.node.Process` per node, but real
+systems run many protocol instances concurrently — interactive consistency
+is ``N`` simultaneous single-sender agreements.  A :class:`MultiplexProcess`
+hosts any number of child processes under one node id: every round it
+feeds each child the full inbox (children discriminate by message ``tag``
+and payload shape, which the agreement processes already do) and merges
+their outgoing messages.
+
+The multiplexer decides once every child has decided; its decision is the
+``{instance_key: child_decision}`` map.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Sequence
+
+from repro.exceptions import SimulationError
+from repro.sim.messages import Message
+from repro.sim.node import Process
+
+NodeId = Hashable
+
+
+class MultiplexProcess(Process):
+    """Hosts multiple child processes under a single node identity."""
+
+    def __init__(self, node_id: NodeId, children: Dict[str, Process]) -> None:
+        super().__init__(node_id)
+        if not children:
+            raise SimulationError("MultiplexProcess needs at least one child")
+        for key, child in children.items():
+            if child.node_id != node_id:
+                raise SimulationError(
+                    f"child {key!r} belongs to node {child.node_id!r}, "
+                    f"not {node_id!r}"
+                )
+        self.children = dict(children)
+
+    def step(self, round_no: int, inbox: Sequence[Message]) -> List[Message]:
+        outgoing: List[Message] = []
+        for child in self.children.values():
+            outgoing.extend(child.step(round_no, inbox))
+        if not self.decided and all(c.decided for c in self.children.values()):
+            self.decide(
+                {key: child.decision for key, child in self.children.items()}
+            )
+        return outgoing
+
+
+def run_concurrent_agreements(
+    spec,
+    nodes: Sequence[NodeId],
+    sender_values: Dict[NodeId, object],
+    behaviors=None,
+    topology=None,
+):
+    """Interactive consistency over the simulator: one agreement instance
+    per sender, all executing concurrently on a single engine.
+
+    Returns ``vectors[node][sender]`` — what each node concluded about
+    each sender — plus the engine (for traces/statistics).
+
+    Unlike :func:`repro.core.vector_agreement.run_degradable_interactive_consistency`
+    (which runs the instances sequentially through the functional oracle),
+    every message of every instance here shares the same rounds and wires,
+    and instance isolation relies on the protocol's path-root filtering —
+    which is exactly what this runner exists to exercise.
+    """
+    from repro.core.protocol import make_byz_processes
+    from repro.sim.engine import SynchronousEngine
+    from repro.sim.faults import behavior_injectors
+    from repro.sim.network import Topology
+
+    node_list = list(nodes)
+    missing = [n for n in node_list if n not in sender_values]
+    if missing:
+        raise SimulationError(f"missing sender values for {missing!r}")
+
+    per_node_children: Dict[NodeId, Dict[str, Process]] = {
+        node: {} for node in node_list
+    }
+    for sender in node_list:
+        instance = make_byz_processes(
+            spec,
+            node_list,
+            sender,
+            sender_values[sender],
+            tag=f"byz:{sender}",
+        )
+        for process in instance:
+            per_node_children[process.node_id][f"from:{sender}"] = process
+
+    processes = [
+        MultiplexProcess(node, children)
+        for node, children in per_node_children.items()
+    ]
+    engine = SynchronousEngine(
+        topology or Topology.complete(node_list),
+        processes,
+        injectors=behavior_injectors(behaviors or {}),
+        record_trace=False,
+    )
+    engine.run(spec.rounds + 1)
+
+    vectors: Dict[NodeId, Dict[NodeId, object]] = {}
+    for process in processes:
+        if not process.decided:
+            raise SimulationError(
+                f"node {process.node_id!r} failed to decide all instances"
+            )
+        vectors[process.node_id] = {
+            sender: process.decision[f"from:{sender}"]
+            for sender in node_list
+        }
+        # A node's own instance: it is the sender there and "decides" its
+        # own value.
+        vectors[process.node_id][process.node_id] = sender_values[
+            process.node_id
+        ]
+    return vectors, engine

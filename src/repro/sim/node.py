@@ -1,0 +1,119 @@
+"""Process abstraction for the synchronous round engine.
+
+A :class:`Process` is a state machine driven by the engine in lock-step
+rounds.  Each round the engine delivers the messages sent to the process in
+the previous round and collects the messages it wants to send next.  The
+paper's model is synchronous (it relies on detecting message *absence*), so
+there is no notion of asynchrony here — omissions and timeouts are fault
+injections, not scheduling artefacts.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Hashable, List, Optional, Sequence
+
+from repro.sim.messages import Message
+
+NodeId = Hashable
+
+
+class Process(ABC):
+    """Base class for all simulated nodes."""
+
+    def __init__(self, node_id: NodeId) -> None:
+        self.node_id = node_id
+        self._decision: Any = None
+        self._decided = False
+
+    # ------------------------------------------------------------------
+    # Engine-facing API
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def step(self, round_no: int, inbox: Sequence[Message]) -> List[Message]:
+        """Execute one round.
+
+        Parameters
+        ----------
+        round_no:
+            1-based round number.
+        inbox:
+            Messages addressed to this node that were sent in round
+            ``round_no - 1`` (empty in round 1).
+
+        Returns
+        -------
+        Messages to send this round; they arrive in the next round's inbox
+        of their destinations.
+        """
+
+    # ------------------------------------------------------------------
+    # Decision bookkeeping
+    # ------------------------------------------------------------------
+    @property
+    def decided(self) -> bool:
+        return self._decided
+
+    @property
+    def decision(self) -> Any:
+        return self._decision
+
+    def decide(self, value: Any) -> None:
+        """Record the final decision (idempotent once set)."""
+        if not self._decided:
+            self._decision = value
+            self._decided = True
+
+    def send(self, destination: NodeId, payload: Any, round_no: int, tag: str = "") -> Message:
+        """Convenience constructor stamping this node as the source."""
+        return Message(
+            source=self.node_id,
+            destination=destination,
+            payload=payload,
+            round_sent=round_no,
+            tag=tag,
+        )
+
+    def __repr__(self) -> str:
+        state = f"decided={self._decision!r}" if self._decided else "running"
+        return f"{type(self).__name__}({self.node_id!r}, {state})"
+
+
+class IdleProcess(Process):
+    """A process that never sends anything (placeholder / crashed node)."""
+
+    def step(self, round_no: int, inbox: Sequence[Message]) -> List[Message]:
+        return []
+
+
+class RecordingProcess(Process):
+    """Stores everything it receives; useful in engine-level tests."""
+
+    def __init__(self, node_id: NodeId) -> None:
+        super().__init__(node_id)
+        self.received: List[Message] = []
+
+    def step(self, round_no: int, inbox: Sequence[Message]) -> List[Message]:
+        self.received.extend(inbox)
+        return []
+
+
+class ScriptedProcess(Process):
+    """Sends a fixed script of messages: ``{round: [(dest, payload)]}``.
+
+    Used by unit tests and by hand-built adversarial scenarios that need a
+    node to emit specific messages at specific rounds.
+    """
+
+    def __init__(self, node_id: NodeId, script: Optional[dict] = None, tag: str = "") -> None:
+        super().__init__(node_id)
+        self.script = dict(script or {})
+        self.tag = tag
+        self.received: List[Message] = []
+
+    def step(self, round_no: int, inbox: Sequence[Message]) -> List[Message]:
+        self.received.extend(inbox)
+        out = []
+        for destination, payload in self.script.get(round_no, []):
+            out.append(self.send(destination, payload, round_no, tag=self.tag))
+        return out

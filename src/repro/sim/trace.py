@@ -1,0 +1,139 @@
+"""Execution traces.
+
+The engine records every delivery (and every drop) into an
+:class:`EventTrace`.  Traces serve three purposes:
+
+* debugging protocol implementations;
+* the Theorem 2 experiments, which must demonstrate that two different
+  global scenarios present *identical local views* to a particular
+  fault-free node (indistinguishability is checked on traces);
+* statistics for the complexity experiments (message counts per round).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
+
+from repro.sim.messages import Message
+
+NodeId = Hashable
+
+
+class EventKind(enum.Enum):
+    SENT = "sent"
+    DELIVERED = "delivered"
+    DROPPED = "dropped"
+    CORRUPTED = "corrupted"
+    DECIDED = "decided"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    round_no: int
+    kind: EventKind
+    source: NodeId
+    destination: Optional[NodeId]
+    payload: Any
+    note: str = ""
+
+
+class EventTrace:
+    """Ordered log of simulation events with query helpers."""
+
+    def __init__(self) -> None:
+        self._events: List[TraceEvent] = []
+
+    def record(self, event: TraceEvent) -> None:
+        self._events.append(event)
+
+    def record_message(self, round_no: int, kind: EventKind, message: Message, note: str = "") -> None:
+        self.record(
+            TraceEvent(
+                round_no=round_no,
+                kind=kind,
+                source=message.source,
+                destination=message.destination,
+                payload=message.payload,
+                note=note,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def events(self) -> Tuple[TraceEvent, ...]:
+        return tuple(self._events)
+
+    def filter(self, predicate: Callable[[TraceEvent], bool]) -> List[TraceEvent]:
+        return [e for e in self._events if predicate(e)]
+
+    def deliveries_to(self, node: NodeId) -> List[TraceEvent]:
+        """Everything *node* received, in order — its local message view."""
+        return self.filter(
+            lambda e: e.kind is EventKind.DELIVERED and e.destination == node
+        )
+
+    def local_view(self, node: NodeId) -> Tuple[Tuple[int, NodeId, Any], ...]:
+        """A hashable summary of *node*'s inbound view: (round, source, payload).
+
+        Two executions are indistinguishable to *node* exactly when this view
+        (plus the node's own input) matches — the notion Theorem 2's proof
+        relies on.
+        """
+        return tuple(
+            (e.round_no, e.source, e.payload) for e in self.deliveries_to(node)
+        )
+
+    def count(self, kind: EventKind) -> int:
+        return sum(1 for e in self._events if e.kind is kind)
+
+    def messages_per_round(self) -> Dict[int, int]:
+        out: Dict[int, int] = {}
+        for e in self._events:
+            if e.kind is EventKind.DELIVERED:
+                out[e.round_no] = out.get(e.round_no, 0) + 1
+        return out
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def to_jsonl(self) -> str:
+        """Serialize the trace as JSON Lines (one event per line).
+
+        Payloads are rendered through ``repr`` — traces are for humans and
+        external diffing tools, not for replay (scenarios handle replay).
+        """
+        import json
+
+        lines = []
+        for event in self._events:
+            lines.append(
+                json.dumps(
+                    {
+                        "round": event.round_no,
+                        "kind": event.kind.value,
+                        "source": str(event.source),
+                        "destination": (
+                            None
+                            if event.destination is None
+                            else str(event.destination)
+                        ),
+                        "payload": repr(event.payload),
+                        "note": event.note,
+                    }
+                )
+            )
+        return "\n".join(lines)
+
+    def dump(self, path: str) -> None:
+        """Write the JSONL rendering to *path*."""
+        with open(path, "w") as handle:
+            handle.write(self.to_jsonl())
+            if self._events:
+                handle.write("\n")

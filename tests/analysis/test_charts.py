@@ -1,0 +1,103 @@
+"""Tests for the ASCII chart renderers."""
+
+import pytest
+
+from repro.analysis.charts import bar_chart, log_bar_chart, sparkline, staircase
+from repro.exceptions import AnalysisError
+
+
+class TestBarChart:
+    def test_full_and_half_bars(self):
+        text = bar_chart([("a", 2.0), ("b", 1.0)], width=4)
+        lines = text.splitlines()
+        assert lines[0].startswith("a | ████")
+        assert lines[1].startswith("b | ██ ")
+
+    def test_values_printed(self):
+        text = bar_chart([("x", 3.5)], width=10)
+        assert "3.5" in text
+
+    def test_unit_suffix(self):
+        text = bar_chart([("x", 1.0)], width=4, unit="ms")
+        assert "1ms" in text
+
+    def test_labels_aligned(self):
+        text = bar_chart([("short", 1), ("muchlonger", 2)], width=4)
+        lines = text.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_empty(self):
+        assert bar_chart([]) == "(no data)"
+
+    def test_zero_max(self):
+        text = bar_chart([("a", 0.0)], width=5)
+        assert "0" in text
+
+    def test_negative_rejected(self):
+        with pytest.raises(AnalysisError):
+            bar_chart([("a", -1.0)])
+
+    def test_width_validated(self):
+        with pytest.raises(AnalysisError):
+            bar_chart([("a", 1.0)], width=0)
+
+    def test_explicit_max_caps(self):
+        text = bar_chart([("a", 100.0)], width=4, max_value=50.0)
+        assert "████ 100" in text
+
+
+class TestSparkline:
+    def test_monotone(self):
+        assert sparkline([0, 1, 2, 3]) == "▁▃▅█"
+
+    def test_flat(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_range_mapping(self):
+        line = sparkline([0, 10])
+        assert line[0] == "▁" and line[1] == "█"
+
+
+class TestStaircase:
+    def test_layout(self):
+        text = staircase(
+            {"1/4": ["FULL", "2cls"], "2/2": ["FULL", "."]},
+            x_labels=["f=0", "f=1"],
+            legend="legend text",
+        )
+        lines = text.splitlines()
+        assert "f=0" in lines[0] and "f=1" in lines[0]
+        assert any("1/4" in l and "2cls" in l for l in lines)
+        assert lines[-1] == "legend text"
+
+    def test_mismatched_series_rejected(self):
+        with pytest.raises(AnalysisError):
+            staircase({"a": ["x"]}, x_labels=["1", "2"])
+
+    def test_empty(self):
+        assert staircase({}, x_labels=[]) == "(no data)"
+
+
+class TestLogBarChart:
+    def test_decades_spread(self):
+        text = log_bar_chart(
+            [("big", 1e-1), ("mid", 1e-4), ("tiny", 1e-8)], width=20
+        )
+        lines = text.splitlines()
+        bar_lengths = [l.count("█") for l in lines]
+        assert bar_lengths[0] > bar_lengths[1] > bar_lengths[2]
+
+    def test_floor_values_empty(self):
+        text = log_bar_chart([("a", 1e-1), ("z", 0.0)], width=10)
+        zero_line = text.splitlines()[1]
+        assert "█" not in zero_line
+
+    def test_floor_validated(self):
+        with pytest.raises(AnalysisError):
+            log_bar_chart([("a", 1.0)], floor=0)
+
+    def test_empty(self):
+        assert log_bar_chart([]) == "(no data)"

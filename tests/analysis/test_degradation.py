@@ -1,0 +1,72 @@
+"""Tests for degradation profiles."""
+
+import pytest
+
+from repro.analysis.degradation import DegradationProfile, degradation_profile
+from repro.core.spec import DegradableSpec
+from repro.exceptions import AnalysisError
+
+
+@pytest.fixture(scope="module")
+def profile():
+    spec = DegradableSpec(m=1, u=2, n_nodes=5)
+    return degradation_profile(spec, trials_per_level=40, seed=42)
+
+
+class TestProfileShape:
+    def test_levels_cover_all_fault_counts(self, profile):
+        assert [lvl.n_faulty for lvl in profile.levels] == [0, 1, 2, 3, 4]
+
+    def test_regimes_labelled(self, profile):
+        assert profile.level(0).regime == "byzantine"
+        assert profile.level(1).regime == "byzantine"
+        assert profile.level(2).regime == "degraded"
+        assert profile.level(3).regime == "none"
+
+    def test_trial_counts(self, profile):
+        assert all(lvl.trials == 40 for lvl in profile.levels)
+
+    def test_unknown_level_raises(self, profile):
+        with pytest.raises(AnalysisError):
+            profile.level(99)
+
+
+class TestPaperPredictions:
+    def test_full_band_clean(self, profile):
+        assert profile.full_band_clean()
+
+    def test_degraded_band_clean(self, profile):
+        assert profile.degraded_band_clean()
+
+    def test_core_agreement_floor(self, profile):
+        assert profile.core_agreement_floor() >= 2  # m + 1
+
+    def test_collapse_beyond_u_is_observable(self):
+        # With aggressive colluding adversaries at f > u the guarantee is
+        # gone; at f = N-1 with a single fault-free node outcomes are
+        # trivially unanimous, so probe f = u+1 with many trials.
+        spec = DegradableSpec(m=1, u=2, n_nodes=5)
+        profile = degradation_profile(spec, trials_per_level=150, seed=7)
+        beyond = profile.level(3)
+        assert beyond.regime == "none"
+        # some non-unanimous outcome (two-class or divergent) shows up
+        assert beyond.two_class + beyond.divergent > 0
+
+
+class TestRendering:
+    def test_render_contains_levels(self, profile):
+        text = profile.render()
+        assert "f=0" in text and "f=4" in text
+        assert "worst shape" in text
+        assert "min agreeing" in text
+        assert "non-unanimous outcomes per level" in text
+
+    def test_validation(self):
+        spec = DegradableSpec(m=1, u=2, n_nodes=5)
+        with pytest.raises(AnalysisError):
+            degradation_profile(spec, trials_per_level=0)
+
+    def test_max_faults_truncates(self):
+        spec = DegradableSpec(m=1, u=2, n_nodes=5)
+        profile = degradation_profile(spec, trials_per_level=5, max_faults=2)
+        assert len(profile.levels) == 3

@@ -1,0 +1,94 @@
+"""Tests for heterogeneous reliability and Pareto configuration analysis."""
+
+import itertools
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.reliability import (
+    fault_count_pmf,
+    heterogeneous_fault_pmf,
+    heterogeneous_reliability,
+    pareto_configurations,
+    reliability,
+)
+from repro.exceptions import AnalysisError
+
+
+def brute_force_pmf(p_nodes):
+    """Reference: enumerate all fault subsets."""
+    n = len(p_nodes)
+    pmf = [0.0] * (n + 1)
+    for bits in itertools.product([0, 1], repeat=n):
+        mass = 1.0
+        for p, bit in zip(p_nodes, bits):
+            mass *= p if bit else (1.0 - p)
+        pmf[sum(bits)] += mass
+    return pmf
+
+
+class TestHeterogeneousPmf:
+    def test_matches_brute_force(self):
+        p_nodes = [0.1, 0.3, 0.05, 0.2]
+        dp = heterogeneous_fault_pmf(p_nodes)
+        ref = brute_force_pmf(p_nodes)
+        for a, b in zip(dp, ref):
+            assert a == pytest.approx(b)
+
+    def test_reduces_to_binomial_when_iid(self):
+        dp = heterogeneous_fault_pmf([0.07] * 5)
+        binom = fault_count_pmf(5, 0.07)
+        for a, b in zip(dp, binom):
+            assert a == pytest.approx(b)
+
+    def test_sums_to_one(self):
+        pmf = heterogeneous_fault_pmf([0.5, 0.01, 0.99, 0.3])
+        assert math.isclose(sum(pmf), 1.0, rel_tol=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            heterogeneous_fault_pmf([])
+        with pytest.raises(AnalysisError):
+            heterogeneous_fault_pmf([0.5, 1.5])
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=8))
+    def test_pmf_is_distribution(self, p_nodes):
+        pmf = heterogeneous_fault_pmf(p_nodes)
+        assert len(pmf) == len(p_nodes) + 1
+        assert all(mass >= -1e-12 for mass in pmf)
+        assert math.isclose(sum(pmf), 1.0, rel_tol=1e-9)
+
+
+class TestHeterogeneousReliability:
+    def test_unreliable_sensor_hardened_channels(self):
+        # sensor at 10%, four channels at 1% — the realistic Figure 1(b).
+        point = heterogeneous_reliability(1, 2, [0.10, 0.01, 0.01, 0.01, 0.01])
+        iid = reliability(1, 2, 5, 0.028)  # same mean
+        # Concentrating failure mass on one node helps: a single flaky node
+        # is maskable (f=1 <= m), whereas spread-out faults co-occur more.
+        assert point.p_unsafe < iid.p_unsafe
+
+    def test_feasibility_checked(self):
+        with pytest.raises(AnalysisError):
+            heterogeneous_reliability(1, 2, [0.1] * 4)
+
+    def test_buckets_partition(self):
+        point = heterogeneous_reliability(1, 2, [0.2, 0.1, 0.1, 0.05, 0.05])
+        total = point.p_correct + point.p_safe_degraded + point.p_unsafe
+        assert math.isclose(total, 1.0, rel_tol=1e-12)
+
+    def test_mean_probability_reported(self):
+        point = heterogeneous_reliability(1, 2, [0.1, 0.2, 0.3, 0.2, 0.2])
+        assert point.p_node == pytest.approx(0.2)
+
+
+class TestPareto:
+    def test_all_maximal_configs_are_pareto(self):
+        points = pareto_configurations(7, 0.02)
+        assert {(p.m, p.u) for p in points} == {(2, 2), (1, 4), (0, 6)}
+
+    def test_larger_budget(self):
+        points = pareto_configurations(10, 0.05)
+        assert {(p.m, p.u) for p in points} == {(3, 3), (2, 5), (1, 7), (0, 9)}

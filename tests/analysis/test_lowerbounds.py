@@ -1,0 +1,141 @@
+"""Tests for the Theorem 2 / Theorem 3 scenario machinery."""
+
+import pytest
+
+from repro.analysis.lowerbounds import (
+    connectivity_scenarios,
+    make_groups,
+    run_scenario_triple,
+    theorem2_scenarios,
+)
+from repro.core.protocol import execute_degradable_protocol
+from repro.core.spec import sub_minimal_spec
+from repro.exceptions import AnalysisError
+
+
+class TestGroups:
+    def test_partition_shapes(self):
+        groups = make_groups(2, 3, 7)
+        assert len(groups.sender_extras) == 1
+        assert len(groups.group_a) == 2
+        assert len(groups.group_b) == 2
+        assert len(groups.group_c) == 1
+        assert len(groups.all_nodes) == 7
+
+    def test_m1_has_no_extras(self):
+        groups = make_groups(1, 2, 4)
+        assert groups.sender_extras == ()
+        assert len(groups.group_c) == 1
+
+    def test_disjointness(self):
+        groups = make_groups(3, 5, 11)
+        assert len(set(groups.all_nodes)) == 11
+
+    def test_m0_rejected(self):
+        with pytest.raises(AnalysisError):
+            make_groups(0, 3, 3)
+
+    def test_too_few_nodes_rejected(self):
+        with pytest.raises(AnalysisError):
+            make_groups(2, 2, 5)
+
+    def test_u_below_m_rejected(self):
+        with pytest.raises(AnalysisError):
+            make_groups(2, 1, 7)
+
+
+class TestScenarios:
+    def test_three_scenarios(self):
+        groups = make_groups(1, 2, 4)
+        scenarios = theorem2_scenarios(groups)
+        assert [s.name[:3] for s in scenarios] == ["(a)", "(b)", "(c)"]
+
+    def test_fault_counts(self):
+        groups = make_groups(2, 4, 8)  # N = 2m+u = 8
+        a, b, c = theorem2_scenarios(groups)
+        assert len(a.faulty) == 2  # m
+        assert len(b.faulty) == 2  # m (sender group)
+        assert len(c.faulty) == 4  # u
+
+    def test_alpha_beta_distinct(self):
+        groups = make_groups(1, 2, 4)
+        with pytest.raises(AnalysisError):
+            theorem2_scenarios(groups, alpha="x", beta="x")
+
+
+class TestTheorem2:
+    @pytest.mark.parametrize("m,u", [(1, 1), (1, 2), (1, 3), (2, 2), (2, 3), (3, 3)])
+    def test_below_bound_breaks(self, m, u):
+        result = run_scenario_triple(m, u, 2 * m + u)
+        assert not result.all_satisfied
+        assert result.violated
+
+    @pytest.mark.parametrize("m,u", [(1, 1), (1, 2), (1, 3), (2, 2), (2, 3), (3, 3)])
+    def test_at_bound_passes(self, m, u):
+        result = run_scenario_triple(m, u, 2 * m + u + 1)
+        assert result.all_satisfied, result.summary()
+
+    def test_summary_text(self):
+        result = run_scenario_triple(1, 2, 4)
+        text = result.summary()
+        assert "scenario triple" in text
+        assert "FAIL" in text
+
+    def test_indistinguishable_views(self):
+        """The proof's engine: the B-group's local message stream must be
+        identical in scenarios (a) and (b) at N = 2m+u."""
+        for m, u in [(1, 2), (2, 3)]:
+            n = 2 * m + u
+            spec = sub_minimal_spec(m, u, n)
+            groups = make_groups(m, u, n)
+            scenarios = theorem2_scenarios(groups)
+            views_ab = []
+            for scenario in scenarios[:2]:
+                _, engine = execute_degradable_protocol(
+                    spec,
+                    groups.all_nodes,
+                    groups.sender,
+                    scenario.sender_value,
+                    scenario.behaviors,
+                )
+                views_ab.append(
+                    {b: engine.trace.local_view(b) for b in groups.group_b}
+                )
+            assert views_ab[0] == views_ab[1], (m, u)
+
+    def test_a_group_views_match_b_and_c(self):
+        """Likewise the A-group cannot distinguish (b) from (c)."""
+        for m, u in [(1, 2), (2, 3)]:
+            n = 2 * m + u
+            spec = sub_minimal_spec(m, u, n)
+            groups = make_groups(m, u, n)
+            scenarios = theorem2_scenarios(groups)
+            views_bc = []
+            for scenario in scenarios[1:]:
+                _, engine = execute_degradable_protocol(
+                    spec,
+                    groups.all_nodes,
+                    groups.sender,
+                    scenario.sender_value,
+                    scenario.behaviors,
+                )
+                views_bc.append(
+                    {a: engine.trace.local_view(a) for a in groups.group_a}
+                )
+            assert views_bc[0] == views_bc[1], (m, u)
+
+
+class TestTheorem3:
+    @pytest.mark.parametrize("m,u", [(1, 2), (1, 3), (2, 3)])
+    def test_at_bound_passes(self, m, u):
+        result = connectivity_scenarios(m, u, m + u + 1)
+        assert result.both_satisfied
+
+    @pytest.mark.parametrize("m,u", [(1, 2), (1, 3), (2, 3)])
+    def test_below_bound_breaks(self, m, u):
+        result = connectivity_scenarios(m, u, m + u)
+        assert not result.both_satisfied
+
+    def test_connectivity_floor_validated(self):
+        with pytest.raises(AnalysisError):
+            connectivity_scenarios(2, 2, 3)  # below 2m+1 = 5

@@ -1,0 +1,93 @@
+"""Tests for the mixed Byzantine/crash fault study."""
+
+import pytest
+
+from repro.analysis.mixed_faults import (
+    MixedCell,
+    crash_only_envelope,
+    mixed_fault_grid,
+)
+from repro.core.spec import DegradableSpec
+from repro.exceptions import AnalysisError
+
+
+@pytest.fixture(scope="module")
+def study():
+    return mixed_fault_grid(
+        DegradableSpec(1, 2, 6), trials_per_cell=25, seed=3
+    )
+
+
+class TestGridShape:
+    def test_cells_cover_budgets(self, study):
+        budgets = {(c.n_byzantine, c.n_crash) for c in study.cells}
+        assert (0, 0) in budgets
+        assert (2, 0) in budgets
+        assert (0, 3) in budgets
+
+    def test_unknown_cell_raises(self, study):
+        with pytest.raises(AnalysisError):
+            study.cell(9, 9)
+
+    def test_render(self, study):
+        text = study.render()
+        assert "b=0" in text and "c=0" in text
+        assert "FULL" in text
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            mixed_fault_grid(DegradableSpec(1, 2, 5), trials_per_cell=0)
+
+
+class TestEmpiricalEnvelope:
+    def test_full_band_within_m(self, study):
+        assert study.cell(0, 0).level == "FULL"
+        assert study.cell(1, 0).level == "FULL"
+        assert study.cell(0, 1).level == "FULL"
+
+    def test_byzantine_budget_degrades_at_m_plus_1(self, study):
+        assert study.cell(2, 0).level == "2cls"
+
+    def test_degraded_band_never_lost_within_u_byzantine(self, study):
+        # The headline: as long as b <= u, no (b, c) cell in the measured
+        # grid loses the two-class property — crashes only add V_d.
+        for cell in study.cells:
+            if cell.vacuous:
+                continue
+            if cell.n_byzantine <= study.spec.u:
+                assert cell.level in ("FULL", "2cls"), (
+                    cell.n_byzantine,
+                    cell.n_crash,
+                )
+
+    def test_vacuous_cells_marked(self, study):
+        vacuous = [c for c in study.cells if c.vacuous]
+        assert vacuous
+        assert all(c.n_byzantine + c.n_crash == 5 for c in vacuous)
+        assert all(c.level == "n/a" for c in vacuous)
+
+
+class TestCrashOnly:
+    def test_two_class_survives_all_crash_counts(self):
+        spec = DegradableSpec(1, 2, 6)
+        envelope = crash_only_envelope(spec, trials_per_count=25)
+        for c, level in envelope.items():
+            if level == "n/a":
+                continue
+            assert level in ("FULL", "2cls"), (c, level)
+
+    def test_full_agreement_ends_with_vote_slack(self):
+        spec = DegradableSpec(1, 2, 6)
+        envelope = crash_only_envelope(spec, trials_per_count=25)
+        # With 6 nodes and m=1 the threshold n-1-m = 4 of 5 tolerates one
+        # missing ballot: c=1 keeps FULL, c=2 drops to two-class.
+        assert envelope[0] == "FULL"
+        assert envelope[1] == "FULL"
+        assert envelope[2] == "2cls"
+
+
+class TestCellLevel:
+    def test_partial_failures_are_dotted(self):
+        cell = MixedCell(n_byzantine=1, n_crash=0, trials=10,
+                         full_ok=5, degraded_ok=8)
+        assert cell.level == "."

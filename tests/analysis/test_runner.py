@@ -1,0 +1,51 @@
+"""Tests for the programmatic experiment runner."""
+
+import json
+
+import pytest
+
+from repro.analysis.runner import (
+    EXPERIMENTS,
+    run_experiments,
+    summarize,
+    write_results,
+)
+from repro.exceptions import AnalysisError
+
+
+class TestSelection:
+    def test_unknown_id_rejected(self):
+        with pytest.raises(AnalysisError):
+            run_experiments(["E999"])
+
+    def test_subset(self):
+        results = run_experiments(["E3", "E6"])
+        assert [r.experiment_id for r in results] == ["E3", "E6"]
+        assert all(r.passed for r in results)
+
+
+class TestIndividualExperiments:
+    @pytest.mark.parametrize("exp_id", sorted(EXPERIMENTS))
+    def test_experiment_passes(self, exp_id):
+        result = EXPERIMENTS[exp_id]()
+        assert result.passed, (exp_id, result.details)
+        assert result.duration_seconds >= 0
+        assert result.experiment_id == exp_id
+
+
+class TestReporting:
+    def test_summarize(self):
+        results = run_experiments(["E3"])
+        text = summarize(results)
+        assert "[PASS] E3" in text
+        assert "1/1 experiments passed" in text
+
+    def test_write_results_roundtrip(self, tmp_path):
+        results = run_experiments(["E6"])
+        path = tmp_path / "results.json"
+        write_results(results, str(path))
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == "repro-experiments/1"
+        assert payload["all_passed"] is True
+        assert payload["results"][0]["experiment_id"] == "E6"
+        assert "om_messages" in payload["results"][0]["details"]

@@ -1,0 +1,67 @@
+"""Tests for table rendering and the regenerated paper tables."""
+
+import pytest
+
+from repro.analysis.tables import (
+    render_table,
+    section2_min_nodes_table,
+    seven_node_tradeoff_table,
+)
+from repro.exceptions import AnalysisError
+
+
+class TestRenderTable:
+    def test_basic_shape(self):
+        text = render_table(["a", "b"], [[1, 2], [30, 40]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_none_renders_dash(self):
+        text = render_table(["x"], [[None]])
+        assert "-" in text.splitlines()[-1]
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(AnalysisError):
+            render_table(["a"], [[1, 2]])
+
+    def test_float_formatting(self):
+        text = render_table(["p"], [[0.123456789]])
+        assert "0.123457" in text
+
+    def test_alignment_consistent(self):
+        text = render_table(["col"], [[1], [100]])
+        lines = text.splitlines()
+        assert len(lines[1]) == len(lines[2]) == len(lines[3])
+
+
+class TestSection2Table:
+    def test_contains_paper_values(self):
+        text = section2_min_nodes_table()
+        # spot values from the formula 2m+u+1: (m=2,u=2)->7, (m=3,u=6)->13
+        assert " 7" in text
+        assert "13" in text
+
+    def test_dashes_for_invalid_cells(self):
+        text = section2_min_nodes_table()
+        # u=0 row must dash m>=1
+        row = [l for l in text.splitlines() if l.lstrip().startswith("0 |")][0]
+        assert row.count("-") >= 3
+
+    def test_custom_grid(self):
+        text = section2_min_nodes_table(m_values=[1], u_values=[1, 2])
+        assert "4" in text and "5" in text
+
+
+class TestTradeoffTable:
+    def test_seven_nodes(self):
+        text = seven_node_tradeoff_table(7)
+        assert "2/2-degradable" in text
+        assert "1/4-degradable" in text
+        assert "0/6-degradable" in text
+
+    def test_ten_nodes(self):
+        text = seven_node_tradeoff_table(10)
+        assert "3/3-degradable" in text
+        assert "0/9-degradable" in text

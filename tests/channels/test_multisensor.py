@@ -1,0 +1,131 @@
+"""Tests for the multi-sensor extension."""
+
+import pytest
+
+from repro.channels.multisensor import MultiSensorSystem, fault_tolerant_midpoint
+from repro.channels.voter import VoteOutcome
+from repro.core.behavior import ConstantLiar, LieAboutSender, TwoFacedBehavior
+from repro.exceptions import ConfigurationError
+
+
+class TestFaultTolerantMidpoint:
+    def test_no_discard(self):
+        assert fault_tolerant_midpoint([1.0, 2.0, 3.0], 0) == 2.0
+
+    def test_discards_extremes(self):
+        assert fault_tolerant_midpoint([0.0, 10.0, 11.0, 1000.0], 1) == 10.5
+
+    def test_wild_value_bounded(self):
+        # With one discard, a single arbitrary value cannot push the result
+        # outside the honest range.
+        honest = [9.0, 10.0, 11.0]
+        for wild in (-1e9, 1e9):
+            result = fault_tolerant_midpoint(honest + [wild], 1)
+            assert 9.0 <= result <= 11.0
+
+    def test_insufficient_readings(self):
+        assert fault_tolerant_midpoint([1.0, 2.0], 1) is None
+        assert fault_tolerant_midpoint([], 0) is None
+
+    def test_negative_discard(self):
+        with pytest.raises(ConfigurationError):
+            fault_tolerant_midpoint([1.0], -1)
+
+
+@pytest.fixture
+def system():
+    # 3 sensors (tolerating 1 sensor fault) + 4 channels, 1/2-degradable
+    # over the 7-node population.
+    return MultiSensorSystem(m=1, u=2, n_sensors=3, sensor_faults=1)
+
+
+class TestConstruction:
+    def test_population(self, system):
+        assert len(system.sensors) == 3
+        assert len(system.channels) == 4
+        assert system.spec.n_nodes == 7
+
+    def test_sensor_count_validated(self):
+        with pytest.raises(ConfigurationError):
+            MultiSensorSystem(m=1, u=2, n_sensors=2, sensor_faults=1)
+
+    def test_tolerance_validated(self):
+        with pytest.raises(ConfigurationError):
+            MultiSensorSystem(m=1, u=2, n_sensors=3, sensor_faults=1, tolerance=0)
+
+
+class TestCleanRuns:
+    def test_exact_sensors(self, system):
+        report = system.run(10.0)
+        assert report.verdict.outcome is VoteOutcome.CORRECT
+        assert all(v == 10.0 for v in report.fused.values())
+
+    def test_noisy_sensors_fuse_within_noise(self, system):
+        readings = {"sensor0": 9.9, "sensor1": 10.0, "sensor2": 10.1}
+        report = system.run(10.0, sensor_readings=readings)
+        assert report.max_fusion_error() <= 0.1
+        assert report.states_two_class()
+
+
+class TestFaultySensor:
+    def test_lying_sensor_bounded_by_fusion(self, system):
+        behaviors = {"sensor0": ConstantLiar(1e9)}
+        report = system.run(
+            10.0, behaviors=behaviors, faulty={"sensor0"}
+        )
+        # one wild sensor among three, fusion discards extremes:
+        assert report.max_fusion_error() == 0.0
+        assert report.verdict.outcome is VoteOutcome.CORRECT
+
+    def test_two_faced_sensor_within_m(self, system):
+        behaviors = {"sensor0": TwoFacedBehavior({"ch0": 0.0, "ch1": 99.0})}
+        report = system.run(10.0, behaviors=behaviors, faulty={"sensor0"})
+        # f=1 <= m: all fault-free channels agree on identical vectors,
+        # hence identical fused values.
+        fused = {report.fused[c] for c in report.fault_free_channels()}
+        assert len(fused) == 1
+
+
+class TestFaultyChannels:
+    def test_two_channel_faults_stay_safe(self, system):
+        behaviors = {
+            "ch0": LieAboutSender(77.0, "sensor0"),
+            "ch1": LieAboutSender(77.0, "sensor0"),
+        }
+        report = system.run(
+            10.0, behaviors=behaviors, faulty={"ch0", "ch1"}
+        )
+        assert report.verdict.outcome in (
+            VoteOutcome.CORRECT, VoteOutcome.DEFAULT
+        )
+        assert report.states_two_class()
+
+    def test_mixed_sensor_and_channel_fault(self, system):
+        behaviors = {
+            "sensor0": ConstantLiar(1e6),
+            "ch0": LieAboutSender(0.0, "sensor1"),
+        }
+        report = system.run(
+            10.0, behaviors=behaviors, faulty={"sensor0", "ch0"}
+        )
+        # f=2 <= u: no fault-free channel fuses a fabricated value far from
+        # truth, and the voter never reports an incorrect value.
+        assert report.verdict.outcome is not VoteOutcome.INCORRECT
+        error = report.max_fusion_error()
+        assert error is None or error <= 1.0
+
+
+class TestDefaultState:
+    def test_too_many_defaults_forces_safe_state(self):
+        # Every sensor faulty towards some channels: channels seeing > s
+        # suspect entries must land in the safe state, not fuse garbage.
+        system = MultiSensorSystem(m=1, u=2, n_sensors=3, sensor_faults=0)
+        behaviors = {
+            "sensor0": TwoFacedBehavior({"ch0": 1.0, "ch1": 2.0}),
+        }
+        report = system.run(
+            10.0, behaviors=behaviors, faulty={"sensor0"}
+        )
+        for channel in report.fault_free_channels():
+            fused = report.fused[channel]
+            assert fused is None or abs(fused - 10.0) <= 10.0

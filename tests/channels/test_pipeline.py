@@ -1,0 +1,194 @@
+"""Tests for the replicated state-machine pipeline."""
+
+import pytest
+
+from repro.channels.pipeline import ReplicatedPipeline
+from repro.channels.voter import VoteOutcome
+from repro.core.behavior import ChainLiar, LieAboutSender, SilentBehavior
+from repro.exceptions import ConfigurationError
+
+
+def counter_transition(state, value):
+    """Replicated accumulator: state' = state + value, output = state'."""
+    new_state = state + value
+    return new_state, new_state
+
+
+@pytest.fixture
+def pipeline():
+    return ReplicatedPipeline(
+        m=1, u=2, transition=counter_transition, initial_state=0
+    )
+
+
+def liars(nodes, sender="sensor", claim=999):
+    return {node: LieAboutSender(claim, sender) for node in nodes}
+
+
+class TestCleanOperation:
+    def test_lockstep_replication(self, pipeline):
+        for step, value in enumerate([3, 4, 5]):
+            record = pipeline.run_step(value)
+            assert record.advanced
+            assert not record.stale
+        assert pipeline.states_identical()
+        assert all(s == 12 for s in pipeline.states.values())
+        assert pipeline.stats.lockstep_steps == 3
+
+    def test_voter_tracks_reference(self, pipeline):
+        record = pipeline.run_step(7)
+        assert record.verdict.outcome is VoteOutcome.CORRECT
+        assert record.verdict.value == 7
+        record = pipeline.run_step(5)
+        assert record.verdict.value == 12
+
+
+class TestSingleFaultPerStep:
+    def test_states_stay_identical(self, pipeline):
+        for value in (1, 2, 3):
+            record = pipeline.run_step(
+                value,
+                faulty={"ch0"},
+                behaviors_per_attempt=[liars({"ch0"})],
+            )
+            assert record.verdict.outcome is VoteOutcome.CORRECT
+        assert pipeline.states_identical(faulty={"ch0"})
+        assert pipeline.stats.unsafe_steps == 0
+
+
+class TestDegradedStep:
+    def test_stale_channels_hold_safely(self, pipeline):
+        behaviors = liars({"ch0", "ch1"})
+        record = pipeline.run_step(
+            10,
+            faulty={"ch0", "ch1"},
+            behaviors_per_attempt=[behaviors] * 10,  # persists across retries
+        )
+        # Fault-free channels are in at most two classes: advanced or held.
+        assert pipeline.state_classes(faulty={"ch0", "ch1"}) <= 2
+        for channel in record.stale:
+            # a held channel kept its previous state (0)
+            assert pipeline.states[channel] == 0
+        assert record.verdict.outcome is not VoteOutcome.INCORRECT
+
+    def test_backward_recovery_rejoins_stale_channels(self, pipeline):
+        # Attempt 0 is degraded (two liars); the retry is clean — every
+        # fault-free channel, including the previously stale ones, applies
+        # the same input and the bank is identical again.
+        behaviors = liars({"ch0", "ch1"})
+        record = pipeline.run_step(
+            10,
+            faulty=set(),
+            behaviors_per_attempt=[behaviors, None],
+        )
+        assert record.attempts <= 2
+        assert record.advanced
+        assert pipeline.states_identical()
+        assert all(s == 10 for s in pipeline.states.values())
+
+    def test_persistent_default_holds_everything(self, pipeline):
+        behaviors = {"sensor": SilentBehavior()}
+        record = pipeline.run_step(
+            10,
+            faulty={"sensor"},
+            behaviors_per_attempt=[behaviors] * 10,
+        )
+        assert not record.advanced
+        assert pipeline.stats.held_steps == 1
+        assert all(s == 0 for s in pipeline.states.values())
+        # A held step does not advance the reference either: next clean
+        # step's expectation starts from the unadvanced state.
+        record = pipeline.run_step(5)
+        assert record.verdict.outcome is VoteOutcome.CORRECT
+        assert all(s == 5 for s in pipeline.states.values())
+
+
+class TestLongRun:
+    def test_mixed_mission(self, pipeline):
+        script = [
+            (1, set(), []),
+            (2, {"ch0"}, [liars({"ch0"})]),
+            (3, set(), [liars({"ch1", "ch2"}), None]),  # transient double
+            (4, set(), []),
+        ]
+        for value, faulty, attempts in script:
+            pipeline.run_step(value, faulty=faulty, behaviors_per_attempt=attempts)
+        assert pipeline.stats.steps == 4
+        assert pipeline.stats.unsafe_steps == 0
+        assert pipeline.states_identical(faulty={"ch0"})
+        assert pipeline.states["ch3"] == 1 + 2 + 3 + 4
+
+    def test_stats_accounting(self, pipeline):
+        pipeline.run_step(1)
+        pipeline.run_step(
+            2, faulty=set(), behaviors_per_attempt=[liars({"ch0", "ch1"}), None]
+        )
+        stats = pipeline.stats
+        assert stats.steps == 2
+        assert stats.retried_steps == 1
+        assert stats.max_stale_channels == 0  # final attempts were clean
+
+
+class TestValidation:
+    def test_negative_retries(self):
+        with pytest.raises(ConfigurationError):
+            ReplicatedPipeline(
+                m=1, u=2, transition=counter_transition, max_retries=-1
+            )
+
+
+class TestResync:
+    def test_recovered_channel_rejoins(self, pipeline):
+        # ch0 faulty for two steps, freezing its state...
+        pipeline.run_step(3, faulty={"ch0"}, behaviors_per_attempt=[liars({"ch0"})])
+        pipeline.run_step(4, faulty={"ch0"}, behaviors_per_attempt=[liars({"ch0"})])
+        assert pipeline.states["ch0"] == 0
+        assert pipeline.states["ch1"] == 7
+        # ...then recovers and resynchronizes by quorum state transfer.
+        rejoined = pipeline.resync(channels=["ch0"])
+        assert rejoined == ["ch0"]
+        assert pipeline.states["ch0"] == 7
+        assert pipeline.states_identical()
+
+    def test_no_quorum_stays_behind(self):
+        pipeline = ReplicatedPipeline(
+            m=1, u=2, transition=counter_transition, initial_state=0
+        )
+        pipeline.run_step(5)
+        # Two currently-faulty claimants + one behind channel: the honest
+        # up-to-date class has only 2 < m+u = 3 supporters.
+        pipeline.states["ch3"] = -99  # manually behind
+        rejoined = pipeline.resync(
+            channels=["ch3"], faulty={"ch0", "ch1"}
+        )
+        assert rejoined == []
+        assert pipeline.states["ch3"] == -99
+
+    def test_faulty_channel_never_resynced(self, pipeline):
+        pipeline.run_step(5)
+        assert pipeline.resync(channels=["ch0"], faulty={"ch0"}) == []
+
+    def test_fabricated_state_cannot_win(self, pipeline):
+        pipeline.run_step(5)
+        # u = 2 faulty claimants lie, but 2 < m+u: honest state still wins
+        # or no quorum — never the fabrication.
+        pipeline.states["ch3"] = -1
+        rejoined = pipeline.resync(channels=["ch3"], faulty={"ch0"})
+        # remaining honest claimants: ch1, ch2 at 5, ch3 at -1 -> no quorum
+        # of 3 for any single state unless honest state reaches it.
+        if rejoined:
+            assert pipeline.states["ch3"] == 5
+
+    def test_committed_steps_never_strand_fault_free(self, pipeline):
+        """The invariant behind resync's design: after any committed step
+        within the u-envelope, the stale set is empty."""
+        import itertools
+
+        for pair in itertools.combinations(pipeline.channels, 2):
+            record = pipeline.run_step(
+                1,
+                faulty=set(pair),
+                behaviors_per_attempt=[liars(set(pair))] * 3,
+            )
+            if record.advanced:
+                assert not record.stale

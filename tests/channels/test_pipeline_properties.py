@@ -1,0 +1,101 @@
+"""Property-based tests for the replicated pipeline."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.channels.pipeline import ReplicatedPipeline
+from repro.channels.voter import VoteOutcome
+from repro.core.behavior import ChainLiar, LieAboutSender, SilentBehavior
+
+
+def accumulator(state, value):
+    new_state = state + value
+    return new_state, new_state
+
+
+@st.composite
+def missions(draw):
+    """A random short mission script for a 1/2-degradable pipeline."""
+    n_steps = draw(st.integers(min_value=1, max_value=6))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    rng = random.Random(seed)
+    steps = []
+    for _ in range(n_steps):
+        value = rng.randint(1, 9)
+        f = rng.choice([0, 0, 1, 1, 2])  # bias towards small fault counts
+        channels = [f"ch{k}" for k in range(4)]
+        faulty_channels = rng.sample(channels, f)
+        attempts = []
+        persists = rng.random() < 0.4
+        behaviors = {
+            ch: rng.choice(
+                [
+                    LieAboutSender(999, "sensor"),
+                    ChainLiar(999, "sensor"),
+                    SilentBehavior(),
+                ]
+            )
+            for ch in faulty_channels
+        }
+        attempts.append(behaviors)
+        if persists:
+            attempts.append(dict(behaviors))
+        steps.append((value, frozenset(faulty_channels), attempts, persists))
+    return steps
+
+
+@settings(max_examples=50, deadline=None)
+@given(missions())
+def test_no_unsafe_steps_within_envelope(script):
+    """Fault counts never exceed u=2, so no step may act on a wrong value."""
+    pipeline = ReplicatedPipeline(
+        m=1, u=2, transition=accumulator, initial_state=0, max_retries=2
+    )
+    for value, faulty, attempts, _ in script:
+        record = pipeline.run_step(
+            value, faulty=faulty, behaviors_per_attempt=attempts
+        )
+        assert record.verdict.outcome is not VoteOutcome.INCORRECT
+    assert pipeline.stats.unsafe_steps == 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(missions())
+def test_state_classes_bounded(script):
+    """After every step, never-faulty channels occupy at most two state
+    classes (C.3 across time): fully-caught-up and stale."""
+    pipeline = ReplicatedPipeline(
+        m=1, u=2, transition=accumulator, initial_state=0, max_retries=2
+    )
+    ever_faulty = set()
+    for value, faulty, attempts, _ in script:
+        ever_faulty |= set(faulty)
+        pipeline.run_step(value, faulty=faulty, behaviors_per_attempt=attempts)
+    healthy = [ch for ch in pipeline.channels if ch not in ever_faulty]
+    states = {pipeline.states[ch] for ch in healthy}
+    assert len(states) <= 2
+
+
+@settings(max_examples=40, deadline=None)
+@given(missions())
+def test_reference_state_reachable(script):
+    """Some never-faulty channel always tracks the reference state exactly
+    when every final attempt advanced (no held steps)."""
+    pipeline = ReplicatedPipeline(
+        m=1, u=2, transition=accumulator, initial_state=0, max_retries=2
+    )
+    ever_faulty = set()
+    advanced_inputs = []
+    for value, faulty, attempts, _ in script:
+        ever_faulty |= set(faulty)
+        record = pipeline.run_step(
+            value, faulty=faulty, behaviors_per_attempt=attempts
+        )
+        if record.advanced:
+            advanced_inputs.append(value)
+    healthy = [ch for ch in pipeline.channels if ch not in ever_faulty]
+    if not healthy:
+        return
+    reference = sum(advanced_inputs)
+    assert any(pipeline.states[ch] == reference for ch in healthy) or not advanced_inputs

@@ -1,0 +1,189 @@
+"""Tests for the multiple-channel systems (conditions B.1 and C.1–C.3)."""
+
+import itertools
+
+import pytest
+
+from repro.channels.system import ByzantineChannelSystem, DegradableChannelSystem
+from repro.channels.voter import VoteOutcome
+from repro.core.behavior import LieAboutSender, TwoFacedBehavior
+from repro.core.values import DEFAULT
+from repro.exceptions import ConfigurationError
+
+
+def double(v):
+    return v * 2
+
+
+@pytest.fixture
+def degradable():
+    return DegradableChannelSystem(m=1, u=2, computation=double)
+
+
+@pytest.fixture
+def byzantine():
+    return ByzantineChannelSystem(m=1, computation=double)
+
+
+class TestConstruction:
+    def test_channel_count(self, degradable, byzantine):
+        assert len(degradable.channels) == 4  # 2m + u
+        assert len(byzantine.channels) == 3  # 3m
+
+    def test_voter_shapes(self, degradable, byzantine):
+        assert degradable.voter.k == 3 and degradable.voter.n == 4
+        assert byzantine.voter.n == 3
+
+    def test_unknown_faulty_id_rejected(self, degradable):
+        with pytest.raises(ConfigurationError):
+            degradable.run(1, faulty={"ghost"})
+
+    def test_byzantine_m_validated(self):
+        with pytest.raises(ConfigurationError):
+            ByzantineChannelSystem(m=0, computation=double)
+
+
+class TestConditionC1:
+    """Fault-free sender, f <= m channels faulty: correct external value."""
+
+    def test_fault_free(self, degradable):
+        report = degradable.run(21)
+        assert report.verdict.outcome is VoteOutcome.CORRECT
+        assert report.verdict.value == 42
+        assert report.condition_c1()
+
+    def test_any_single_faulty_channel(self, degradable):
+        for channel in degradable.channels:
+            behaviors = {channel: LieAboutSender(99, degradable.sender)}
+            report = degradable.run(
+                21, faulty={channel}, agreement_behaviors=behaviors
+            )
+            assert report.condition_c1(), channel
+
+
+class TestConditionC2:
+    """Fault-free sender, m < f <= u: correct value or default."""
+
+    def test_all_double_fault_patterns(self, degradable):
+        for pair in itertools.combinations(degradable.channels, 2):
+            behaviors = {
+                c: LieAboutSender(99, degradable.sender) for c in pair
+            }
+            report = degradable.run(
+                21, faulty=set(pair), agreement_behaviors=behaviors
+            )
+            assert report.condition_c2(), pair
+
+    def test_output_stage_faults_only(self, degradable):
+        # Channels agree correctly but hand the voter garbage.
+        pair = degradable.channels[:2]
+        report = degradable.run(21, faulty=set(pair))
+        assert report.condition_c2()
+
+
+class TestConditionC3:
+    def test_identical_states_within_m(self, degradable):
+        report = degradable.run(
+            21,
+            faulty={"ch0"},
+            agreement_behaviors={"ch0": LieAboutSender(99, "sensor")},
+        )
+        assert report.condition_c3_identical()
+
+    def test_two_class_states_within_u(self, degradable):
+        behaviors = {
+            "ch0": LieAboutSender(99, "sensor"),
+            "ch1": LieAboutSender(99, "sensor"),
+        }
+        report = degradable.run(
+            21, faulty={"ch0", "ch1"}, agreement_behaviors=behaviors
+        )
+        assert report.condition_c3_two_class()
+        # the non-faulty channels are in the agreed-input or default state
+        for ch in report.fault_free_channels():
+            assert report.agreed_inputs[ch] in (21, DEFAULT)
+
+
+class TestFaultySensor:
+    def test_within_m_all_channels_same_state(self, degradable):
+        behaviors = {
+            "sensor": TwoFacedBehavior({"ch0": 5, "ch1": 7})
+        }
+        report = degradable.run(
+            21, faulty={"sensor"}, agreement_behaviors=behaviors
+        )
+        assert report.sender_faulty
+        assert report.condition_c3_identical()
+
+    def test_voter_sees_common_value_or_default(self, degradable):
+        behaviors = {"sensor": TwoFacedBehavior({"ch0": 5, "ch1": 7})}
+        report = degradable.run(
+            21, faulty={"sensor"}, agreement_behaviors=behaviors
+        )
+        # The voter output is f(x) for the common agreed x, or the default.
+        assert (
+            report.verdict.value is DEFAULT
+            or report.verdict.value == double(list(report.agreed_inputs.values())[0])
+        )
+
+
+class TestByzantineBaselineBreaks:
+    def test_b1_within_m(self, byzantine):
+        report = byzantine.run(
+            21,
+            faulty={"ch0"},
+            agreement_behaviors={"ch0": LieAboutSender(99, "sensor")},
+        )
+        assert report.verdict.outcome is VoteOutcome.CORRECT
+
+    def test_unsafe_beyond_m(self, byzantine):
+        """The motivating failure: two colluding channels out-vote the one
+        honest channel and the external entity acts on a wrong value."""
+        behaviors = {
+            "ch0": LieAboutSender(99, "sensor"),
+            "ch1": LieAboutSender(99, "sensor"),
+        }
+
+        def forged_output(honest):
+            return 99 * 2
+
+        report = byzantine.run(
+            21,
+            faulty={"ch0", "ch1"},
+            agreement_behaviors=behaviors,
+            output_faults={"ch0": forged_output, "ch1": forged_output},
+        )
+        assert report.verdict.outcome is VoteOutcome.INCORRECT
+
+    def test_degradable_same_attack_stays_safe(self, degradable):
+        behaviors = {
+            "ch0": LieAboutSender(99, "sensor"),
+            "ch1": LieAboutSender(99, "sensor"),
+        }
+
+        def forged_output(honest):
+            return 99 * 2
+
+        report = degradable.run(
+            21,
+            faulty={"ch0", "ch1"},
+            agreement_behaviors=behaviors,
+            output_faults={"ch0": forged_output, "ch1": forged_output},
+        )
+        assert report.verdict.outcome in (VoteOutcome.CORRECT, VoteOutcome.DEFAULT)
+
+
+class TestDefaultStatePropagation:
+    def test_channel_in_default_state_outputs_default(self, degradable):
+        # Force a degraded split so some channel lands on V_d: that channel
+        # must hand V_d to the voter (the "safe state" of C.3).
+        behaviors = {
+            "ch0": LieAboutSender(99, "sensor"),
+            "ch1": LieAboutSender(99, "sensor"),
+        }
+        report = degradable.run(
+            21, faulty={"ch0", "ch1"}, agreement_behaviors=behaviors
+        )
+        for ch in report.fault_free_channels():
+            if report.agreed_inputs[ch] is DEFAULT:
+                assert report.channel_outputs[ch] is DEFAULT

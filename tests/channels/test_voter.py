@@ -1,0 +1,71 @@
+"""Unit tests for the external voters."""
+
+import pytest
+
+from repro.channels.voter import ExternalVoter, MajorityVoter, VoteOutcome
+from repro.core.values import DEFAULT
+from repro.exceptions import ConfigurationError
+
+
+class TestExternalVoter:
+    def test_paper_configuration(self):
+        voter = ExternalVoter.for_degradable(m=1, u=2)
+        assert voter.k == 3 and voter.n == 4
+
+    def test_vote_threshold(self):
+        voter = ExternalVoter(3, 4)
+        assert voter.vote(["v", "v", "v", "x"]) == "v"
+        assert voter.vote(["v", "v", "x", "y"]) is DEFAULT
+
+    def test_default_wins_when_quorum_defaults(self):
+        voter = ExternalVoter(3, 4)
+        assert voter.vote([DEFAULT, DEFAULT, DEFAULT, "v"]) is DEFAULT
+
+    def test_wrong_output_count_rejected(self):
+        voter = ExternalVoter(3, 4)
+        with pytest.raises(ConfigurationError):
+            voter.vote(["v", "v"])
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            ExternalVoter(0, 4)
+        with pytest.raises(ConfigurationError):
+            ExternalVoter(5, 4)
+
+    def test_judge_correct(self):
+        voter = ExternalVoter(3, 4)
+        verdict = voter.judge(["v", "v", "v", "x"], expected="v")
+        assert verdict.outcome is VoteOutcome.CORRECT
+        assert verdict.safe
+
+    def test_judge_default(self):
+        voter = ExternalVoter(3, 4)
+        verdict = voter.judge(["v", "x", "y", "z"], expected="v")
+        assert verdict.outcome is VoteOutcome.DEFAULT
+        assert verdict.safe
+
+    def test_judge_incorrect(self):
+        voter = ExternalVoter(3, 4)
+        verdict = voter.judge(["w", "w", "w", "v"], expected="v")
+        assert verdict.outcome is VoteOutcome.INCORRECT
+        assert not verdict.safe
+
+    def test_repr(self):
+        assert "3-out-of-4" in repr(ExternalVoter(3, 4))
+
+
+class TestMajorityVoter:
+    def test_vote(self):
+        voter = MajorityVoter(3)
+        assert voter.vote(["v", "v", "x"]) == "v"
+        assert voter.vote(["v", "x", "y"]) is DEFAULT
+
+    def test_judge(self):
+        voter = MajorityVoter(3)
+        assert voter.judge(["w", "w", "v"], "v").outcome is VoteOutcome.INCORRECT
+
+    def test_size_validated(self):
+        with pytest.raises(ConfigurationError):
+            MajorityVoter(0)
+        with pytest.raises(ConfigurationError):
+            MajorityVoter(3).vote(["v"])

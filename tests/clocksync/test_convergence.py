@@ -1,0 +1,103 @@
+"""Tests for the interactive convergence baseline."""
+
+import pytest
+
+from repro.clocksync.convergence import InteractiveConvergence, max_tolerable_faults
+from repro.exceptions import ConfigurationError
+from repro.sim.clock import ClockEnsemble, ConstantFace, TwoFacedClock
+
+
+def good_ensemble(n, spread=0.1):
+    ens = ClockEnsemble()
+    for i in range(n):
+        ens.add_good(f"c{i}", offset=spread * i / max(n - 1, 1))
+    return ens
+
+
+class TestValidation:
+    def test_delta_positive(self):
+        with pytest.raises(ConfigurationError):
+            InteractiveConvergence(good_ensemble(4), delta=0)
+
+    def test_period_and_rounds(self):
+        algo = InteractiveConvergence(good_ensemble(4), delta=1.0)
+        with pytest.raises(ConfigurationError):
+            algo.run(period=0, n_rounds=1)
+        with pytest.raises(ConfigurationError):
+            algo.run(period=1, n_rounds=0)
+
+
+class TestFaultFreeConvergence:
+    def test_skew_contracts(self):
+        ens = good_ensemble(5, spread=0.2)
+        algo = InteractiveConvergence(ens, delta=0.5)
+        report = algo.resync(10.0)
+        assert report.skew_after < report.skew_before
+
+    def test_repeated_rounds_converge(self):
+        ens = good_ensemble(5, spread=0.2)
+        algo = InteractiveConvergence(ens, delta=0.5)
+        history = algo.run(period=10.0, n_rounds=6)
+        assert history.final_skew < 0.01
+        assert history.converged(bound=0.2)
+
+    def test_identical_clocks_stay_identical(self):
+        ens = good_ensemble(4, spread=0.0)
+        algo = InteractiveConvergence(ens, delta=0.5)
+        history = algo.run(period=10.0, n_rounds=3)
+        assert history.final_skew == pytest.approx(0.0)
+
+
+class TestFaultyWithinBound:
+    def test_constant_faulty_clock_filtered(self):
+        ens = good_ensemble(5, spread=0.1)
+        ens.add_faulty("stuck", ConstantFace(500.0))
+        algo = InteractiveConvergence(ens, delta=0.3)
+        history = algo.run(period=10.0, n_rounds=5)
+        # 1 < 6/3: must converge despite the wild clock
+        assert history.final_skew < 0.01
+
+    def test_two_faced_within_bound(self):
+        ens = good_ensemble(6, spread=0.1)
+        ens.add_faulty("tf", TwoFacedClock({"c0": 5.0, "c1": -5.0}, 0.0))
+        algo = InteractiveConvergence(ens, delta=0.3)
+        history = algo.run(period=10.0, n_rounds=5)
+        assert history.final_skew < 0.05
+
+    def test_max_tolerable(self):
+        assert max_tolerable_faults(7) == 2
+        assert max_tolerable_faults(3) == 0
+        with pytest.raises(ConfigurationError):
+            max_tolerable_faults(0)
+
+
+class TestBeyondBound:
+    def test_third_faulty_can_prevent_convergence(self):
+        """With N/3 two-faced clocks pulling honest nodes apart, skew can
+        stay large — the impossibility the paper cites ([3], [5])."""
+        ens = ClockEnsemble()
+        for i in range(4):
+            ens.add_good(f"c{i}", offset=0.0)
+        for k in range(3):  # 3 of 7 >= N/3
+            ens.add_faulty(
+                f"bad{k}", TwoFacedClock({"c0": 3.0, "c1": 3.0}, -3.0)
+            )
+        algo = InteractiveConvergence(ens, delta=4.0)
+        history = algo.run(period=10.0, n_rounds=6)
+        assert history.final_skew > 1.0
+
+
+class TestReports:
+    def test_corrections_recorded(self):
+        ens = good_ensemble(4, spread=0.2)
+        algo = InteractiveConvergence(ens, delta=0.5)
+        report = algo.resync(5.0)
+        assert set(report.corrections) == set(ens.fault_free)
+
+    def test_history_accessors_empty(self):
+        from repro.clocksync.convergence import SyncHistory
+
+        history = SyncHistory()
+        assert history.final_skew == 0.0
+        assert history.max_skew == 0.0
+        assert history.converged(0.1)

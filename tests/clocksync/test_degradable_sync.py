@@ -1,0 +1,117 @@
+"""Tests for m/u-degradable clock synchronization (Section 6.1)."""
+
+import pytest
+
+from repro.clocksync.degradable import DegradableClockSync
+from repro.core.spec import DegradableSpec
+from repro.exceptions import ConfigurationError
+from repro.sim.clock import ClockEnsemble, ConstantFace, SkewedFace, TwoFacedClock
+
+
+def ensemble(n_good, faulty_faces=None, spread=0.05):
+    ens = ClockEnsemble()
+    for i in range(n_good):
+        ens.add_good(f"c{i}", offset=spread * i / max(n_good - 1, 1))
+    for name, face in (faulty_faces or {}).items():
+        ens.add_faulty(name, face)
+    return ens
+
+
+@pytest.fixture
+def spec():
+    return DegradableSpec(m=1, u=2, n_nodes=7)
+
+
+class TestValidation:
+    def test_node_count_must_match(self, spec):
+        with pytest.raises(ConfigurationError):
+            DegradableClockSync(ensemble(5), spec, delta=0.2)
+
+    def test_delta_positive(self, spec):
+        with pytest.raises(ConfigurationError):
+            DegradableClockSync(ensemble(7), spec, delta=0)
+
+    def test_period_and_rounds(self, spec):
+        sync = DegradableClockSync(ensemble(7), spec, delta=0.2)
+        with pytest.raises(ConfigurationError):
+            sync.run(period=0, n_rounds=2)
+
+
+class TestCondition1:
+    """f <= m: all fault-free clocks synchronized, approximating real time."""
+
+    def test_no_faults(self, spec):
+        ens = ensemble(7)
+        report = DegradableClockSync(ens, spec, delta=0.2).run(10.0, 4)
+        assert report.condition1_holds(skew_bound=0.05, error_bound=0.5)
+        assert not report.final.detectors
+
+    def test_one_wild_clock(self, spec):
+        ens = ensemble(6, {"bad": ConstantFace(999.0)})
+        report = DegradableClockSync(ens, spec, delta=0.2).run(10.0, 4)
+        assert report.condition1_holds(skew_bound=0.05, error_bound=0.5)
+
+    def test_one_two_faced_clock(self, spec):
+        ens = ensemble(6, {"bad": TwoFacedClock({"c0": 2.0, "c1": -2.0}, 0.0)})
+        report = DegradableClockSync(ens, spec, delta=0.2).run(10.0, 4)
+        assert report.condition1_holds(skew_bound=0.05, error_bound=0.5)
+
+    def test_one_fast_clock(self, spec):
+        ens = ensemble(6, {"bad": SkewedFace(rate=2.0)})
+        report = DegradableClockSync(ens, spec, delta=0.2).run(10.0, 4)
+        assert report.condition1_holds(skew_bound=0.05, error_bound=0.5)
+
+
+class TestCondition2:
+    """m < f <= u: m+1 synced clocks OR m+1 detectors."""
+
+    @pytest.mark.parametrize("faces", [
+        {"b0": ConstantFace(999.0), "b1": ConstantFace(-999.0)},
+        {"b0": TwoFacedClock({"c0": 5.0}, -5.0), "b1": ConstantFace(50.0)},
+        {"b0": TwoFacedClock({"c0": 5.0, "c1": -5.0}, 9.0),
+         "b1": TwoFacedClock({"c2": 5.0, "c3": -5.0}, 9.0)},
+        {"b0": SkewedFace(2.0), "b1": SkewedFace(0.5)},
+    ])
+    def test_aggressive_adversaries(self, spec, faces):
+        ens = ensemble(5, faces)
+        report = DegradableClockSync(ens, spec, delta=0.2).run(10.0, 4)
+        assert report.condition2_holds(ens, skew_bound=0.2, error_bound=1.0)
+
+    def test_subtle_adversary_keeps_clocks_synced(self, spec):
+        # Faulty clocks staying within delta of honest ones cannot trigger
+        # detection — but then their influence on the average is bounded
+        # and the fault-free clocks simply stay synchronized.
+        faces = {
+            "b0": TwoFacedClock({}, fallback_offset=0.1),
+            "b1": TwoFacedClock({}, fallback_offset=-0.1),
+        }
+        ens = ensemble(5, faces)
+        report = DegradableClockSync(ens, spec, delta=0.3).run(10.0, 4)
+        assert report.condition2_holds(ens, skew_bound=0.3, error_bound=1.0)
+        # in this gentle case the first disjunct should be the one that holds
+        assert len(report.final.detectors) == 0
+
+
+class TestDetection:
+    def test_detection_flag_is_sound(self, spec):
+        """No fault-free node may raise the flag when f <= m."""
+        ens = ensemble(6, {"bad": ConstantFace(999.0)})
+        report = DegradableClockSync(ens, spec, delta=0.2).run(10.0, 3)
+        for round_report in report.rounds:
+            assert not round_report.detectors
+
+    def test_detectors_do_not_adjust(self, spec):
+        faces = {"b0": ConstantFace(99.0), "b1": ConstantFace(-99.0)}
+        ens = ensemble(5, faces)
+        sync = DegradableClockSync(ens, spec, delta=0.2)
+        round_report = sync.resync(10.0)
+        assert round_report.detectors.isdisjoint(round_report.adjusters)
+
+
+class TestReport:
+    def test_final_requires_rounds(self, spec):
+        from repro.clocksync.degradable import DegradableSyncReport
+
+        report = DegradableSyncReport(spec=spec, n_faulty=0)
+        with pytest.raises(ConfigurationError):
+            report.final

@@ -1,0 +1,70 @@
+"""Tests for the conjecture evaluation harness."""
+
+import pytest
+
+from repro.clocksync.evaluation import (
+    ADVERSARY_FAMILIES,
+    ConjectureCell,
+    ConjectureEvaluation,
+    evaluate_conjecture,
+)
+from repro.core.spec import DegradableSpec
+from repro.exceptions import AnalysisError
+from repro.sim.clock import ConstantFace
+
+
+@pytest.fixture(scope="module")
+def evaluation():
+    return evaluate_conjecture(DegradableSpec(m=1, u=2, n_nodes=7))
+
+
+class TestGrid:
+    def test_covers_all_families_and_fault_counts(self, evaluation):
+        combos = {(c.adversary, c.n_faulty) for c in evaluation.cells}
+        assert combos == {
+            (name, f)
+            for name in ADVERSARY_FAMILIES
+            for f in range(3)
+        }
+
+    def test_condition_assignment(self, evaluation):
+        for cell in evaluation.cells:
+            assert cell.condition == (1 if cell.n_faulty <= 1 else 2)
+
+    def test_conjecture_supported(self, evaluation):
+        assert evaluation.all_hold
+        assert evaluation.counterexamples == []
+
+    def test_render(self, evaluation):
+        text = evaluation.render()
+        assert "evidence FOR the conjecture" in text
+        assert "two-faced" in text
+
+    def test_rounds_validated(self):
+        with pytest.raises(AnalysisError):
+            evaluate_conjecture(
+                DegradableSpec(m=1, u=2, n_nodes=7), n_rounds=0
+            )
+
+
+class TestCustomFamilies:
+    def test_single_family(self):
+        evaluation = evaluate_conjecture(
+            DegradableSpec(m=1, u=1, n_nodes=5),
+            families={"stuck": lambda k: ConstantFace(100.0)},
+        )
+        assert {c.adversary for c in evaluation.cells} == {"stuck"}
+        assert evaluation.all_hold
+
+    def test_failing_cells_reported(self):
+        # An evaluation object with a synthetic failure renders honestly.
+        evaluation = ConjectureEvaluation(
+            spec=DegradableSpec(m=1, u=2, n_nodes=7),
+            skew_bound=0.1,
+            error_bound=0.1,
+            cells=[
+                ConjectureCell("x", 2, 2, False, 9.9, 0),
+            ],
+        )
+        assert not evaluation.all_hold
+        assert "FAILED" in evaluation.render()

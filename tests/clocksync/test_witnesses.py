@@ -1,0 +1,94 @@
+"""Tests for the witness-clock construction (Section 6.2)."""
+
+import pytest
+
+from repro.clocksync.witnesses import (
+    WitnessedClockSystem,
+    witnesses_needed,
+)
+from repro.exceptions import ConfigurationError
+from repro.sim.clock import ConstantFace, TwoFacedClock
+
+
+class TestWitnessesNeeded:
+    def test_paper_example(self):
+        # Figure 1(b): 5 node clocks; tolerating 2 clock faults needs 7
+        # clocks -> 2 witnesses ("one may use two more clocks").
+        assert witnesses_needed(5, 2) == 2
+
+    def test_enough_processors_means_no_witnesses(self):
+        assert witnesses_needed(7, 2) == 0
+        assert witnesses_needed(10, 3) == 0
+
+    def test_zero_faults(self):
+        assert witnesses_needed(1, 0) == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            witnesses_needed(0, 1)
+        with pytest.raises(ConfigurationError):
+            witnesses_needed(3, -1)
+
+
+def build_system(n_proc=5, clock_faults=2):
+    extra = witnesses_needed(n_proc, clock_faults)
+    system = WitnessedClockSystem(
+        processors=[f"p{k}" for k in range(n_proc)],
+        n_witnesses=extra,
+        delta=0.2,
+    )
+    return system
+
+
+class TestWitnessedSystem:
+    def test_missing_clocks_detected(self):
+        system = build_system()
+        system.add_good_clock("p0")
+        with pytest.raises(ConfigurationError):
+            system.run(period=10, n_rounds=2)
+
+    def test_full_run_within_spec(self):
+        system = build_system()
+        for k, proc in enumerate(system.processors):
+            system.add_good_clock(proc, offset=0.01 * k)
+        witnesses = system.witnesses
+        system.add_faulty_clock(witnesses[0], ConstantFace(77.0))
+        system.add_faulty_clock(witnesses[1], TwoFacedClock({"p0": 1.0}, -1.0))
+        report = system.run(period=10.0, n_rounds=5)
+        assert report.within_spec
+        assert report.history.final_skew < 0.01
+        assert set(report.processor_times) == set(system.processors)
+
+    def test_processor_clock_fault_tolerated(self):
+        # A fault on a *processor's* clock (not a witness) is tolerated the
+        # same way, and that processor is excluded from the time readout.
+        system = build_system()
+        system.add_faulty_clock("p0", ConstantFace(123.0))
+        for proc in system.processors[1:]:
+            system.add_good_clock(proc)
+        for w in system.witnesses:
+            system.add_good_clock(w)
+        report = system.run(period=10.0, n_rounds=3)
+        assert report.within_spec
+        assert "p0" not in report.processor_times
+        assert report.history.final_skew < 0.01
+
+    def test_beyond_spec_flagged(self):
+        system = build_system(n_proc=5, clock_faults=2)
+        faulty = ["p0", "p1", "p2"]  # 3 of 7 >= a third
+        for proc in faulty:
+            system.add_faulty_clock(proc, ConstantFace(50.0))
+        for proc in system.processors[3:]:
+            system.add_good_clock(proc)
+        for w in system.witnesses:
+            system.add_good_clock(w)
+        report = system.run(period=10.0, n_rounds=3)
+        assert not report.within_spec
+
+    def test_negative_witnesses_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WitnessedClockSystem(["p0"], n_witnesses=-1, delta=0.2)
+
+    def test_clock_population(self):
+        system = build_system(5, 2)
+        assert len(system.clock_units) == 7

@@ -1,0 +1,36 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DegradableSpec
+
+
+def node_names(n: int, sender: str = "S") -> list:
+    """Standard node naming: sender 'S' plus 'p1'..'p(n-1)'."""
+    return [sender] + [f"p{k}" for k in range(1, n)]
+
+
+@pytest.fixture
+def spec_1_2() -> DegradableSpec:
+    """The paper's running example: 1/2-degradable at minimum size (5)."""
+    return DegradableSpec(m=1, u=2, n_nodes=5)
+
+
+@pytest.fixture
+def spec_1_2_roomy() -> DegradableSpec:
+    """1/2-degradable with slack nodes (7 > 5)."""
+    return DegradableSpec(m=1, u=2, n_nodes=7)
+
+
+@pytest.fixture
+def spec_2_3() -> DegradableSpec:
+    """A deeper recursion instance: 2/3-degradable at minimum size (8)."""
+    return DegradableSpec(m=2, u=3, n_nodes=8)
+
+
+@pytest.fixture
+def spec_0_3() -> DegradableSpec:
+    """The m = 0 special case (paper omits it; we implement it)."""
+    return DegradableSpec(m=0, u=3, n_nodes=4)

@@ -1,0 +1,138 @@
+"""Unit tests for the resource-bound algebra (Section 2/5 formulas)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.bounds import (
+    configurations,
+    feasible,
+    max_byzantine_faults,
+    max_u,
+    min_connectivity,
+    min_nodes,
+    min_nodes_table,
+    trade_off_curve,
+)
+from repro.exceptions import AnalysisError
+
+
+class TestMinNodes:
+    def test_formula(self):
+        assert min_nodes(1, 2) == 5
+        assert min_nodes(2, 2) == 7
+        assert min_nodes(0, 6) == 7
+
+    def test_reduces_to_lamport(self):
+        # m = u: classic 3m + 1.
+        for m in range(6):
+            assert min_nodes(m, m) == 3 * m + 1
+
+    def test_rejects_u_below_m(self):
+        with pytest.raises(AnalysisError):
+            min_nodes(3, 2)
+
+    def test_rejects_negative_m(self):
+        with pytest.raises(AnalysisError):
+            min_nodes(-1, 2)
+
+    @given(st.integers(0, 20), st.integers(0, 20))
+    def test_monotonic_in_both_parameters(self, m, du):
+        u = m + du
+        assert min_nodes(m, u + 1) == min_nodes(m, u) + 1
+        assert min_nodes(m + 1, u + 1) == min_nodes(m, u) + 3
+
+
+class TestMinConnectivity:
+    def test_formula(self):
+        assert min_connectivity(1, 2) == 4
+        assert min_connectivity(2, 3) == 6
+
+    def test_reduces_to_classic(self):
+        for m in range(6):
+            assert min_connectivity(m, m) == 2 * m + 1
+
+    def test_connectivity_below_node_bound(self):
+        # connectivity bound is always satisfiable inside the node bound:
+        # m+u+1 <= 2m+u+1 - 1 nodes' worth of neighbours when m >= 1.
+        for m in range(1, 5):
+            for u in range(m, m + 5):
+                assert min_connectivity(m, u) <= min_nodes(m, u) - 1
+
+
+class TestMaxU:
+    def test_inverse_of_min_nodes(self):
+        assert max_u(1, 7) == 4
+        assert max_u(2, 7) == 2
+        assert max_u(0, 7) == 6
+
+    def test_infeasible_m(self):
+        with pytest.raises(AnalysisError):
+            max_u(3, 7)  # needs 10 nodes
+
+    @given(st.integers(0, 5), st.integers(0, 10))
+    def test_roundtrip(self, m, slack):
+        n = 3 * m + 1 + slack
+        u = max_u(m, n)
+        assert u >= m
+        assert min_nodes(m, u) <= n
+        assert min_nodes(m, u + 1) > n
+
+
+class TestMaxByzantineFaults:
+    def test_classic_values(self):
+        assert max_byzantine_faults(4) == 1
+        assert max_byzantine_faults(7) == 2
+        assert max_byzantine_faults(3) == 0
+
+    def test_invalid(self):
+        with pytest.raises(AnalysisError):
+            max_byzantine_faults(0)
+
+
+class TestFeasible:
+    def test_boundary(self):
+        assert feasible(1, 2, 5)
+        assert not feasible(1, 2, 4)
+
+    def test_bad_params_are_infeasible_not_errors(self):
+        assert not feasible(2, 1, 100)
+        assert not feasible(-1, 0, 100)
+
+
+class TestConfigurations:
+    def test_paper_seven_node_example(self):
+        # "given a system consisting of 7 nodes, one may achieve ...
+        #  2/2-degradable, 1/4-degradable, or 0/6-degradable agreement"
+        assert set(configurations(7)) == {(2, 2), (1, 4), (0, 6)}
+
+    def test_each_configuration_is_maximal(self):
+        for n in range(1, 20):
+            for m, u in configurations(n):
+                assert feasible(m, u, n)
+                assert not feasible(m, u + 1, n)
+
+    def test_trade_off_curve_sorted(self):
+        curve = trade_off_curve(10)
+        assert curve == sorted(curve)
+        # one unit of m costs two units of u
+        for (m1, u1), (m2, u2) in zip(curve, curve[1:]):
+            assert m2 == m1 + 1
+            assert u1 == u2 + 2
+
+
+class TestMinNodesTable:
+    def test_default_grid_shape(self):
+        table = min_nodes_table()
+        assert len(table) == 7  # u in 0..6
+        assert all(len(row) == 4 for row in table)  # m in 0..3
+
+    def test_dash_cells(self):
+        table = min_nodes_table()
+        # u=0 row: only m=0 defined
+        assert table[0] == [1, None, None, None]
+        # u=2 row: m=0,1,2 defined, m=3 dashed
+        assert table[2] == [3, 5, 7, None]
+
+    def test_values_match_formula(self):
+        table = min_nodes_table(m_values=[1, 2], u_values=[2, 3])
+        assert table == [[5, 7], [6, 8]]

@@ -1,0 +1,251 @@
+"""Tests for algorithm BYZ (functional implementation) against D.1–D.4.
+
+These are the paper's Lemmas made executable: for every fault pattern
+within the envelope, the appropriate condition must hold; the tests also
+pin down the exact decisions for hand-checkable small cases.
+"""
+
+import itertools
+
+import pytest
+
+from repro.core.behavior import (
+    ConstantLiar,
+    EchoAsBehavior,
+    LieAboutSender,
+    SilentBehavior,
+    TwoFacedBehavior,
+)
+from repro.core.byz import message_count, run_degradable_agreement
+from repro.core.conditions import classify
+from repro.core.spec import DegradableSpec
+from repro.core.values import DEFAULT
+from repro.exceptions import ConfigurationError
+from tests.conftest import node_names
+
+
+def run(spec, behaviors=None, sender_value="alpha", nodes=None):
+    nodes = nodes or node_names(spec.n_nodes)
+    return run_degradable_agreement(spec, nodes, nodes[0], sender_value, behaviors)
+
+
+class TestValidation:
+    def test_node_count_must_match_spec(self, spec_1_2):
+        with pytest.raises(ConfigurationError):
+            run_degradable_agreement(spec_1_2, ["S", "A"], "S", 1)
+
+    def test_sender_must_be_member(self, spec_1_2):
+        with pytest.raises(ConfigurationError):
+            run_degradable_agreement(
+                spec_1_2, node_names(5), "ghost", 1
+            )
+
+    def test_duplicate_nodes_rejected(self, spec_1_2):
+        with pytest.raises(ConfigurationError):
+            run_degradable_agreement(
+                spec_1_2, ["S", "A", "A", "B", "C"], "S", 1
+            )
+
+
+class TestFaultFree:
+    def test_all_receivers_adopt_sender_value(self, spec_1_2):
+        result = run(spec_1_2)
+        assert all(v == "alpha" for v in result.decisions.values())
+
+    def test_sender_decides_own_value(self, spec_1_2):
+        result = run(spec_1_2)
+        assert result.decision_of("S") == "alpha"
+
+    def test_various_value_types(self, spec_1_2):
+        for value in [0, "", (1, 2), frozenset({3}), None, 3.14]:
+            result = run(spec_1_2, sender_value=value)
+            assert all(v == value for v in result.decisions.values())
+
+    def test_larger_system(self):
+        spec = DegradableSpec(m=2, u=4, n_nodes=9)
+        result = run(spec)
+        assert all(v == "alpha" for v in result.decisions.values())
+
+
+class TestConditionD1:
+    """Fault-free sender, f <= m: every fault-free receiver gets its value."""
+
+    @pytest.mark.parametrize("adversary", [
+        ConstantLiar("zeta"),
+        SilentBehavior(),
+        EchoAsBehavior("zeta"),
+        LieAboutSender("zeta", "S"),
+        TwoFacedBehavior({"p2": "x", "p3": "y"}),
+    ])
+    def test_single_faulty_receiver(self, spec_1_2, adversary):
+        result = run(spec_1_2, {"p1": adversary})
+        fault_free = {n: v for n, v in result.decisions.items() if n != "p1"}
+        assert all(v == "alpha" for v in fault_free.values())
+
+    def test_every_position_of_the_faulty_receiver(self, spec_1_2):
+        nodes = node_names(5)
+        for bad in nodes[1:]:
+            result = run(spec_1_2, {bad: ConstantLiar("zeta")})
+            for node, value in result.decisions.items():
+                if node != bad:
+                    assert value == "alpha"
+
+    def test_m2_with_two_faulty_receivers(self, spec_2_3):
+        nodes = node_names(8)
+        for bad_pair in itertools.combinations(nodes[1:], 2):
+            behaviors = {b: LieAboutSender("zeta", "S") for b in bad_pair}
+            result = run(spec_2_3, behaviors)
+            for node, value in result.decisions.items():
+                if node not in bad_pair:
+                    assert value == "alpha", (bad_pair, node, value)
+
+
+class TestConditionD2:
+    """Faulty sender, f <= m: fault-free receivers agree on one value."""
+
+    def test_two_faced_sender(self, spec_1_2):
+        behaviors = {"S": TwoFacedBehavior({"p1": "x", "p2": "y", "p3": "x"})}
+        result = run(spec_1_2, behaviors)
+        decisions = set(result.decisions.values())
+        assert len(decisions) == 1
+
+    def test_silent_sender_yields_default(self, spec_1_2):
+        result = run(spec_1_2, {"S": SilentBehavior()})
+        assert all(v is DEFAULT for v in result.decisions.values())
+
+    def test_consistent_lying_sender_can_still_win(self, spec_1_2):
+        # A sender that lies the same way to everyone just "sends" that lie.
+        result = run(spec_1_2, {"S": ConstantLiar("zeta")})
+        assert all(v == "zeta" for v in result.decisions.values())
+
+    def test_m2_sender_plus_one_receiver(self, spec_2_3):
+        behaviors = {
+            "S": TwoFacedBehavior({"p1": "x", "p2": "y"}),
+            "p3": ConstantLiar("q"),
+        }
+        result = run(spec_2_3, behaviors)
+        fault_free = {
+            n: v for n, v in result.decisions.items() if n not in ("p3",)
+        }
+        assert len(set(fault_free.values())) == 1
+
+
+class TestConditionD3:
+    """Fault-free sender, m < f <= u: decisions within {alpha, V_d}."""
+
+    def test_two_colluding_liars(self, spec_1_2):
+        behaviors = {
+            "p1": LieAboutSender("zeta", "S"),
+            "p2": LieAboutSender("zeta", "S"),
+        }
+        result = run(spec_1_2, behaviors)
+        for node, value in result.decisions.items():
+            if node not in behaviors:
+                assert value in ("alpha", DEFAULT)
+
+    def test_all_fault_patterns_at_u(self, spec_1_2):
+        nodes = node_names(5)
+        for bad_pair in itertools.combinations(nodes[1:], 2):
+            behaviors = {b: EchoAsBehavior("zeta") for b in bad_pair}
+            result = run(spec_1_2, behaviors)
+            for node, value in result.decisions.items():
+                if node not in bad_pair:
+                    assert value in ("alpha", DEFAULT), (bad_pair, node, value)
+
+    def test_u_faults_in_roomy_system(self, spec_1_2_roomy):
+        behaviors = {
+            "p1": ConstantLiar("zeta"),
+            "p2": SilentBehavior(),
+        }
+        result = run(spec_1_2_roomy, behaviors)
+        for node, value in result.decisions.items():
+            if node not in behaviors:
+                assert value in ("alpha", DEFAULT)
+
+    def test_m2_u3_with_three_faults(self, spec_2_3):
+        behaviors = {
+            "p1": LieAboutSender("zeta", "S"),
+            "p2": LieAboutSender("zeta", "S"),
+            "p3": LieAboutSender("eta", "S"),
+        }
+        result = run(spec_2_3, behaviors)
+        for node, value in result.decisions.items():
+            if node not in behaviors:
+                assert value in ("alpha", DEFAULT)
+
+
+class TestConditionD4:
+    """Faulty sender, m < f <= u: decisions within {x, V_d} for a single x."""
+
+    def test_two_faced_sender_plus_liar(self, spec_1_2):
+        behaviors = {
+            "S": TwoFacedBehavior({"p1": "x", "p2": "y"}),
+            "p3": EchoAsBehavior("x"),
+        }
+        result = run(spec_1_2, behaviors)
+        fault_free = [v for n, v in result.decisions.items() if n != "p3"]
+        non_default = {v for v in fault_free if v is not DEFAULT}
+        assert len(non_default) <= 1
+
+    def test_exhaustive_sender_faces_at_f2(self, spec_1_2):
+        # Sender two-faced over a 2-value domain in every possible way,
+        # plus one receiver echoing each value: the fault-free receivers
+        # must never split over two non-default values.
+        nodes = node_names(5)
+        receivers = nodes[1:]
+        domain = ["x", "y"]
+        for faces in itertools.product(domain, repeat=len(receivers)):
+            for liar, claim in itertools.product(receivers, domain):
+                behaviors = {
+                    "S": TwoFacedBehavior(dict(zip(receivers, faces))),
+                    liar: EchoAsBehavior(claim),
+                }
+                result = run(spec_1_2, behaviors)
+                fault_free = [
+                    v for n, v in result.decisions.items() if n != liar
+                ]
+                non_default = {v for v in fault_free if v is not DEFAULT}
+                assert len(non_default) <= 1, (faces, liar, claim, result.decisions)
+
+
+class TestGracefulDegradationProperty:
+    """Section 2: with f <= u, at least m+1 fault-free nodes agree."""
+
+    def test_core_agreement_with_u_faults(self, spec_1_2):
+        behaviors = {
+            "p1": LieAboutSender("zeta", "S"),
+            "p2": LieAboutSender("eta", "S"),
+        }
+        result = run(spec_1_2, behaviors)
+        report = classify(result, set(behaviors), spec_1_2)
+        assert report.largest_agreeing_class >= spec_1_2.m + 1
+
+
+class TestStats:
+    def test_message_count_matches_closed_form(self):
+        for m, u in [(0, 2), (1, 1), (1, 2), (2, 2), (2, 3)]:
+            spec = DegradableSpec(m=m, u=u, n_nodes=2 * m + u + 1)
+            result = run(spec)
+            assert result.stats.messages == message_count(spec.n_nodes, m)
+
+    def test_round_count(self, spec_2_3):
+        result = run(spec_2_3)
+        assert result.stats.rounds == 3
+
+    def test_votes_counted(self, spec_1_2):
+        result = run(spec_1_2)
+        # BYZ(1,1): each of the 4 receivers votes once.
+        assert result.stats.votes == 4
+
+
+class TestBeyondEnvelope:
+    def test_no_promise_beyond_u_but_still_terminates(self, spec_1_2):
+        behaviors = {
+            "p1": ConstantLiar("z"),
+            "p2": ConstantLiar("z"),
+            "p3": ConstantLiar("z"),
+        }
+        result = run(spec_1_2, behaviors)
+        # f = 3 > u: anything may happen, but the protocol still returns a
+        # decision for everyone.
+        assert set(result.decisions) == {"p1", "p2", "p3", "p4"}

@@ -1,0 +1,185 @@
+"""Tests for outcome classification against conditions D.1–D.4."""
+
+import pytest
+
+from repro.core.byz import AgreementResult
+from repro.core.conditions import (
+    OutcomeShape,
+    assert_contract,
+    classify,
+)
+from repro.core.spec import DegradableSpec
+from repro.core.values import DEFAULT
+
+
+def make_result(decisions, sender="S", sender_value="alpha"):
+    return AgreementResult(
+        decisions=decisions, sender=sender, sender_value=sender_value
+    )
+
+
+@pytest.fixture
+def spec():
+    return DegradableSpec(m=1, u=2, n_nodes=5)
+
+
+class TestRegimes:
+    def test_byzantine_regime(self, spec):
+        result = make_result({"A": "alpha", "B": "alpha", "C": "alpha", "D": "alpha"})
+        report = classify(result, set(), spec)
+        assert report.regime == "byzantine"
+        assert report.n_faulty == 0
+
+    def test_degraded_regime(self, spec):
+        result = make_result(
+            {"A": "alpha", "B": DEFAULT, "C": "alpha", "D": "alpha"}
+        )
+        report = classify(result, {"C", "D"}, spec)
+        assert report.regime == "degraded"
+
+    def test_none_regime_never_violates(self, spec):
+        result = make_result({"A": "x", "B": "y", "C": "z", "D": "w"})
+        report = classify(result, {"A", "B", "C"}, spec)
+        assert report.regime == "none"
+        assert report.satisfied  # nothing promised
+
+
+class TestD1:
+    def test_holds(self, spec):
+        result = make_result({"A": "alpha", "B": "alpha", "C": "alpha", "D": "x"})
+        report = classify(result, {"D"}, spec)
+        assert report.d1 is True
+        assert report.satisfied
+
+    def test_violated(self, spec):
+        result = make_result({"A": "alpha", "B": "beta", "C": "alpha", "D": "alpha"})
+        report = classify(result, {"D"}, spec)
+        assert report.d1 is False
+        assert not report.satisfied
+        assert any("D.1" in v for v in report.violations)
+
+    def test_default_breaks_d1_but_not_d3(self, spec):
+        result = make_result(
+            {"A": "alpha", "B": DEFAULT, "C": "alpha", "D": "alpha"}
+        )
+        report = classify(result, {"D"}, spec)  # f=1 <= m: D.1 applies
+        assert report.d1 is False
+        assert report.d3 is True
+        assert not report.satisfied
+
+
+class TestD2:
+    def test_holds_on_any_common_value(self, spec):
+        result = make_result({"A": "zzz", "B": "zzz", "C": "zzz", "D": "zzz"})
+        report = classify(result, {"S"}, spec)
+        assert report.d2 is True
+        assert report.satisfied
+
+    def test_common_default_counts(self, spec):
+        result = make_result({n: DEFAULT for n in "ABCD"})
+        report = classify(result, {"S"}, spec)
+        assert report.d2 is True
+
+    def test_violated(self, spec):
+        result = make_result({"A": "x", "B": "y", "C": "x", "D": "x"})
+        report = classify(result, {"S"}, spec)
+        assert report.d2 is False
+        assert not report.satisfied
+
+
+class TestD3:
+    def test_two_class_holds(self, spec):
+        result = make_result(
+            {"A": "alpha", "B": DEFAULT, "C": "alpha", "D": "x"}
+        )
+        report = classify(result, {"C", "D"}, spec)
+        # fault-free: A=alpha, B=V_d -> two classes incl. default
+        assert report.d3 is True
+        assert report.satisfied
+
+    def test_wrong_value_violates(self, spec):
+        result = make_result(
+            {"A": "beta", "B": DEFAULT, "C": "x", "D": "x"}
+        )
+        report = classify(result, {"C", "D"}, spec)
+        assert report.d3 is False
+        assert not report.satisfied
+
+
+class TestD4:
+    def test_two_class_holds(self, spec):
+        result = make_result({"A": "zzz", "B": DEFAULT, "C": "zzz", "D": "x"})
+        report = classify(result, {"S", "D"}, spec)
+        assert report.d4 is True
+        assert report.satisfied
+
+    def test_two_values_violate(self, spec):
+        result = make_result({"A": "x", "B": "y", "C": DEFAULT, "D": "q"})
+        report = classify(result, {"S", "D"}, spec)
+        assert report.d4 is False
+        assert not report.satisfied
+
+
+class TestShape:
+    def test_unanimous_value(self, spec):
+        result = make_result({n: "v" for n in "ABCD"})
+        assert classify(result, set(), spec).shape is OutcomeShape.UNANIMOUS_VALUE
+
+    def test_unanimous_default(self, spec):
+        result = make_result({n: DEFAULT for n in "ABCD"})
+        assert (
+            classify(result, {"S"}, spec).shape is OutcomeShape.UNANIMOUS_DEFAULT
+        )
+
+    def test_two_class(self, spec):
+        result = make_result({"A": "v", "B": DEFAULT, "C": "v", "D": "v"})
+        assert (
+            classify(result, {"S"}, spec).shape
+            is OutcomeShape.TWO_CLASS_WITH_DEFAULT
+        )
+
+    def test_divergent(self, spec):
+        result = make_result({"A": "v", "B": "w", "C": "v", "D": "v"})
+        assert classify(result, {"S"}, spec).shape is OutcomeShape.DIVERGENT
+
+    def test_vacuous(self, spec):
+        result = make_result({"A": "v", "B": "w", "C": "x", "D": "y"})
+        report = classify(result, {"S", "A", "B", "C", "D"}, spec)
+        assert report.shape is OutcomeShape.VACUOUS
+
+
+class TestLargestAgreeingClass:
+    def test_counts_sender_when_fault_free(self, spec):
+        result = make_result({"A": "alpha", "B": DEFAULT, "C": "x", "D": "x"})
+        report = classify(result, {"C", "D"}, spec)
+        # sender (alpha) + A (alpha) = 2
+        assert report.largest_agreeing_class == 2
+
+    def test_excludes_faulty_sender(self, spec):
+        result = make_result({"A": "alpha", "B": DEFAULT, "C": "x", "D": "x"})
+        report = classify(result, {"S", "C", "D"}, spec)
+        assert report.largest_agreeing_class == 1
+
+    def test_default_class_counts(self, spec):
+        result = make_result({n: DEFAULT for n in "ABCD"})
+        report = classify(result, {"S"}, spec)
+        assert report.largest_agreeing_class == 4
+
+
+class TestAssertContract:
+    def test_passes_silently(self, spec):
+        result = make_result({n: "alpha" for n in "ABCD"})
+        report = assert_contract(result, set(), spec)
+        assert report.satisfied
+
+    def test_raises_with_details(self, spec):
+        result = make_result({"A": "alpha", "B": "beta", "C": "alpha", "D": "alpha"})
+        with pytest.raises(AssertionError, match="D.1"):
+            assert_contract(result, {"D"}, spec)
+
+
+class TestDistinctValues:
+    def test_reported(self, spec):
+        result = make_result({"A": "x", "B": "y", "C": DEFAULT, "D": "x"})
+        report = classify(result, {"S"}, spec)
+        assert set(report.distinct_values) == {"x", "y"}

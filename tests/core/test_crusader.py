@@ -1,0 +1,118 @@
+"""Tests for the Dolev Crusader agreement baseline."""
+
+import itertools
+
+import pytest
+
+from repro.core.behavior import (
+    ConstantLiar,
+    EchoAsBehavior,
+    SilentBehavior,
+    TwoFacedBehavior,
+)
+from repro.core.crusader import crusader_message_count, run_crusader
+from repro.core.values import DEFAULT
+from repro.exceptions import ConfigurationError
+from tests.conftest import node_names
+
+
+class TestValidation:
+    def test_quorum(self):
+        with pytest.raises(ConfigurationError):
+            run_crusader(1, node_names(3), "S", "v")
+
+    def test_quorum_override(self):
+        run_crusader(1, node_names(3), "S", "v", require_quorum=False)
+
+    def test_negative_f(self):
+        with pytest.raises(ConfigurationError):
+            run_crusader(-1, node_names(4), "S", "v")
+
+
+class TestCR1:
+    """Fault-free sender: every fault-free receiver adopts its value."""
+
+    def test_no_faults(self):
+        result = run_crusader(1, node_names(4), "S", "v")
+        assert all(d == "v" for d in result.decisions.values())
+
+    def test_one_faulty_receiver(self):
+        nodes = node_names(4)
+        for bad in nodes[1:]:
+            result = run_crusader(
+                1, nodes, "S", "v", {bad: EchoAsBehavior("w")}
+            )
+            for node, value in result.decisions.items():
+                if node != bad:
+                    assert value == "v"
+
+    def test_two_faulty_receivers_f2(self):
+        nodes = node_names(7)
+        for bad in itertools.combinations(nodes[1:], 2):
+            behaviors = {b: EchoAsBehavior("w") for b in bad}
+            result = run_crusader(2, nodes, "S", "v", behaviors)
+            for node, value in result.decisions.items():
+                if node not in bad:
+                    assert value == "v"
+
+
+class TestCR2:
+    """Faulty sender: receivers agree on one value or detect the traitor."""
+
+    def test_two_faced_sender(self):
+        nodes = node_names(4)
+        result = run_crusader(
+            1, nodes, "S", "v", {"S": TwoFacedBehavior({"p1": "x", "p2": "y"})}
+        )
+        non_default = {
+            v for v in result.decisions.values() if v is not DEFAULT
+        }
+        assert len(non_default) <= 1
+
+    def test_exhaustive_sender_faces(self):
+        nodes = node_names(4)
+        receivers = nodes[1:]
+        for faces in itertools.product(["x", "y"], repeat=3):
+            behaviors = {"S": TwoFacedBehavior(dict(zip(receivers, faces)))}
+            result = run_crusader(1, nodes, "S", "v", behaviors)
+            non_default = {
+                v for v in result.decisions.values() if v is not DEFAULT
+            }
+            assert len(non_default) <= 1, (faces, result.decisions)
+
+    def test_sender_plus_receiver_faulty_f2(self):
+        nodes = node_names(7)
+        for bad_receiver in nodes[1:]:
+            behaviors = {
+                "S": TwoFacedBehavior({"p1": "x", "p2": "y", "p3": "x"}),
+                bad_receiver: EchoAsBehavior("x"),
+            }
+            result = run_crusader(2, nodes, "S", "v", behaviors)
+            fault_free = [
+                v
+                for n, v in result.decisions.items()
+                if n != bad_receiver
+            ]
+            non_default = {v for v in fault_free if v is not DEFAULT}
+            assert len(non_default) <= 1
+
+    def test_silent_sender(self):
+        result = run_crusader(
+            1, node_names(4), "S", "v", {"S": SilentBehavior()}
+        )
+        assert all(d is DEFAULT for d in result.decisions.values())
+
+
+class TestShape:
+    def test_always_two_rounds(self):
+        result = run_crusader(2, node_names(7), "S", "v")
+        assert result.stats.rounds == 2
+
+    def test_message_count(self):
+        result = run_crusader(1, node_names(4), "S", "v")
+        assert result.stats.messages == crusader_message_count(4) == 3 + 3 * 2
+
+    def test_cheaper_than_om_for_f_ge_2(self):
+        from repro.core.oral_messages import om_message_count
+
+        assert crusader_message_count(7) < om_message_count(7, 2)

@@ -1,0 +1,109 @@
+"""Degenerate and boundary system sizes.
+
+The smallest legal instances exercise every off-by-one in the recursion:
+one node (vacuous), two nodes (single receiver), and the exact Theorem 2
+minimum for each small (m, u).
+"""
+
+import pytest
+
+from repro.core.behavior import ConstantLiar, SilentBehavior
+from repro.core.byz import run_degradable_agreement
+from repro.core.conditions import OutcomeShape, classify
+from repro.core.protocol import execute_degradable_protocol
+from repro.core.spec import DegradableSpec
+from repro.core.values import DEFAULT
+
+
+class TestSingleNode:
+    def test_functional_vacuous(self):
+        spec = DegradableSpec(m=0, u=0, n_nodes=1)
+        result = run_degradable_agreement(spec, ["S"], "S", "v")
+        assert result.decisions == {}
+        assert result.decision_of("S") == "v"
+
+    def test_classification_vacuous(self):
+        spec = DegradableSpec(m=0, u=0, n_nodes=1)
+        result = run_degradable_agreement(spec, ["S"], "S", "v")
+        report = classify(result, set(), spec)
+        assert report.satisfied
+        assert report.shape is OutcomeShape.VACUOUS
+
+
+class TestTwoNodes:
+    def test_functional(self):
+        spec = DegradableSpec(m=0, u=1, n_nodes=2)
+        result = run_degradable_agreement(spec, ["S", "R"], "S", "v")
+        assert result.decisions == {"R": "v"}
+
+    def test_protocol_matches(self):
+        spec = DegradableSpec(m=0, u=1, n_nodes=2)
+        result, engine = execute_degradable_protocol(
+            spec, ["S", "R"], "S", "v"
+        )
+        assert result.decisions == {"R": "v"}
+
+    def test_faulty_sender(self):
+        spec = DegradableSpec(m=0, u=1, n_nodes=2)
+        result = run_degradable_agreement(
+            spec, ["S", "R"], "S", "v", {"S": SilentBehavior()}
+        )
+        assert result.decisions["R"] is DEFAULT
+
+
+class TestExactMinimumSizes:
+    @pytest.mark.parametrize("m,u", [(0, 1), (0, 2), (1, 1), (1, 2), (2, 2)])
+    def test_protocol_at_exact_minimum(self, m, u):
+        spec = DegradableSpec(m=m, u=u, n_nodes=2 * m + u + 1)
+        nodes = [f"p{k}" for k in range(spec.n_nodes)]
+        fn = run_degradable_agreement(spec, nodes, nodes[0], "v")
+        mp, _ = execute_degradable_protocol(spec, nodes, nodes[0], "v")
+        assert fn.decisions == mp.decisions
+        assert all(d == "v" for d in fn.decisions.values())
+
+    @pytest.mark.parametrize("m,u", [(0, 1), (1, 1), (1, 2)])
+    def test_exactly_u_faults_at_exact_minimum(self, m, u):
+        spec = DegradableSpec(m=m, u=u, n_nodes=2 * m + u + 1)
+        nodes = [f"p{k}" for k in range(spec.n_nodes)]
+        behaviors = {
+            nodes[k + 1]: ConstantLiar("zeta") for k in range(u)
+        }
+        result = run_degradable_agreement(
+            spec, nodes, nodes[0], "v", behaviors
+        )
+        report = classify(result, frozenset(behaviors), spec)
+        assert report.satisfied, report.violations
+
+
+class TestVoteSlackIsExactlyM:
+    def test_extra_nodes_do_not_add_slack(self):
+        # The threshold n-1-m scales with n, so the vote tolerates exactly
+        # m dissenting ballots *regardless of system size*: even on 12
+        # nodes, f = 2 > m pushes the outcome into the degraded band
+        # rather than being absorbed by the 7 surplus nodes.
+        spec = DegradableSpec(m=1, u=2, n_nodes=12)
+        nodes = [f"p{k}" for k in range(12)]
+        behaviors = {
+            "p1": ConstantLiar("zeta"),
+            "p2": SilentBehavior(),
+        }
+        result = run_degradable_agreement(
+            spec, nodes, "p0", "v", behaviors
+        )
+        report = classify(result, frozenset(behaviors), spec)
+        assert report.satisfied  # D.3 holds...
+        values = {
+            v for n, v in result.decisions.items() if n not in behaviors
+        }
+        assert values <= {"v", DEFAULT}
+        assert DEFAULT in values  # ...and the degradation is real
+
+    def test_single_fault_fully_masked_at_any_size(self):
+        spec = DegradableSpec(m=1, u=2, n_nodes=12)
+        nodes = [f"p{k}" for k in range(12)]
+        result = run_degradable_agreement(
+            spec, nodes, "p0", "v", {"p1": ConstantLiar("zeta")}
+        )
+        for node, value in result.decisions.items():
+            if node != "p1":
+                assert value == "v"

@@ -1,0 +1,156 @@
+"""Tests for fault detection, including the soundness property."""
+
+import itertools
+
+import pytest
+
+from repro.core.behavior import (
+    ChainLiar,
+    ConstantLiar,
+    LieAboutSender,
+    SilentBehavior,
+    TwoFacedBehavior,
+)
+from repro.core.byz import run_degradable_agreement
+from repro.core.detection import FaultCountDetector, SuspectTracker, quorum_detection
+from repro.core.spec import DegradableSpec
+from repro.core.values import DEFAULT
+from repro.exceptions import ConfigurationError
+from tests.conftest import node_names
+
+
+@pytest.fixture
+def spec():
+    return DegradableSpec(m=1, u=2, n_nodes=5)
+
+
+NODES = node_names(5)
+
+
+def run_batch(spec, behaviors):
+    """One agreement instance per sender; returns per-observer detectors."""
+    detectors = {
+        node: FaultCountDetector(spec=spec, observer=node) for node in NODES
+    }
+    for sender in NODES:
+        result = run_degradable_agreement(
+            spec, NODES, sender, f"value-of-{sender}", behaviors
+        )
+        for node in NODES:
+            detectors[node].observe(sender, result.decision_of(node))
+    return detectors
+
+
+class TestDetectorMechanics:
+    def test_counts_defaults(self, spec):
+        det = FaultCountDetector(spec=spec, observer="S")
+        det.observe("p1", DEFAULT)
+        det.observe("p2", "v")
+        assert det.evidence == 1
+        assert not det.detected  # 1 <= m
+
+    def test_detects_beyond_m(self, spec):
+        det = FaultCountDetector(spec=spec, observer="S")
+        det.observe("p1", DEFAULT)
+        det.observe("p2", DEFAULT)
+        assert det.detected
+
+    def test_duplicate_observation_rejected(self, spec):
+        det = FaultCountDetector(spec=spec, observer="S")
+        det.observe("p1", "v")
+        with pytest.raises(ConfigurationError):
+            det.observe("p1", "w")
+
+    def test_reset(self, spec):
+        det = FaultCountDetector(spec=spec, observer="S")
+        det.observe("p1", DEFAULT)
+        det.reset()
+        assert det.evidence == 0
+        det.observe("p1", DEFAULT)  # allowed again
+
+
+class TestSoundness:
+    """The load-bearing property: no false 'more than m faulty' flags.
+
+    Exhaustive over fault placements of size <= m with the nastiest
+    deterministic adversaries in the zoo.
+    """
+
+    @pytest.mark.parametrize("make_behavior", [
+        lambda node: SilentBehavior(),
+        lambda node: ConstantLiar(DEFAULT),
+        lambda node: LieAboutSender(DEFAULT, "S"),
+        lambda node: ChainLiar("zeta", "S"),
+        lambda node: TwoFacedBehavior({"p1": DEFAULT, "p2": "x"}),
+    ])
+    def test_no_false_detection_within_m(self, spec, make_behavior):
+        for faulty in itertools.combinations(NODES, spec.m):
+            behaviors = {node: make_behavior(node) for node in faulty}
+            detectors = run_batch(spec, behaviors)
+            for node in NODES:
+                if node in faulty:
+                    continue
+                assert not detectors[node].detected, (faulty, node)
+
+    def test_detection_fires_with_aggressive_double_fault(self, spec):
+        behaviors = {
+            "p1": SilentBehavior(),
+            "p2": SilentBehavior(),
+        }
+        detectors = run_batch(spec, behaviors)
+        # Both silent senders default everywhere: every fault-free node
+        # sees 2 > m defaults.
+        fault_free = [n for n in NODES if n not in behaviors]
+        assert all(detectors[n].detected for n in fault_free)
+
+
+class TestQuorumDetection:
+    def test_quorum_met(self, spec):
+        behaviors = {"p1": SilentBehavior(), "p2": SilentBehavior()}
+        detectors = run_batch(spec, behaviors)
+        assert quorum_detection(detectors, fault_free={"S", "p3", "p4"})
+
+    def test_quorum_not_met_within_m(self, spec):
+        behaviors = {"p1": SilentBehavior()}
+        detectors = run_batch(spec, behaviors)
+        assert not quorum_detection(detectors, fault_free=set(NODES) - {"p1"})
+
+    def test_empty(self):
+        assert not quorum_detection({})
+
+
+class TestSuspectTracker:
+    def test_full_band_suspects_are_faulty(self, spec):
+        behaviors = {"p2": SilentBehavior()}
+        tracker = SuspectTracker(spec=spec)
+        for _ in range(3):
+            detectors = run_batch(spec, behaviors)
+            tracker.ingest(detectors["S"])
+            for det in detectors.values():
+                det.reset()
+        assert tracker.suspects() == ["p2"]
+        assert tracker.persistent_suspects() == ["p2"]
+
+    def test_threshold_validated(self, spec):
+        tracker = SuspectTracker(spec=spec)
+        with pytest.raises(ConfigurationError):
+            tracker.suspects(threshold=0)
+
+    def test_no_batches_no_suspects(self, spec):
+        assert SuspectTracker(spec=spec).persistent_suspects() == []
+
+    def test_degraded_band_suspects_may_include_victims(self, spec):
+        """Documented caveat: with f > m, suspects can be fault-free
+        victims — verify the phenomenon actually occurs so the docstring
+        stays honest."""
+        behaviors = {
+            "p1": ChainLiar("zeta", "S"),
+            "p2": ChainLiar("zeta", "S"),
+        }
+        tracker = SuspectTracker(spec=spec)
+        detectors = run_batch(spec, behaviors)
+        tracker.ingest(detectors["p3"])
+        suspects = set(tracker.suspects())
+        # The colluders lie about *S's* instance, so the fault-free sender
+        # S lands in the suspect set at p3.
+        assert "S" in suspects

@@ -1,0 +1,113 @@
+"""Differential testing: functional oracle vs message-passing protocol.
+
+The two implementations of algorithm BYZ share nothing except the behaviour
+objects driving the adversary, so exact decision equality across random
+deterministic scenarios is strong evidence both implement the same
+algorithm — the functional one transcribed from the paper, the other a real
+round-based distributed protocol.
+"""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.behavior import (
+    ChainLiar,
+    ConstantLiar,
+    EchoAsBehavior,
+    LieAboutSender,
+    SilentBehavior,
+    TwoFacedBehavior,
+)
+from repro.core.byz import run_degradable_agreement
+from repro.core.protocol import execute_degradable_protocol
+from repro.core.spec import DegradableSpec
+from tests.conftest import node_names
+
+DOMAIN = ["alpha", "beta", "gamma"]
+
+
+def both(spec, nodes, sender, value, behaviors):
+    functional = run_degradable_agreement(spec, nodes, sender, value, behaviors)
+    message_passing, _ = execute_degradable_protocol(
+        spec, nodes, sender, value, behaviors, record_trace=False
+    )
+    return functional.decisions, message_passing.decisions
+
+
+class TestHandPicked:
+    @pytest.mark.parametrize("m,u", [(0, 1), (0, 2), (1, 1), (1, 2), (2, 2), (2, 3)])
+    def test_fault_free(self, m, u):
+        spec = DegradableSpec(m=m, u=u, n_nodes=2 * m + u + 1)
+        nodes = node_names(spec.n_nodes)
+        fn, mp = both(spec, nodes, "S", "alpha", None)
+        assert fn == mp
+
+    @pytest.mark.parametrize("m,u", [(1, 2), (2, 2), (2, 3)])
+    def test_every_single_fault_position(self, m, u):
+        spec = DegradableSpec(m=m, u=u, n_nodes=2 * m + u + 1)
+        nodes = node_names(spec.n_nodes)
+        for bad in nodes:
+            for behavior in (
+                ConstantLiar("zeta"),
+                SilentBehavior(),
+                EchoAsBehavior("zeta"),
+                LieAboutSender("zeta", "S"),
+            ):
+                fn, mp = both(spec, nodes, "S", "alpha", {bad: behavior})
+                assert fn == mp, (bad, type(behavior).__name__)
+
+    def test_u_fault_pairs(self):
+        spec = DegradableSpec(m=1, u=2, n_nodes=5)
+        nodes = node_names(5)
+        for pair in itertools.combinations(nodes, 2):
+            behaviors = {
+                pair[0]: LieAboutSender("zeta", "S"),
+                pair[1]: TwoFacedBehavior({"p2": "x", "p3": "y"}),
+            }
+            fn, mp = both(spec, nodes, "S", "alpha", behaviors)
+            assert fn == mp, pair
+
+
+@st.composite
+def deterministic_scenarios(draw):
+    m = draw(st.integers(min_value=0, max_value=2))
+    u = draw(st.integers(min_value=m, max_value=m + 2))
+    slack = draw(st.integers(min_value=0, max_value=1))
+    spec = DegradableSpec(m=m, u=u, n_nodes=2 * m + u + 1 + slack)
+    nodes = node_names(spec.n_nodes)
+    f = draw(st.integers(min_value=0, max_value=min(u + 1, spec.n_nodes)))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    rng = random.Random(seed)
+    faulty = rng.sample(nodes, f)
+    behaviors = {}
+    for node in faulty:
+        kind = rng.randrange(5)
+        if kind == 0:
+            behaviors[node] = ConstantLiar(rng.choice(DOMAIN))
+        elif kind == 1:
+            behaviors[node] = SilentBehavior()
+        elif kind == 2:
+            behaviors[node] = EchoAsBehavior(rng.choice(DOMAIN))
+        elif kind == 3:
+            k = min(3, len(nodes))
+            faces = {n: rng.choice(DOMAIN) for n in rng.sample(nodes, k)}
+            behaviors[node] = TwoFacedBehavior(faces)
+        else:
+            extras = rng.sample(nodes[1:], min(1, len(nodes) - 1))
+            behaviors[node] = ChainLiar(rng.choice(DOMAIN), "S", extras=extras)
+    value = draw(st.sampled_from(DOMAIN))
+    return spec, nodes, behaviors, value
+
+
+@settings(max_examples=80, deadline=None)
+@given(deterministic_scenarios())
+def test_random_deterministic_scenarios_match(scenario):
+    """Note: fault counts up to u+1 — equality must hold even *outside* the
+    guarantee envelope, because both implementations compute the same
+    function regardless of how many nodes are lying."""
+    spec, nodes, behaviors, value = scenario
+    fn, mp = both(spec, nodes, "S", value, behaviors)
+    assert fn == mp

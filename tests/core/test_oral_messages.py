@@ -1,0 +1,137 @@
+"""Tests for the Lamport OM(m) baseline."""
+
+import itertools
+
+import pytest
+
+from repro.core.behavior import (
+    ConstantLiar,
+    EchoAsBehavior,
+    LieAboutSender,
+    SilentBehavior,
+    TwoFacedBehavior,
+)
+from repro.core.oral_messages import om_message_count, run_oral_messages
+from repro.core.values import DEFAULT
+from repro.exceptions import ConfigurationError
+from tests.conftest import node_names
+
+
+class TestValidation:
+    def test_quorum_enforced(self):
+        with pytest.raises(ConfigurationError):
+            run_oral_messages(1, node_names(3), "S", "v")
+
+    def test_quorum_override(self):
+        result = run_oral_messages(
+            1, node_names(3), "S", "v", require_quorum=False
+        )
+        assert set(result.decisions) == {"p1", "p2"}
+
+    def test_sender_membership(self):
+        with pytest.raises(ConfigurationError):
+            run_oral_messages(1, node_names(4), "nope", "v")
+
+    def test_negative_m(self):
+        with pytest.raises(ConfigurationError):
+            run_oral_messages(-1, node_names(4), "S", "v")
+
+
+class TestOM0:
+    def test_is_single_round_direct_send(self):
+        result = run_oral_messages(0, node_names(4), "S", "v")
+        assert all(d == "v" for d in result.decisions.values())
+        assert result.stats.rounds == 1
+        assert result.stats.messages == 3
+
+
+class TestIC1:
+    """The classic 4-node OM(1) cases (Lamport's paper, Figures 3-4)."""
+
+    def test_loyal_commander_one_traitor(self):
+        # One traitorous lieutenant cannot break agreement on "attack".
+        result = run_oral_messages(
+            1, node_names(4), "S", "attack", {"p1": ConstantLiar("retreat")}
+        )
+        assert result.decisions["p2"] == "attack"
+        assert result.decisions["p3"] == "attack"
+
+    def test_traitor_commander(self):
+        # A two-faced commander: all loyal lieutenants still agree.
+        result = run_oral_messages(
+            1,
+            node_names(4),
+            "S",
+            "attack",
+            {"S": TwoFacedBehavior({"p1": "attack", "p2": "retreat", "p3": "attack"})},
+        )
+        values = set(result.decisions.values())
+        assert len(values) == 1
+
+    def test_interactive_consistency_conditions_all_fault_sets(self):
+        nodes = node_names(4)
+        for traitor in nodes:
+            behaviors = {traitor: EchoAsBehavior("retreat")}
+            result = run_oral_messages(1, nodes, "S", "attack", behaviors)
+            fault_free = {
+                n: v for n, v in result.decisions.items() if n != traitor
+            }
+            # IC2: all loyal lieutenants agree
+            assert len(set(fault_free.values())) == 1
+            # IC1: if commander loyal, they agree on his value
+            if traitor != "S":
+                assert set(fault_free.values()) == {"attack"}
+
+
+class TestOM2:
+    def test_seven_nodes_two_traitors(self):
+        nodes = node_names(7)
+        for traitors in itertools.combinations(nodes, 2):
+            behaviors = {t: LieAboutSender("retreat", "S") for t in traitors}
+            result = run_oral_messages(2, nodes, "S", "attack", behaviors)
+            fault_free = {
+                n: v for n, v in result.decisions.items() if n not in traitors
+            }
+            assert len(set(fault_free.values())) == 1
+            if "S" not in traitors:
+                assert set(fault_free.values()) == {"attack"}
+
+
+class TestKnownFailureBeyondBound:
+    def test_three_nodes_one_traitor_breaks(self):
+        """The famous 3-general impossibility: OM(1) with N=3 can be broken.
+
+        With a loyal commander and one traitorous lieutenant, the loyal
+        lieutenant cannot tell who is lying and fails to adopt the
+        commander's order (IC1 violated).
+        """
+        nodes = ["S", "A", "B"]
+        behaviors = {"B": EchoAsBehavior("retreat")}
+        result = run_oral_messages(
+            1, nodes, "S", "attack", behaviors, require_quorum=False
+        )
+        # A's ballots are {attack, retreat}: no majority, so A falls to the
+        # default instead of the loyal commander's "attack".
+        assert result.decisions["A"] != "attack"
+
+
+class TestMessageCount:
+    def test_closed_form_matches_execution(self):
+        for m, n in [(0, 4), (1, 4), (1, 6), (2, 7)]:
+            result = run_oral_messages(m, node_names(n), "S", "v")
+            assert result.stats.messages == om_message_count(n, m)
+
+    def test_degenerate(self):
+        assert om_message_count(1, 0) == 0
+        assert om_message_count(2, 0) == 1
+
+    def test_exponential_growth(self):
+        assert om_message_count(7, 2) == 6 + 6 * (5 + 5 * 4)
+
+
+class TestSilentSender:
+    def test_absence_maps_to_default(self):
+        result = run_oral_messages(
+            1, node_names(4), "S", "v", {"S": SilentBehavior()}
+        )
+        assert all(d is DEFAULT for d in result.decisions.values())

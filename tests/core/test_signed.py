@@ -1,0 +1,157 @@
+"""Tests for the signed-messages SM(m) baseline."""
+
+import pytest
+
+from repro.core.signed import (
+    SelectiveForwarder,
+    SignedMessage,
+    SilentSigner,
+    TwoFacedSigner,
+    run_signed_agreement,
+    sm_message_count,
+)
+from repro.core.values import DEFAULT
+from repro.exceptions import ConfigurationError, ProtocolError
+from tests.conftest import node_names
+
+
+class TestSignedMessage:
+    def test_chain_validation(self):
+        with pytest.raises(ProtocolError):
+            SignedMessage("v", ())
+        with pytest.raises(ProtocolError):
+            SignedMessage("v", ("a", "a"))
+
+    def test_extension(self):
+        msg = SignedMessage("v", ("S",))
+        ext = msg.extended_by("A")
+        assert ext.chain == ("S", "A")
+        assert ext.value == "v"
+
+    def test_cannot_double_sign(self):
+        msg = SignedMessage("v", ("S", "A"))
+        with pytest.raises(ProtocolError):
+            msg.extended_by("A")
+
+    def test_hashable(self):
+        assert SignedMessage("v", ("S",)) == SignedMessage("v", ("S",))
+        assert len({SignedMessage("v", ("S",)), SignedMessage("v", ("S",))}) == 1
+
+
+class TestValidation:
+    def test_minimum_nodes(self):
+        with pytest.raises(ConfigurationError):
+            run_signed_agreement(2, ["S", "A", "B"], "S", "v")
+
+    def test_sender_membership(self):
+        with pytest.raises(ConfigurationError):
+            run_signed_agreement(1, node_names(4), "zzz", "v")
+
+    def test_negative_m(self):
+        with pytest.raises(ConfigurationError):
+            run_signed_agreement(-1, node_names(4), "S", "v")
+
+
+class TestFaultFree:
+    def test_everyone_adopts(self):
+        for m in (0, 1, 2):
+            result = run_signed_agreement(m, node_names(m + 3), "S", "v")
+            assert all(d == "v" for d in result.decisions.values())
+
+    def test_rounds(self):
+        result = run_signed_agreement(2, node_names(5), "S", "v")
+        assert result.stats.rounds == 3
+
+
+class TestSignaturePower:
+    """SM achieves what oral messages cannot: agreement with N <= 3m."""
+
+    def test_three_nodes_one_traitor(self):
+        # N=3, m=1 — impossible orally, trivial with signatures.
+        nodes = ["S", "A", "B"]
+        behaviors = {"S": TwoFacedSigner({"A": "x", "B": "y"}, "x")}
+        result = run_signed_agreement(1, nodes, "S", "v", behaviors)
+        # Both lieutenants detect the contradiction and agree on V_d,
+        # or both see both values; either way they agree.
+        assert result.decisions["A"] == result.decisions["B"]
+
+    def test_four_nodes_two_traitors(self):
+        # N=4, m=2 — would need 7 nodes orally.
+        nodes = node_names(4)
+        behaviors = {
+            "S": TwoFacedSigner({"p1": "x", "p2": "y"}, "x"),
+            "p3": SilentSigner(),
+        }
+        result = run_signed_agreement(2, nodes, "S", "v", behaviors)
+        fault_free = [result.decisions["p1"], result.decisions["p2"]]
+        assert fault_free[0] == fault_free[1]
+
+    def test_loyal_sender_with_selective_forwarder(self):
+        nodes = node_names(4)
+        behaviors = {"p1": SelectiveForwarder({"p2"})}
+        result = run_signed_agreement(1, nodes, "S", "v", behaviors)
+        # IC1: loyal sender's value prevails at fault-free lieutenants.
+        assert result.decisions["p2"] == "v"
+        assert result.decisions["p3"] == "v"
+
+    def test_two_faced_sender_consistent_outcome(self):
+        nodes = node_names(5)
+        behaviors = {"S": TwoFacedSigner({"p1": "x"}, "y")}
+        result = run_signed_agreement(1, nodes, "S", "v", behaviors)
+        values = {result.decisions[p] for p in ("p1", "p2", "p3", "p4")}
+        assert len(values) == 1
+        # Relays expose the contradiction: the common value is V_d.
+        assert values == {DEFAULT}
+
+
+class TestUnforgeability:
+    def test_lieutenant_cannot_originate(self):
+        class Forger(SilentSigner):
+            def emissions(self, node, round_no, received, all_nodes,
+                          is_sender, sender_value, max_chain):
+                return [("p2", SignedMessage("forged", (node,)))]
+
+        with pytest.raises(ProtocolError):
+            run_signed_agreement(
+                1, node_names(4), "S", "v", {"p1": Forger()}
+            )
+
+    def test_cannot_extend_unreceived(self):
+        class Fabricator(SilentSigner):
+            def emissions(self, node, round_no, received, all_nodes,
+                          is_sender, sender_value, max_chain):
+                fake = SignedMessage("forged", ("S", node))
+                return [("p2", fake)]
+
+        with pytest.raises(ProtocolError):
+            run_signed_agreement(
+                1, node_names(4), "S", "v", {"p1": Fabricator()}
+            )
+
+    def test_cannot_emit_without_own_signature_last(self):
+        class Replayer(SilentSigner):
+            def emissions(self, node, round_no, received, all_nodes,
+                          is_sender, sender_value, max_chain):
+                return [("p2", m) for m in received]
+
+        with pytest.raises(ProtocolError):
+            run_signed_agreement(
+                1, node_names(4), "S", "v", {"p1": Replayer()}
+            )
+
+
+class TestMessageCount:
+    def test_fault_free_count_matches_bound(self):
+        for n, m in [(4, 1), (5, 1), (5, 2)]:
+            result = run_signed_agreement(m, node_names(n), "S", "v")
+            assert result.stats.messages == sm_message_count(n, m)
+
+    def test_m0(self):
+        assert sm_message_count(4, 0) == 3
+        result = run_signed_agreement(0, node_names(4), "S", "v")
+        assert result.stats.messages == 3
+
+    def test_polynomial_vs_om_exponential(self):
+        from repro.core.oral_messages import om_message_count
+
+        assert sm_message_count(10, 3) < om_message_count(10, 3)

@@ -1,0 +1,103 @@
+"""Property-based tests for the SM(m) signed-messages algorithm."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.signed import (
+    SelectiveForwarder,
+    SignedBehavior,
+    SilentSigner,
+    TwoFacedSigner,
+    run_signed_agreement,
+)
+from repro.core.values import DEFAULT
+from tests.conftest import node_names
+
+DOMAIN = ["alpha", "beta", "gamma"]
+
+
+@st.composite
+def signed_instances(draw):
+    m = draw(st.integers(min_value=1, max_value=3))
+    n = draw(st.integers(min_value=m + 2, max_value=m + 5))
+    nodes = node_names(n)
+    f = draw(st.integers(min_value=0, max_value=m))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    rng = random.Random(seed)
+    faulty = rng.sample(nodes, f)
+    behaviors = {}
+    for node in faulty:
+        if node == "S":
+            faces = {
+                dest: rng.choice(DOMAIN)
+                for dest in rng.sample(nodes[1:], min(2, n - 1))
+            }
+            behaviors[node] = TwoFacedSigner(faces, rng.choice(DOMAIN))
+        else:
+            kind = rng.randrange(2)
+            if kind == 0:
+                behaviors[node] = SilentSigner()
+            else:
+                allowed = set(rng.sample(nodes, rng.randrange(n)))
+                behaviors[node] = SelectiveForwarder(allowed)
+    value = draw(st.sampled_from(DOMAIN))
+    return m, nodes, behaviors, value, frozenset(faulty)
+
+
+@settings(max_examples=120, deadline=None)
+@given(signed_instances())
+def test_ic2_all_fault_free_agree(instance):
+    """With f <= m, every fault-free lieutenant decides the same value."""
+    m, nodes, behaviors, value, faulty = instance
+    result = run_signed_agreement(m, nodes, "S", value, behaviors)
+    fault_free = [
+        result.decisions[p]
+        for p in nodes[1:]
+        if p not in faulty
+    ]
+    assert len(set(fault_free)) <= 1
+
+
+@settings(max_examples=120, deadline=None)
+@given(signed_instances())
+def test_ic1_loyal_sender_value_prevails(instance):
+    """With a fault-free sender, fault-free lieutenants decide its value."""
+    m, nodes, behaviors, value, faulty = instance
+    if "S" in faulty:
+        return
+    result = run_signed_agreement(m, nodes, "S", value, behaviors)
+    for p in nodes[1:]:
+        if p not in faulty:
+            assert result.decisions[p] == value
+
+
+@settings(max_examples=80, deadline=None)
+@given(signed_instances())
+def test_decisions_never_fabricated(instance):
+    """Signatures make fabrication structurally impossible: any non-default
+    decision is a value some (possibly faulty) signer actually signed."""
+    m, nodes, behaviors, value, faulty = instance
+    result = run_signed_agreement(m, nodes, "S", value, behaviors)
+    possible = set(DOMAIN) | {value, DEFAULT}
+    for decision in result.decisions.values():
+        assert decision in possible
+
+
+@settings(max_examples=60, deadline=None)
+@given(signed_instances())
+def test_determinism(instance):
+    m, nodes, behaviors, value, faulty = instance
+    # SelectiveForwarder keeps per-run state; build fresh copies.
+    def fresh():
+        out = {}
+        for node, behavior in behaviors.items():
+            if isinstance(behavior, SelectiveForwarder):
+                out[node] = SelectiveForwarder(set(behavior.allowed))
+            else:
+                out[node] = behavior
+        return out
+
+    first = run_signed_agreement(m, nodes, "S", value, fresh())
+    second = run_signed_agreement(m, nodes, "S", value, fresh())
+    assert first.decisions == second.decisions

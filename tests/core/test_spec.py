@@ -1,0 +1,110 @@
+"""Unit tests for DegradableSpec parameter validation and derived values."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.spec import DegradableSpec, minimal_spec, sub_minimal_spec
+from repro.exceptions import ConfigurationError
+
+
+class TestValidation:
+    def test_minimum_nodes_enforced(self):
+        with pytest.raises(ConfigurationError):
+            DegradableSpec(m=1, u=2, n_nodes=4)  # needs 5
+
+    def test_exactly_minimum_accepted(self):
+        spec = DegradableSpec(m=1, u=2, n_nodes=5)
+        assert spec.min_nodes == 5
+
+    def test_u_below_m_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DegradableSpec(m=2, u=1, n_nodes=10)
+
+    def test_negative_m_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DegradableSpec(m=-1, u=2, n_nodes=10)
+
+    def test_m_equals_u_is_byzantine(self):
+        spec = DegradableSpec(m=2, u=2, n_nodes=7)
+        assert spec.is_pure_byzantine
+        assert not DegradableSpec(m=1, u=2, n_nodes=5).is_pure_byzantine
+
+    @given(st.integers(0, 5), st.integers(0, 10))
+    def test_minimal_spec_always_valid(self, m, extra):
+        u = m + extra
+        spec = minimal_spec(m, u)
+        assert spec.n_nodes == 2 * m + u + 1
+
+
+class TestDerived:
+    def test_receivers(self):
+        assert DegradableSpec(1, 2, 6).n_receivers == 5
+
+    def test_min_connectivity(self):
+        assert DegradableSpec(1, 2, 5).min_connectivity == 4
+        assert DegradableSpec(2, 3, 8).min_connectivity == 6
+
+    def test_rounds(self):
+        assert DegradableSpec(1, 2, 5).rounds == 2
+        assert DegradableSpec(2, 3, 8).rounds == 3
+        # m = 0 still needs the echo round (see DESIGN.md)
+        assert DegradableSpec(0, 3, 4).rounds == 2
+
+    def test_recursion_depth(self):
+        assert DegradableSpec(0, 3, 4).recursion_depth == 1
+        assert DegradableSpec(3, 3, 10).recursion_depth == 3
+
+    def test_vote_threshold(self):
+        spec = DegradableSpec(1, 2, 5)
+        assert spec.vote_threshold(5) == 3  # n-1-m
+        assert spec.vote_threshold(4) == 2
+
+    def test_vote_threshold_must_be_positive(self):
+        spec = DegradableSpec(1, 2, 5)
+        with pytest.raises(ConfigurationError):
+            spec.vote_threshold(2)
+
+    def test_guarantee_for(self):
+        spec = DegradableSpec(1, 3, 6)
+        assert spec.guarantee_for(0) == "byzantine"
+        assert spec.guarantee_for(1) == "byzantine"
+        assert spec.guarantee_for(2) == "degraded"
+        assert spec.guarantee_for(3) == "degraded"
+        assert spec.guarantee_for(4) == "none"
+
+    def test_guarantee_for_negative(self):
+        with pytest.raises(ConfigurationError):
+            DegradableSpec(1, 2, 5).guarantee_for(-1)
+
+    def test_min_agreeing(self):
+        assert DegradableSpec(2, 4, 9).min_agreeing_fault_free() == 3
+
+    def test_str(self):
+        assert str(DegradableSpec(1, 2, 5)) == (
+            "1/2-degradable agreement over 5 nodes"
+        )
+
+    def test_frozen(self):
+        spec = DegradableSpec(1, 2, 5)
+        with pytest.raises(AttributeError):
+            spec.m = 2
+
+
+class TestSubMinimal:
+    def test_allows_below_bound(self):
+        spec = sub_minimal_spec(1, 2, 4)
+        assert spec.n_nodes == 4
+        assert spec.m == 1 and spec.u == 2
+
+    def test_still_validates_m_u(self):
+        with pytest.raises(ConfigurationError):
+            sub_minimal_spec(2, 1, 10)
+        with pytest.raises(ConfigurationError):
+            sub_minimal_spec(-1, 1, 10)
+        with pytest.raises(ConfigurationError):
+            sub_minimal_spec(0, 0, 1)
+
+    def test_derived_properties_still_work(self):
+        spec = sub_minimal_spec(1, 2, 4)
+        assert spec.rounds == 2
+        assert spec.guarantee_for(2) == "degraded"

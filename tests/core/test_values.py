@@ -1,0 +1,75 @@
+"""Unit tests for the value domain (V_d semantics)."""
+
+import copy
+import pickle
+
+from repro.core.values import (
+    DEFAULT,
+    DefaultValue,
+    distinct_non_default,
+    is_default,
+    non_default,
+)
+
+
+class TestDefaultSingleton:
+    def test_construction_returns_singleton(self):
+        assert DefaultValue() is DEFAULT
+        assert DefaultValue() is DefaultValue()
+
+    def test_repr(self):
+        assert repr(DEFAULT) == "V_d"
+
+    def test_falsy(self):
+        assert not DEFAULT
+
+    def test_equality_only_with_itself(self):
+        assert DEFAULT == DEFAULT
+        assert not (DEFAULT != DEFAULT)
+        assert DEFAULT != 0
+        assert DEFAULT != ""
+        assert DEFAULT != None  # noqa: E711 — V_d must differ from None too
+        assert DEFAULT != False  # noqa: E712
+
+    def test_distinguishable_from_all_ordinary_values(self):
+        # The paper's core assumption: V_d is distinguishable from every
+        # application value.
+        for value in [0, 1, -1, "V_d", "default", (), [], {}, 0.0, float("nan")]:
+            assert DEFAULT != value
+            assert value != DEFAULT
+
+    def test_hashable_and_stable(self):
+        assert hash(DEFAULT) == hash(DefaultValue())
+        assert len({DEFAULT, DefaultValue()}) == 1
+
+    def test_usable_as_dict_key(self):
+        d = {DEFAULT: "safe", "x": "val"}
+        assert d[DEFAULT] == "safe"
+        assert d[DefaultValue()] == "safe"
+
+    def test_copy_and_deepcopy_preserve_identity(self):
+        assert copy.copy(DEFAULT) is DEFAULT
+        assert copy.deepcopy(DEFAULT) is DEFAULT
+        assert copy.deepcopy({"k": DEFAULT})["k"] is DEFAULT
+
+    def test_pickle_roundtrip_preserves_identity(self):
+        assert pickle.loads(pickle.dumps(DEFAULT)) is DEFAULT
+
+
+class TestHelpers:
+    def test_is_default(self):
+        assert is_default(DEFAULT)
+        assert not is_default("V_d")
+        assert not is_default(None)
+        assert not is_default(0)
+
+    def test_non_default_preserves_order(self):
+        assert non_default([1, DEFAULT, 2, DEFAULT, 1]) == [1, 2, 1]
+
+    def test_non_default_empty(self):
+        assert non_default([]) == []
+        assert non_default([DEFAULT, DEFAULT]) == []
+
+    def test_distinct_non_default(self):
+        assert distinct_non_default([1, DEFAULT, 2, 1]) == {1, 2}
+        assert distinct_non_default([DEFAULT]) == set()

@@ -1,0 +1,124 @@
+"""Tests for degradable interactive consistency (V.1 / V.2)."""
+
+import itertools
+
+import pytest
+
+from repro.core.behavior import (
+    ChainLiar,
+    ConstantLiar,
+    LieAboutSender,
+    TwoFacedBehavior,
+)
+from repro.core.spec import DegradableSpec
+from repro.core.values import DEFAULT, is_default
+from repro.core.vector_agreement import (
+    classify_vectors,
+    compatible_merge,
+    run_degradable_interactive_consistency,
+)
+from repro.exceptions import ConfigurationError
+from tests.conftest import node_names
+
+
+@pytest.fixture
+def spec():
+    return DegradableSpec(m=1, u=2, n_nodes=5)
+
+
+NODES = node_names(5)
+PRIVATE = {n: f"val-{n}" for n in NODES}
+
+
+def run(spec, behaviors=None):
+    return run_degradable_interactive_consistency(
+        spec, NODES, PRIVATE, behaviors
+    )
+
+
+class TestValidation:
+    def test_missing_values(self, spec):
+        with pytest.raises(ConfigurationError):
+            run_degradable_interactive_consistency(spec, NODES, {"S": 1})
+
+
+class TestV1:
+    def test_fault_free(self, spec):
+        vectors = run(spec)
+        report = classify_vectors(spec, vectors, PRIVATE, frozenset())
+        assert report.identical
+        assert report.valid_entries
+        assert report.satisfied
+
+    def test_one_fault_any_position(self, spec):
+        for bad in NODES:
+            behaviors = {bad: TwoFacedBehavior({"p1": "x", "p2": "y"})}
+            vectors = run(spec, behaviors)
+            report = classify_vectors(spec, vectors, PRIVATE, {bad})
+            assert report.satisfied, (bad, report.violations)
+            assert report.identical
+
+
+class TestV2:
+    def test_all_double_faults_compatible(self, spec):
+        for pair in itertools.combinations(NODES, 2):
+            behaviors = {
+                pair[0]: LieAboutSender("junk", "S"),
+                pair[1]: ConstantLiar("junk"),
+            }
+            vectors = run(spec, behaviors)
+            report = classify_vectors(spec, vectors, PRIVATE, set(pair))
+            assert report.satisfied, (pair, report.violations)
+            assert report.compatible
+            assert report.per_sender_two_class
+
+    def test_no_fabrication_for_fault_free_senders(self, spec):
+        behaviors = {
+            "p1": ChainLiar("junk", "S"),
+            "p2": ChainLiar("junk", "S"),
+        }
+        vectors = run(spec, behaviors)
+        fault_free = [n for n in NODES if n not in behaviors]
+        for i in fault_free:
+            for j in fault_free:
+                assert vectors[i][j] in (PRIVATE[j], DEFAULT)
+
+    def test_vectors_may_legitimately_differ(self, spec):
+        """V.2 is weaker than V.1 by design: find a 2-fault run where
+        fault-free vectors differ yet remain compatible."""
+        found_difference = False
+        for pair in itertools.combinations(NODES[1:], 2):
+            behaviors = {p: ChainLiar("junk", "S") for p in pair}
+            vectors = run(spec, behaviors)
+            fault_free = [n for n in NODES if n not in pair]
+            report = classify_vectors(spec, vectors, PRIVATE, set(pair))
+            assert report.satisfied
+            if any(
+                vectors[fault_free[0]] != vectors[i] for i in fault_free[1:]
+            ):
+                found_difference = True
+        assert found_difference
+
+
+class TestCompatibleMerge:
+    def test_merge_recovers_non_defaults(self, spec):
+        behaviors = {
+            "p1": LieAboutSender("junk", "S"),
+            "p2": LieAboutSender("junk", "S"),
+        }
+        vectors = run(spec, behaviors)
+        fault_free = ["S", "p3", "p4"]
+        merged = compatible_merge(vectors, fault_free)
+        # Merged entries for fault-free senders are their values or V_d,
+        # and the merge keeps any non-default a member saw.
+        for sender in fault_free:
+            assert merged[sender] in (PRIVATE[sender], DEFAULT)
+            if any(
+                not is_default(vectors[i][sender]) for i in fault_free
+            ):
+                assert merged[sender] == PRIVATE[sender]
+
+    def test_merge_of_identical_vectors_is_that_vector(self, spec):
+        vectors = run(spec)
+        merged = compatible_merge(vectors, NODES)
+        assert merged == vectors[NODES[0]]

@@ -1,0 +1,140 @@
+"""Unit and property tests for the VOTE primitive and its siblings."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.values import DEFAULT
+from repro.core.vote import k_of_n_vote, majority, tally, unanimity, vote
+from repro.exceptions import ConfigurationError
+
+values_st = st.lists(
+    st.sampled_from(["a", "b", "c", DEFAULT, 0, 1]), min_size=1, max_size=12
+)
+
+
+class TestVote:
+    def test_paper_example_winner(self):
+        # VOTE(2,4) of 1, 2, 2, 3 is 2
+        assert vote(2, [1, 2, 2, 3]) == 2
+
+    def test_paper_example_no_winner(self):
+        # VOTE(2,4) of 1, 2, 0, 3 is V_d
+        assert vote(2, [1, 2, 0, 3]) is DEFAULT
+
+    def test_paper_example_tie(self):
+        # VOTE(2,4) of 1, 2, 2, 1 is V_d because of the tie
+        assert vote(2, [1, 2, 2, 1]) is DEFAULT
+
+    def test_exact_threshold_wins(self):
+        assert vote(3, ["x", "x", "x", "y"]) == "x"
+
+    def test_below_threshold_defaults(self):
+        assert vote(4, ["x", "x", "x", "y"]) is DEFAULT
+
+    def test_unanimous(self):
+        assert vote(4, ["x"] * 4) == "x"
+
+    def test_default_can_win_vote(self):
+        # V_d is a value like any other in the tally: a quorum of explicit
+        # defaults yields the default (same observable result as no-winner).
+        assert vote(2, [DEFAULT, DEFAULT, "x"]) is DEFAULT
+
+    def test_three_way_tie(self):
+        assert vote(1, ["a", "b", "c"]) is DEFAULT
+
+    def test_threshold_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            vote(0, ["a"])
+        with pytest.raises(ConfigurationError):
+            vote(-1, ["a"])
+
+    def test_empty_ballots_default(self):
+        assert vote(1, []) is DEFAULT
+
+    @given(values_st, st.integers(min_value=1, max_value=12))
+    def test_winner_has_threshold_multiplicity(self, ballots, threshold):
+        result = vote(threshold, ballots)
+        if result is not DEFAULT:
+            assert ballots.count(result) >= threshold
+
+    @given(values_st, st.integers(min_value=1, max_value=12))
+    def test_majority_threshold_never_ties(self, ballots, threshold):
+        # When the threshold exceeds half the ballots (as in algorithm
+        # BYZ), a non-default winner is the unique value at or above it.
+        if threshold * 2 > len(ballots):
+            result = vote(threshold, ballots)
+            above = [v for v in set(ballots) if ballots.count(v) >= threshold]
+            if above:
+                assert result == above[0]
+            else:
+                assert result is DEFAULT
+
+    @given(values_st)
+    def test_permutation_invariance(self, ballots):
+        assert vote(2, ballots) == vote(2, list(reversed(ballots)))
+
+
+class TestMajority:
+    def test_strict_majority(self):
+        assert majority(["a", "a", "b"]) == "a"
+
+    def test_half_is_not_majority(self):
+        assert majority(["a", "a", "b", "b"]) is DEFAULT
+
+    def test_empty(self):
+        assert majority([]) is DEFAULT
+
+    def test_custom_default(self):
+        assert majority(["a", "b"], default="retreat") == "retreat"
+
+    @given(values_st)
+    def test_majority_winner_has_majority(self, ballots):
+        result = majority(ballots)
+        if result is not DEFAULT or ballots.count(DEFAULT) * 2 > len(ballots):
+            assert ballots.count(result) * 2 > len(ballots)
+
+
+class TestKOfN:
+    def test_paper_voter(self):
+        # (m+u)-out-of-(2m+u) with m=1, u=2: 3-out-of-4.
+        assert k_of_n_vote(3, ["v", "v", "v", "x"]) == "v"
+        assert k_of_n_vote(3, ["v", "v", "x", "y"]) is DEFAULT
+
+    def test_default_itself_can_win(self):
+        assert k_of_n_vote(3, [DEFAULT, DEFAULT, DEFAULT, "v"]) is DEFAULT
+
+    def test_k_larger_than_n(self):
+        assert k_of_n_vote(5, ["v", "v"]) is DEFAULT
+
+    def test_invalid_k(self):
+        with pytest.raises(ConfigurationError):
+            k_of_n_vote(0, ["v"])
+
+    def test_two_winners_tie_defaults(self):
+        assert k_of_n_vote(2, ["a", "a", "b", "b"]) is DEFAULT
+
+
+class TestUnanimity:
+    def test_all_agree(self):
+        assert unanimity(["x", "x", "x"]) == "x"
+
+    def test_any_dissent_defaults(self):
+        assert unanimity(["x", "x", "y"]) is DEFAULT
+
+    def test_single_ballot(self):
+        assert unanimity(["x"]) == "x"
+
+    def test_empty(self):
+        assert unanimity([]) is DEFAULT
+
+    def test_matches_vote_with_full_threshold(self):
+        for ballots in (["a", "a"], ["a", "b"], [DEFAULT, DEFAULT]):
+            assert unanimity(ballots) == vote(len(ballots), ballots)
+
+
+class TestTally:
+    def test_counts(self):
+        t = tally(["a", "b", "a", DEFAULT])
+        assert t["a"] == 2
+        assert t["b"] == 1
+        assert t[DEFAULT] == 1

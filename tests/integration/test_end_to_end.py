@@ -1,0 +1,115 @@
+"""End-to-end integration: full stack from sensor to voter over the simulator.
+
+These tests wire the *message-passing* protocol (not the functional oracle)
+into channel-system-style flows, cross-checking agreement, classification
+and voting across modules.
+"""
+
+import pytest
+
+from repro.channels.voter import ExternalVoter, VoteOutcome
+from repro.core.behavior import LieAboutSender, TwoFacedBehavior
+from repro.core.conditions import classify
+from repro.core.protocol import execute_degradable_protocol
+from repro.core.spec import DegradableSpec
+from repro.core.values import DEFAULT, is_default
+from tests.conftest import node_names
+
+
+def run_pipeline(spec, nodes, sender_value, behaviors, faulty, computation):
+    """Agreement over the simulator -> channel compute -> external vote."""
+    result, _ = execute_degradable_protocol(
+        spec, nodes, nodes[0], sender_value, behaviors
+    )
+    channels = nodes[1:]
+    outputs = []
+    for channel in channels:
+        agreed = result.decisions[channel]
+        if channel in faulty:
+            outputs.append(("garbage", channel))
+        elif is_default(agreed):
+            outputs.append(DEFAULT)
+        else:
+            outputs.append(computation(agreed))
+    voter = ExternalVoter.for_degradable(spec.m, spec.u)
+    verdict = voter.judge(outputs, computation(sender_value))
+    return result, verdict
+
+
+@pytest.fixture
+def spec():
+    return DegradableSpec(m=1, u=2, n_nodes=5)
+
+
+NODES = node_names(5)
+
+
+class TestSensorToActuator:
+    def test_clean_flow(self, spec):
+        result, verdict = run_pipeline(
+            spec, NODES, 10, {}, set(), lambda v: v + 1
+        )
+        assert verdict.outcome is VoteOutcome.CORRECT
+        assert verdict.value == 11
+
+    def test_single_fault_masked_end_to_end(self, spec):
+        behaviors = {"p1": LieAboutSender(99, "S")}
+        result, verdict = run_pipeline(
+            spec, NODES, 10, behaviors, {"p1"}, lambda v: v + 1
+        )
+        assert verdict.outcome is VoteOutcome.CORRECT
+
+    def test_double_fault_safe_end_to_end(self, spec):
+        behaviors = {
+            "p1": LieAboutSender(99, "S"),
+            "p2": LieAboutSender(99, "S"),
+        }
+        result, verdict = run_pipeline(
+            spec, NODES, 10, behaviors, {"p1", "p2"}, lambda v: v + 1
+        )
+        assert verdict.outcome in (VoteOutcome.CORRECT, VoteOutcome.DEFAULT)
+
+    def test_faulty_sensor_never_splits_channels(self, spec):
+        behaviors = {"S": TwoFacedBehavior({"p1": 3, "p2": 4})}
+        result, _ = execute_degradable_protocol(
+            spec, NODES, "S", 10, behaviors
+        )
+        report = classify(result, {"S"}, spec)
+        assert report.satisfied
+
+
+class TestCrossImplementationClassification:
+    """Reports produced from protocol runs match the oracle's reports."""
+
+    def test_reports_agree(self, spec):
+        from repro.core.byz import run_degradable_agreement
+
+        behaviors = {
+            "p1": LieAboutSender("x", "S"),
+            "p3": TwoFacedBehavior({"p2": "y"}),
+        }
+        faulty = {"p1", "p3"}
+        fn = run_degradable_agreement(spec, NODES, "S", "v", behaviors)
+        mp, _ = execute_degradable_protocol(spec, NODES, "S", "v", behaviors)
+        rep_fn = classify(fn, faulty, spec)
+        rep_mp = classify(mp, faulty, spec)
+        assert rep_fn.shape == rep_mp.shape
+        assert rep_fn.satisfied == rep_mp.satisfied
+        assert rep_fn.fault_free_decisions == rep_mp.fault_free_decisions
+
+
+class TestScaleUp:
+    @pytest.mark.parametrize("m,u", [(1, 4), (2, 4), (3, 3)])
+    def test_larger_systems_over_simulator(self, m, u):
+        spec = DegradableSpec(m=m, u=u, n_nodes=2 * m + u + 1)
+        nodes = node_names(spec.n_nodes)
+        behaviors = {
+            nodes[1]: LieAboutSender("x", nodes[0]),
+            nodes[2]: LieAboutSender("x", nodes[0]),
+        }
+        result, engine = execute_degradable_protocol(
+            spec, nodes, nodes[0], "v", behaviors
+        )
+        report = classify(result, {nodes[1], nodes[2]}, spec)
+        assert report.satisfied
+        assert engine.current_round == spec.rounds + 1

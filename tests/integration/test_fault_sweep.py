@@ -1,0 +1,129 @@
+"""Systematic fault sweep: the paper's guarantee table, executed.
+
+For each (m, u) instance, for each fault count f from 0 to u+1, run a
+worst-case-flavoured adversary and record which conditions hold.  The sweep
+is the executable form of the degradable-agreement definition:
+
+    f <= m        -> D.1/D.2 (full agreement)
+    m < f <= u    -> D.3/D.4 (two-class with default)
+    f > u         -> no promise (and we verify the guarantee is *tight*:
+                     some adversary actually breaks full agreement once
+                     f > m, and breaks two-class once f > u).
+"""
+
+import itertools
+
+import pytest
+
+from repro.core.behavior import ChainLiar, LieAboutSender, TwoFacedBehavior
+from repro.core.byz import run_degradable_agreement
+from repro.core.conditions import OutcomeShape, classify
+from repro.core.spec import DegradableSpec
+from tests.conftest import node_names
+
+SPECS = [
+    DegradableSpec(1, 2, 5),
+    DegradableSpec(1, 3, 6),
+    DegradableSpec(2, 2, 7),
+    DegradableSpec(2, 3, 8),
+    DegradableSpec(0, 2, 3),
+]
+
+
+@pytest.mark.parametrize("spec", SPECS, ids=str)
+class TestGuaranteeEnvelope:
+    def test_receiver_fault_sweep(self, spec):
+        nodes = node_names(spec.n_nodes)
+        for f in range(spec.u + 1):
+            for faulty in itertools.combinations(nodes[1:], f):
+                behaviors = {
+                    node: LieAboutSender("zeta", "S") for node in faulty
+                }
+                result = run_degradable_agreement(
+                    spec, nodes, "S", "alpha", behaviors
+                )
+                report = classify(result, frozenset(faulty), spec)
+                assert report.satisfied, (spec, faulty, report.violations)
+
+    def test_sender_fault_sweep(self, spec):
+        nodes = node_names(spec.n_nodes)
+        receivers = nodes[1:]
+        for f in range(1, spec.u + 1):
+            for other in itertools.combinations(receivers, f - 1):
+                behaviors = {
+                    "S": TwoFacedBehavior(
+                        {r: ("x" if i % 2 else "y") for i, r in enumerate(receivers)}
+                    )
+                }
+                for node in other:
+                    behaviors[node] = LieAboutSender("x", "S")
+                faulty = frozenset({"S", *other})
+                result = run_degradable_agreement(
+                    spec, nodes, "S", "alpha", behaviors
+                )
+                report = classify(result, faulty, spec)
+                assert report.satisfied, (spec, faulty, report.violations)
+
+
+class TestTightness:
+    """The guarantees are not vacuously strong: adversaries exist that
+    degrade the outcome exactly when the paper says they may."""
+
+    def test_full_agreement_breaks_just_beyond_m(self):
+        # 1/2-degradable, f = 2 > m: D.1-style full agreement can fail
+        # (some fault-free node lands on V_d), though D.3 still holds.
+        spec = DegradableSpec(1, 2, 5)
+        nodes = node_names(5)
+        behaviors = {
+            "p1": LieAboutSender("zeta", "S"),
+            "p2": LieAboutSender("zeta", "S"),
+        }
+        result = run_degradable_agreement(spec, nodes, "S", "alpha", behaviors)
+        report = classify(result, {"p1", "p2"}, spec)
+        assert report.satisfied
+        assert report.shape in (
+            OutcomeShape.TWO_CLASS_WITH_DEFAULT,
+            OutcomeShape.UNANIMOUS_DEFAULT,
+        )
+
+    def test_two_class_can_break_beyond_u(self):
+        # Beyond u, some adversary produces outcomes that would violate
+        # D.3: a fault-free receiver adopts a fabricated value.
+        spec = DegradableSpec(1, 2, 5)
+        nodes = node_names(5)
+        found_violation = False
+        for faulty in itertools.combinations(nodes[1:], 3):
+            behaviors = {
+                node: ChainLiar("zeta", "S") for node in faulty
+            }
+            result = run_degradable_agreement(
+                spec, nodes, "S", "alpha", behaviors
+            )
+            fault_free = {
+                n: v
+                for n, v in result.decisions.items()
+                if n not in faulty
+            }
+            if any(v == "zeta" for v in fault_free.values()):
+                found_violation = True
+                break
+        assert found_violation, (
+            "u is not tight: no 3-fault adversary fooled a fault-free node"
+        )
+
+    def test_m_plus_one_agreement_is_tight(self):
+        """Exactly m+1 fault-free agreeing nodes is achievable (not more
+        guaranteed): exhibit a u-fault run where the largest agreeing class
+        among fault-free nodes is exactly m+1."""
+        spec = DegradableSpec(1, 2, 5)
+        nodes = node_names(5)
+        best_min = None
+        for faulty in itertools.combinations(nodes[1:], 2):
+            behaviors = {n: ChainLiar("zeta", "S") for n in faulty}
+            result = run_degradable_agreement(
+                spec, nodes, "S", "alpha", behaviors
+            )
+            report = classify(result, frozenset(faulty), spec)
+            size = report.largest_agreeing_class
+            best_min = size if best_min is None else min(best_min, size)
+        assert best_min == spec.m + 1

@@ -1,0 +1,107 @@
+"""Full-stack stress: large instances, layered fault injection.
+
+Combines everything at once — a 10-node 2/4-degradable instance over the
+simulator with Byzantine behaviours, crash omissions, *and* spurious
+timeouts — and checks the only properties that survive such a mix:
+no fabricated values among fault-free receivers, and termination in the
+prescribed round count.  These runs are the closest the suite gets to a
+production soak test.
+"""
+
+import random
+
+import pytest
+
+from repro.core.behavior import (
+    ChainLiar,
+    ConstantLiar,
+    LieAboutSender,
+    SilentBehavior,
+    TwoFacedBehavior,
+)
+from repro.core.protocol import execute_degradable_protocol
+from repro.core.spec import DegradableSpec
+from repro.core.values import DEFAULT
+from repro.sim.faults import OmissionInjector, SpuriousTimeoutInjector
+from tests.conftest import node_names
+
+SPEC = DegradableSpec(m=2, u=4, n_nodes=10)
+NODES = node_names(10)
+DOMAIN = ["alpha", "beta", "gamma", "delta"]
+
+
+def layered_run(seed, n_byzantine, n_crash, timeout_p):
+    rng = random.Random(seed)
+    shuffled = rng.sample(NODES[1:], len(NODES) - 1)
+    byzantine = shuffled[:n_byzantine]
+    crashed = shuffled[n_byzantine : n_byzantine + n_crash]
+    behaviors = {}
+    for node in byzantine:
+        behaviors[node] = rng.choice([
+            ConstantLiar(rng.choice(DOMAIN)),
+            ChainLiar(rng.choice(DOMAIN), "S"),
+            LieAboutSender(rng.choice(DOMAIN), "S"),
+            TwoFacedBehavior({n: rng.choice(DOMAIN) for n in NODES[1:4]}),
+        ])
+    for node in crashed:
+        behaviors[node] = SilentBehavior()
+    faulty = set(byzantine) | set(crashed)
+    injectors = [
+        OmissionInjector.for_links(
+            {(a, b) for a in crashed for b in NODES if b != a}
+        ),
+        SpuriousTimeoutInjector(
+            timeout_p, faulty=frozenset(faulty), rng=random.Random(seed + 1)
+        ),
+    ]
+    result, engine = execute_degradable_protocol(
+        SPEC,
+        NODES,
+        "S",
+        "alpha",
+        behaviors,
+        extra_injectors=injectors,
+        record_trace=False,
+    )
+    return result, engine, faulty
+
+
+class TestLayeredFaults:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_within_envelope_no_fabrication(self, seed):
+        result, engine, faulty = layered_run(
+            seed, n_byzantine=2, n_crash=2, timeout_p=0.15
+        )
+        for node, value in result.decisions.items():
+            if node not in faulty:
+                assert value in ("alpha", DEFAULT), (seed, node, value)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_terminates_in_prescribed_rounds(self, seed):
+        result, engine, _ = layered_run(
+            seed, n_byzantine=2, n_crash=2, timeout_p=0.1
+        )
+        assert engine.current_round == SPEC.rounds + 1
+        assert len(result.decisions) == SPEC.n_receivers
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_byzantine_only_full_band(self, seed):
+        # Only m Byzantine faults and no timeouts: exact D.1.
+        result, _, faulty = layered_run(
+            seed, n_byzantine=2, n_crash=0, timeout_p=0.0
+        )
+        for node, value in result.decisions.items():
+            if node not in faulty:
+                assert value == "alpha", (seed, node)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_heavy_timeouts_never_fabricate(self, seed):
+        result, _, faulty = layered_run(
+            seed, n_byzantine=3, n_crash=1, timeout_p=0.6
+        )
+        non_default = {
+            v
+            for n, v in result.decisions.items()
+            if n not in faulty and v is not DEFAULT
+        }
+        assert non_default <= {"alpha"}, (seed, non_default)

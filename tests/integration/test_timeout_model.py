@@ -1,0 +1,116 @@
+"""The Section 6.1 relaxed message model, exercised end to end.
+
+The paper relaxes assumption (b): once more than ``m`` nodes are faulty,
+clock synchronization may have degraded and a fault-free node may wrongly
+declare a message from another fault-free node absent.  The claim is that
+algorithm BYZ still achieves the *degraded* conditions (D.3/D.4) under this
+relaxation — and keeps the full conditions when ``f <= m`` and no spurious
+timeouts occur.
+
+We model spurious timeouts with :class:`SpuriousTimeoutInjector`, which
+drops fault-free-to-fault-free messages at a given rate; the receiving
+protocol observes the absence and substitutes ``V_d``, exactly as the paper
+prescribes.
+"""
+
+import random
+
+import pytest
+
+from repro.core.behavior import LieAboutSender, TwoFacedBehavior
+from repro.core.conditions import classify
+from repro.core.protocol import execute_degradable_protocol
+from repro.core.spec import DegradableSpec
+from repro.core.values import DEFAULT
+from repro.sim.faults import SpuriousTimeoutInjector
+from tests.conftest import node_names
+
+
+@pytest.fixture
+def spec():
+    return DegradableSpec(m=1, u=2, n_nodes=6)
+
+
+NODES = node_names(6)
+
+
+def run_with_timeouts(spec, behaviors, faulty, p_timeout, seed, sender_value="alpha"):
+    injector = SpuriousTimeoutInjector(
+        p_timeout, faulty=frozenset(faulty), rng=random.Random(seed)
+    )
+    result, _ = execute_degradable_protocol(
+        spec,
+        NODES,
+        "S",
+        sender_value,
+        behaviors,
+        extra_injectors=[injector],
+    )
+    return result
+
+
+class TestDegradedRegimeRobustToTimeouts:
+    """m < f <= u plus spurious timeouts: D.3/D.4 must still hold."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    @pytest.mark.parametrize("p_timeout", [0.05, 0.2, 0.5])
+    def test_d3_with_liars_and_timeouts(self, spec, p_timeout, seed):
+        behaviors = {
+            "p1": LieAboutSender("zeta", "S"),
+            "p2": LieAboutSender("zeta", "S"),
+        }
+        result = run_with_timeouts(spec, behaviors, {"p1", "p2"}, p_timeout, seed)
+        for node, value in result.decisions.items():
+            if node not in behaviors:
+                assert value in ("alpha", DEFAULT), (seed, node, value)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_d4_with_faulty_sender_and_timeouts(self, spec, seed):
+        behaviors = {
+            "S": TwoFacedBehavior({"p1": "x", "p2": "y"}),
+            "p3": LieAboutSender("x", "S"),
+        }
+        result = run_with_timeouts(spec, behaviors, {"S", "p3"}, 0.25, seed)
+        fault_free = [
+            v for n, v in result.decisions.items() if n != "p3"
+        ]
+        non_default = {v for v in fault_free if v is not DEFAULT}
+        assert len(non_default) <= 1, (seed, result.decisions)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_total_timeout_collapse_is_still_safe(self, spec, seed):
+        # Even if *every* fault-free message times out, the outcome
+        # degenerates to all-default — never to divergent values.
+        behaviors = {
+            "p1": LieAboutSender("zeta", "S"),
+            "p2": LieAboutSender("eta", "S"),
+        }
+        result = run_with_timeouts(spec, behaviors, {"p1", "p2"}, 1.0, seed)
+        non_default = {
+            v
+            for n, v in result.decisions.items()
+            if n not in behaviors and v is not DEFAULT
+        }
+        assert len(non_default) <= 1
+
+
+class TestFullRegimeWithoutTimeouts:
+    def test_baseline_still_exact(self, spec):
+        """Sanity: with p=0 the injector is a no-op and D.1 is exact."""
+        behaviors = {"p1": LieAboutSender("zeta", "S")}
+        result = run_with_timeouts(spec, behaviors, {"p1"}, 0.0, seed=0)
+        report = classify(result, {"p1"}, spec)
+        assert report.satisfied
+        assert report.shape.value == "unanimous-value"
+
+
+class TestTimeoutsOnlyNoByzantine:
+    """Pure omission faults between honest nodes degrade gracefully."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_never_divergent(self, spec, seed):
+        result = run_with_timeouts(spec, {}, set(), 0.3, seed)
+        non_default = {
+            v for v in result.decisions.values() if v is not DEFAULT
+        }
+        assert non_default <= {"alpha"}

@@ -1,0 +1,203 @@
+"""Unit tests for the synchronous round engine."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.sim.engine import FaultInjector, SynchronousEngine
+from repro.sim.messages import Message
+from repro.sim.network import Topology
+from repro.sim.node import IdleProcess, Process, RecordingProcess, ScriptedProcess
+from repro.sim.trace import EventKind
+
+NODES = ["a", "b", "c"]
+
+
+def make_engine(processes, injectors=None, topology=None):
+    return SynchronousEngine(
+        topology or Topology.complete(NODES), processes, injectors
+    )
+
+
+class TestSetup:
+    def test_duplicate_process_rejected(self):
+        with pytest.raises(SimulationError):
+            make_engine([IdleProcess("a"), IdleProcess("a"), IdleProcess("b")])
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(SimulationError):
+            make_engine([IdleProcess("zzz")])
+
+    def test_negative_rounds_rejected(self):
+        engine = make_engine([IdleProcess(n) for n in NODES])
+        with pytest.raises(SimulationError):
+            engine.run(-1)
+
+
+class TestDelivery:
+    def test_next_round_delivery(self):
+        sender = ScriptedProcess("a", {1: [("b", "hello")]})
+        receiver = RecordingProcess("b")
+        engine = make_engine([sender, receiver, IdleProcess("c")])
+        engine.step_round()
+        assert receiver.received == []  # sent in round 1, not yet delivered
+        engine.step_round()
+        assert [m.payload for m in receiver.received] == ["hello"]
+        assert receiver.received[0].source == "a"
+
+    def test_broadcast_pattern(self):
+        sender = ScriptedProcess("a", {1: [("b", "x"), ("c", "x")]})
+        b, c = RecordingProcess("b"), RecordingProcess("c")
+        engine = make_engine([sender, b, c])
+        engine.run(2)
+        assert [m.payload for m in b.received] == ["x"]
+        assert [m.payload for m in c.received] == ["x"]
+
+    def test_no_link_no_delivery(self):
+        topo = Topology.from_edges(NODES, [("a", "b")])
+        sender = ScriptedProcess("a", {1: [("b", "x"), ("c", "x")]})
+        b, c = RecordingProcess("b"), RecordingProcess("c")
+        engine = SynchronousEngine(topo, [sender, b, c])
+        engine.run(2)
+        assert len(b.received) == 1
+        assert len(c.received) == 0
+        dropped = engine.trace.filter(lambda e: e.kind is EventKind.DROPPED)
+        assert len(dropped) == 1 and dropped[0].note == "no link"
+
+    def test_self_message_rejected(self):
+        sender = ScriptedProcess("a", {1: [("a", "x")]})
+        engine = make_engine([sender, IdleProcess("b"), IdleProcess("c")])
+        with pytest.raises(SimulationError):
+            engine.run(1)
+
+    def test_unknown_destination_rejected(self):
+        sender = ScriptedProcess("a", {1: [("zzz", "x")]})
+        engine = make_engine([sender, IdleProcess("b"), IdleProcess("c")])
+        with pytest.raises(SimulationError):
+            engine.run(1)
+
+    def test_source_forgery_rejected(self):
+        class Forger(Process):
+            def step(self, round_no, inbox):
+                return [Message(source="b", destination="c", payload=1)]
+
+        engine = make_engine([Forger("a"), IdleProcess("b"), IdleProcess("c")])
+        with pytest.raises(SimulationError):
+            engine.run(1)
+
+    def test_deterministic_inbox_order(self):
+        s1 = ScriptedProcess("a", {1: [("c", "from-a")]})
+        s2 = ScriptedProcess("b", {1: [("c", "from-b")]})
+        receiver = RecordingProcess("c")
+        engine = make_engine([s1, s2, receiver])
+        engine.run(2)
+        assert [m.payload for m in receiver.received] == ["from-a", "from-b"]
+
+
+class TestRunLoop:
+    def test_stops_when_all_decided(self):
+        class DecideImmediately(Process):
+            def step(self, round_no, inbox):
+                self.decide(round_no)
+                return []
+
+        engine = make_engine([DecideImmediately(n) for n in NODES])
+        executed = engine.run(100)
+        assert executed == 1
+        assert engine.all_decided()
+        assert engine.decisions() == {n: 1 for n in NODES}
+
+    def test_respects_max_rounds(self):
+        engine = make_engine([IdleProcess(n) for n in NODES])
+        assert engine.run(5) == 5
+        assert engine.current_round == 5
+
+    def test_in_flight_messages_delay_stop(self):
+        class SendThenDecide(ScriptedProcess):
+            def step(self, round_no, inbox):
+                out = super().step(round_no, inbox)
+                self.decide("done")
+                return out
+
+        sender = SendThenDecide("a", {1: [("b", "x")]})
+        b, c = RecordingProcess("b"), RecordingProcess("c")
+        b.decide("done")
+        c.decide("done")
+        engine = make_engine([sender, b, c])
+        executed = engine.run(10)
+        # Round 1 sends (and decides); the in-flight message forces round 2
+        # so 'b' still receives it before the engine stops.
+        assert executed == 2
+        assert len(b.received) == 1
+
+
+class TestInjectors:
+    def test_drop_all(self):
+        class DropAll(FaultInjector):
+            def intercept(self, round_no, message):
+                return []
+
+        sender = ScriptedProcess("a", {1: [("b", "x")]})
+        receiver = RecordingProcess("b")
+        engine = make_engine(
+            [sender, receiver, IdleProcess("c")], injectors=[DropAll()]
+        )
+        engine.run(3)
+        assert receiver.received == []
+        assert engine.trace.count(EventKind.DROPPED) == 1
+
+    def test_corruption_recorded(self):
+        class Corrupt(FaultInjector):
+            def intercept(self, round_no, message):
+                return [message.with_payload("corrupted")]
+
+        sender = ScriptedProcess("a", {1: [("b", "x")]})
+        receiver = RecordingProcess("b")
+        engine = make_engine(
+            [sender, receiver, IdleProcess("c")], injectors=[Corrupt()]
+        )
+        engine.run(3)
+        assert [m.payload for m in receiver.received] == ["corrupted"]
+        assert engine.trace.count(EventKind.CORRUPTED) == 1
+
+    def test_injector_forgery_rejected(self):
+        class ForgeSource(FaultInjector):
+            def intercept(self, round_no, message):
+                return [
+                    Message(source="b", destination=message.destination, payload=1)
+                ]
+
+        sender = ScriptedProcess("a", {1: [("c", "x")]})
+        engine = make_engine(
+            [sender, IdleProcess("b"), IdleProcess("c")],
+            injectors=[ForgeSource()],
+        )
+        with pytest.raises(SimulationError):
+            engine.run(1)
+
+    def test_injectors_chain_in_order(self):
+        class AppendTag(FaultInjector):
+            def __init__(self, tag):
+                self.tag = tag
+
+            def intercept(self, round_no, message):
+                return [message.with_payload(message.payload + self.tag)]
+
+        sender = ScriptedProcess("a", {1: [("b", "x")]})
+        receiver = RecordingProcess("b")
+        engine = make_engine(
+            [sender, receiver, IdleProcess("c")],
+            injectors=[AppendTag("-1"), AppendTag("-2")],
+        )
+        engine.run(3)
+        assert [m.payload for m in receiver.received] == ["x-1-2"]
+
+
+class TestTraceToggle:
+    def test_no_trace_mode(self):
+        engine = SynchronousEngine(
+            Topology.complete(NODES),
+            [IdleProcess(n) for n in NODES],
+            record_trace=False,
+        )
+        engine.run(2)
+        assert engine.trace is None

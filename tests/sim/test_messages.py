@@ -1,0 +1,53 @@
+"""Unit tests for message and payload objects."""
+
+import pytest
+
+from repro.sim.messages import ClockReadingPayload, Envelope, Message, RelayPayload
+
+
+class TestMessage:
+    def test_immutable(self):
+        msg = Message(source="a", destination="b", payload=1)
+        with pytest.raises(AttributeError):
+            msg.payload = 2
+
+    def test_with_payload_copies(self):
+        msg = Message(source="a", destination="b", payload=1, round_sent=3, tag="t")
+        new = msg.with_payload(2)
+        assert new.payload == 2
+        assert new.source == "a" and new.destination == "b"
+        assert new.round_sent == 3 and new.tag == "t"
+        assert msg.payload == 1  # original untouched
+
+    def test_equality(self):
+        a = Message(source="a", destination="b", payload=1)
+        b = Message(source="a", destination="b", payload=1)
+        assert a == b
+
+
+class TestRelayPayload:
+    def test_path_required(self):
+        with pytest.raises(ValueError):
+            RelayPayload(path=(), value=1)
+
+    def test_hashable(self):
+        p = RelayPayload(path=("S", "A"), value="v")
+        assert hash(p) == hash(RelayPayload(path=("S", "A"), value="v"))
+
+
+class TestClockReadingPayload:
+    def test_fields(self):
+        p = ClockReadingPayload(reading=12.5, epoch=3)
+        assert p.reading == 12.5
+        assert p.epoch == 3
+
+
+class TestEnvelope:
+    def test_hop_progression(self):
+        msg = Message(source="a", destination="d", payload=1)
+        env = Envelope(message=msg, route=("b", "c", "d"))
+        assert env.next_hop() == "b"
+        env = env.advance()
+        assert env.next_hop() == "c"
+        env = env.advance().advance()
+        assert env.next_hop() is None

@@ -1,0 +1,121 @@
+"""Unit tests for execution traces and local views."""
+
+from repro.sim.messages import Message
+from repro.sim.trace import EventKind, EventTrace, TraceEvent
+
+
+def delivered(round_no, src, dst, payload):
+    return TraceEvent(
+        round_no=round_no,
+        kind=EventKind.DELIVERED,
+        source=src,
+        destination=dst,
+        payload=payload,
+    )
+
+
+class TestRecording:
+    def test_record_and_len(self):
+        trace = EventTrace()
+        trace.record(delivered(1, "a", "b", "x"))
+        assert len(trace) == 1
+        assert trace.events[0].payload == "x"
+
+    def test_record_message_helper(self):
+        trace = EventTrace()
+        msg = Message(source="a", destination="b", payload="x")
+        trace.record_message(2, EventKind.SENT, msg, note="test")
+        event = trace.events[0]
+        assert event.kind is EventKind.SENT
+        assert event.round_no == 2
+        assert event.note == "test"
+
+
+class TestQueries:
+    def build(self):
+        trace = EventTrace()
+        trace.record(delivered(1, "a", "b", "x"))
+        trace.record(delivered(1, "c", "b", "y"))
+        trace.record(delivered(2, "a", "c", "z"))
+        trace.record(
+            TraceEvent(2, EventKind.DROPPED, "a", "b", "lost")
+        )
+        return trace
+
+    def test_deliveries_to(self):
+        trace = self.build()
+        assert [e.payload for e in trace.deliveries_to("b")] == ["x", "y"]
+
+    def test_local_view(self):
+        trace = self.build()
+        assert trace.local_view("b") == ((1, "a", "x"), (1, "c", "y"))
+        assert trace.local_view("c") == ((2, "a", "z"),)
+
+    def test_local_view_excludes_drops(self):
+        trace = self.build()
+        assert all(p != "lost" for _, _, p in trace.local_view("b"))
+
+    def test_count(self):
+        trace = self.build()
+        assert trace.count(EventKind.DELIVERED) == 3
+        assert trace.count(EventKind.DROPPED) == 1
+
+    def test_messages_per_round(self):
+        trace = self.build()
+        assert trace.messages_per_round() == {1: 2, 2: 1}
+
+    def test_filter(self):
+        trace = self.build()
+        from_a = trace.filter(lambda e: e.source == "a")
+        assert len(from_a) == 3
+
+
+class TestExport:
+    def test_jsonl_round_count(self):
+        import json
+
+        trace = EventTrace()
+        trace.record(delivered(1, "a", "b", "x"))
+        trace.record(delivered(2, "b", "a", "y"))
+        lines = trace.to_jsonl().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first == {
+            "round": 1,
+            "kind": "delivered",
+            "source": "a",
+            "destination": "b",
+            "payload": "'x'",
+            "note": "",
+        }
+
+    def test_dump_to_file(self, tmp_path):
+        trace = EventTrace()
+        trace.record(delivered(1, "a", "b", "x"))
+        path = tmp_path / "trace.jsonl"
+        trace.dump(str(path))
+        content = path.read_text()
+        assert content.endswith("\n")
+        assert '"round": 1' in content
+
+    def test_empty_trace(self, tmp_path):
+        trace = EventTrace()
+        assert trace.to_jsonl() == ""
+        path = tmp_path / "empty.jsonl"
+        trace.dump(str(path))
+        assert path.read_text() == ""
+
+
+class TestViewComparison:
+    def test_identical_views_compare_equal(self):
+        t1, t2 = EventTrace(), EventTrace()
+        for t in (t1, t2):
+            t.record(delivered(1, "s", "b", "v"))
+            t.record(delivered(2, "a", "b", "w"))
+        assert t1.local_view("b") == t2.local_view("b")
+
+    def test_different_payload_distinguishes(self):
+        t1, t2 = EventTrace(), EventTrace()
+        t1.record(delivered(1, "s", "b", "v"))
+        t2.record(delivered(1, "s", "b", "w"))
+        assert t1.local_view("b") != t2.local_view("b")

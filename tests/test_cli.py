@@ -1,0 +1,178 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestTable:
+    def test_prints_grid(self, capsys):
+        code, out, _ = run_cli(capsys, "table")
+        assert code == 0
+        assert "u \\ m" in out
+        assert "13" in out
+
+
+class TestTradeoff:
+    def test_seven(self, capsys):
+        code, out, _ = run_cli(capsys, "tradeoff", "7")
+        assert code == 0
+        assert "1/4-degradable" in out
+
+
+class TestRun:
+    def test_clean_run(self, capsys):
+        code, out, _ = run_cli(capsys, "run", "-m", "1", "-u", "2")
+        assert code == 0
+        assert "SATISFIED" in out
+
+    def test_degraded_run(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "run", "-m", "1", "-u", "2", "--faulty", "p1,p2"
+        )
+        assert code == 0
+        assert "degraded regime" in out
+
+    def test_each_adversary_flag(self, capsys):
+        for adversary in ("lie", "silent", "constant", "two-faced"):
+            code, out, _ = run_cli(
+                capsys, "run", "-m", "1", "-u", "2",
+                "--faulty", "p1", "--adversary", adversary,
+            )
+            assert code == 0, adversary
+            assert "SATISFIED" in out
+
+    def test_unknown_faulty_id(self, capsys):
+        code, _, err = run_cli(
+            capsys, "run", "-m", "1", "-u", "2", "--faulty", "ghost"
+        )
+        assert code == 2
+        assert "unknown node ids" in err
+
+    def test_configuration_error_reported(self, capsys):
+        code, _, err = run_cli(
+            capsys, "run", "-m", "1", "-u", "2", "-n", "3"
+        )
+        assert code == 2
+        assert "error:" in err
+
+
+class TestScenarios:
+    def test_theorem2_pattern(self, capsys):
+        code, out, _ = run_cli(capsys, "scenarios", "-m", "1", "-u", "2")
+        assert code == 0
+        assert "Theorem 2 witnessed" in out
+
+
+class TestConnectivity:
+    def test_theorem3_pattern(self, capsys):
+        code, out, _ = run_cli(capsys, "connectivity", "-m", "1", "-u", "2")
+        assert code == 0
+        assert "holds" in out and "breaks" in out
+
+
+class TestReliability:
+    def test_prints_chart(self, capsys):
+        code, out, _ = run_cli(capsys, "reliability", "7", "-p", "0.02")
+        assert code == 0
+        assert "P(unsafe)" in out
+        assert "log scale" in out
+
+
+class TestComplexity:
+    def test_prints_costs(self, capsys):
+        code, out, _ = run_cli(capsys, "complexity", "-u", "3")
+        assert code == 0
+        assert "OM" in out and "BYZ(m=1)" in out
+
+
+class TestSearch:
+    def test_at_bound(self, capsys):
+        code, out, _ = run_cli(capsys, "search", "-u", "1")
+        assert code == 0
+        assert "no violating adversary" in out
+
+    def test_below_bound(self, capsys):
+        code, out, _ = run_cli(capsys, "search", "-u", "1", "--below")
+        assert code == 0
+        assert "violation found" in out
+
+
+class TestMission:
+    def test_safe_mission(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "mission", "--steps", "40", "-p", "0.05", "--seed", "7"
+        )
+        assert code == 0
+        assert "availability" in out
+
+
+class TestExperiments:
+    def test_subset_runs_and_writes(self, capsys, tmp_path):
+        out = tmp_path / "r.json"
+        code, stdout, _ = run_cli(
+            capsys, "experiments", "--only", "E3,E6", "--out", str(out)
+        )
+        assert code == 0
+        assert "[PASS] E3" in stdout and "[PASS] E6" in stdout
+        assert out.exists()
+
+
+class TestVerboseRun:
+    def test_narration(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "run", "-m", "1", "-u", "2", "--faulty", "p1", "--verbose"
+        )
+        assert code == 0
+        assert "round 2" in out
+        assert "from a faulty node" in out
+        assert "contract SATISFIED" in out
+
+
+class TestSuiteCommand:
+    def test_reference_suite_passes(self, capsys):
+        code, out, _ = run_cli(capsys, "suite")
+        assert code == 0
+        assert "6/6 scenarios passed" in out
+
+    def test_save_and_reload(self, capsys, tmp_path):
+        path = tmp_path / "suite.json"
+        code, out, _ = run_cli(capsys, "suite", "--save", str(path))
+        assert code == 0 and path.exists()
+        code, out, _ = run_cli(capsys, "suite", str(path))
+        assert code == 0
+        assert "scenarios passed" in out
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestClocksyncCommand:
+    def test_conjecture_grid(self, capsys):
+        code, out, _ = run_cli(capsys, "clocksync", "-m", "1", "-u", "1")
+        assert code == 0
+        assert "evidence FOR the conjecture" in out
+
+
+class TestReportCommand:
+    def test_report_to_stdout(self, capsys):
+        code, out, _ = run_cli(capsys, "report", "--no-battery")
+        assert code == 0
+        assert "# Measured report" in out
+        assert "Degradable clock-sync conjecture grid" in out
+
+    def test_report_to_file(self, capsys, tmp_path):
+        path = tmp_path / "REPORT.md"
+        code, out, _ = run_cli(capsys, "report", "-o", str(path), "--no-battery")
+        assert code == 0
+        assert path.exists()
+        assert "report written" in out

@@ -1,0 +1,14 @@
+"""Run the doctests embedded in module documentation."""
+
+import doctest
+
+import pytest
+
+import repro.analysis.charts
+
+
+@pytest.mark.parametrize("module", [repro.analysis.charts])
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest(s) failed in {module.__name__}"
+    assert results.attempted > 0, f"no doctests found in {module.__name__}"
