@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # Full CI gate: tests, benchmarks, examples, CLI battery.
+# Runs straight from a checkout — no editable install required.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== unit / property / integration tests =="
-python -m pytest tests/
+export PYTHONPATH="src${PYTHONPATH:+:${PYTHONPATH}}"
+
+echo "== unit / property / integration tests (tier 1) =="
+python -m pytest -x -q
 
 echo "== experiment benchmarks =="
 python -m pytest benchmarks/ --benchmark-only
@@ -18,5 +21,7 @@ done
 echo "== CLI experiment battery =="
 python -m repro experiments
 python -m repro suite
+python -m repro net --transport local
+python -m repro net --transport tcp
 
 echo "CI green."

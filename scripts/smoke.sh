@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Fast smoke gate: tier-1 tests plus one real net run.  Target: < 1 minute.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:${PYTHONPATH}}"
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+echo "== net runtime over the local bus =="
+python -m repro net --transport local
+
+echo "Smoke green."

@@ -14,7 +14,10 @@ A complete, executable reproduction of N. H. Vaidya's ICDCS 1993 paper:
 * :mod:`repro.clocksync` — Section 6 clock synchronization (interactive
   convergence, degradable clock sync, witness clocks);
 * :mod:`repro.analysis` — lower-bound scenario machinery, reliability and
-  complexity analysis, Monte-Carlo fault injection, table rendering.
+  complexity analysis, Monte-Carlo fault injection, table rendering;
+* :mod:`repro.net` — asyncio message-bus runtime that runs the same
+  protocols over real transports (in-process bus or TCP sockets) with
+  per-round deadlines, retry/backoff and wire metrics.
 
 Quickstart::
 
@@ -57,11 +60,19 @@ from repro.core import (
     run_oral_messages,
     vote,
 )
+from repro.net import (
+    AsyncRoundRunner,
+    LocalBus,
+    NetMetrics,
+    TcpTransport,
+    run_agreement_async,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AgreementResult",
+    "AsyncRoundRunner",
     "Behavior",
     "ConstantLiar",
     "DEFAULT",
@@ -69,11 +80,14 @@ __all__ = [
     "EchoAsBehavior",
     "HonestBehavior",
     "LieAboutSender",
+    "LocalBus",
+    "NetMetrics",
     "OutcomeReport",
     "OutcomeShape",
     "RandomLiar",
     "ScriptedBehavior",
     "SilentBehavior",
+    "TcpTransport",
     "TwoFacedAboutSender",
     "TwoFacedBehavior",
     "__version__",
@@ -86,6 +100,7 @@ __all__ = [
     "min_connectivity",
     "min_nodes",
     "minimal_spec",
+    "run_agreement_async",
     "run_crusader",
     "run_degradable_agreement",
     "run_oral_messages",

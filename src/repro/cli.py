@@ -10,7 +10,9 @@ Exposes the library's main entry points for interactive exploration:
 * ``reliability``  — correct/safe/unsafe probabilities for a design;
 * ``complexity``   — cost comparison for surviving u faults;
 * ``search``       — exhaustive adversary search for 1/u instances;
-* ``mission``      — fly the Figure 1(b) channel system with transient faults.
+* ``mission``      — fly the Figure 1(b) channel system with transient faults;
+* ``net``          — run one agreement over the asyncio runtime (in-process
+  bus or real TCP sockets) and print the wire metrics.
 
 Every command prints plain text; exit status is 0 on success, 1 when an
 executed check fails (e.g. a violated agreement contract), 2 on usage
@@ -72,6 +74,27 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["lie", "silent", "constant", "two-faced"])
     p.add_argument("--verbose", action="store_true",
                    help="narrate the full execution (messages and ballots)")
+
+    p = sub.add_parser(
+        "net", help="run one agreement over the async runtime (LocalBus/TCP)"
+    )
+    p.add_argument("-m", type=int, default=1)
+    p.add_argument("-u", type=int, default=2)
+    p.add_argument("-n", "--nodes", type=int, default=None,
+                   help="node count (default 2m+u+1)")
+    p.add_argument("--transport", default="local", choices=["local", "tcp"],
+                   help="in-process asyncio bus or real localhost sockets")
+    p.add_argument("--value", default="alpha", help="sender's value")
+    p.add_argument("--faulty", default="",
+                   help="comma-separated faulty node ids (S, p1, p2, ...)")
+    p.add_argument("--adversary", default="lie",
+                   choices=["lie", "silent", "constant", "two-faced", "crash"],
+                   help="'crash' mutes nodes at the wire level, forcing real "
+                        "round-deadline timeouts")
+    p.add_argument("--timeout", type=float, default=2.0,
+                   help="per-round deadline in seconds")
+    p.add_argument("--no-verify", action="store_true",
+                   help="skip the synchronous-engine cross-check")
 
     p = sub.add_parser("scenarios", help="Theorem 2 triple at and below the bound")
     p.add_argument("-m", type=int, required=True)
@@ -142,7 +165,13 @@ def _cmd_tradeoff(args) -> int:
     return 0
 
 
-def _cmd_run(args) -> int:
+def _build_instance(args):
+    """Shared (spec, nodes, faulty, behaviors) setup for run/net commands.
+
+    Returns ``None`` (after printing to stderr) when a faulty id is unknown.
+    The ``crash`` adversary maps to no behaviour — the caller realizes it at
+    the transport level (omission injector / wire mute).
+    """
     n = args.nodes if args.nodes is not None else 2 * args.m + args.u + 1
     spec = DegradableSpec(m=args.m, u=args.u, n_nodes=n)
     nodes = ["S"] + [f"p{k}" for k in range(1, n)]
@@ -150,19 +179,29 @@ def _cmd_run(args) -> int:
     unknown = faulty - set(nodes)
     if unknown:
         print(f"unknown node ids: {sorted(unknown)}", file=sys.stderr)
-        return 2
+        return None
+    adversary = getattr(args, "adversary", "lie")
     behaviors: BehaviorMap = {}
     for node in faulty:
-        if args.adversary == "lie":
+        if adversary == "lie":
             behaviors[node] = LieAboutSender("forged", "S")
-        elif args.adversary == "silent":
+        elif adversary == "silent":
             behaviors[node] = SilentBehavior()
-        elif args.adversary == "constant":
+        elif adversary == "constant":
             behaviors[node] = ConstantLiar("forged")
-        else:
+        elif adversary == "two-faced":
             behaviors[node] = TwoFacedBehavior(
                 {p: ("x" if i % 2 else "y") for i, p in enumerate(nodes)}
             )
+        # "crash" intentionally adds no behaviour.
+    return spec, nodes, faulty, behaviors
+
+
+def _cmd_run(args) -> int:
+    instance = _build_instance(args)
+    if instance is None:
+        return 2
+    spec, nodes, faulty, behaviors = instance
     if args.verbose:
         from repro.core.narrate import narrate_execution
 
@@ -180,6 +219,73 @@ def _cmd_run(args) -> int:
         print(f"  [{marker}] {node} -> {result.decisions[node]!r}")
     print(f"shape: {report.shape.value}")
     if report.satisfied:
+        print("contract: SATISFIED")
+        return 0
+    print("contract: VIOLATED")
+    for violation in report.violations:
+        print(f"  !! {violation}")
+    return 1
+
+
+def _cmd_net(args) -> int:
+    import asyncio
+
+    from repro.core.protocol import execute_degradable_protocol
+    from repro.net import (
+        LocalBus,
+        MuteAdapter,
+        TcpTransport,
+        run_agreement_async,
+    )
+    from repro.sim.faults import OmissionInjector
+
+    if args.timeout <= 0:
+        print(f"error: --timeout must be > 0, got {args.timeout}",
+              file=sys.stderr)
+        return 2
+    instance = _build_instance(args)
+    if instance is None:
+        return 2
+    spec, nodes, faulty, behaviors = instance
+    crashed = faulty if args.adversary == "crash" else set()
+    transport = TcpTransport() if args.transport == "tcp" else LocalBus()
+    adapters = [MuteAdapter(crashed)] if crashed else []
+    outcome = asyncio.run(
+        run_agreement_async(
+            spec, nodes, "S", args.value,
+            behaviors=behaviors,
+            transport=transport,
+            adapters=adapters,
+            round_timeout=args.timeout,
+        )
+    )
+    result = outcome.result
+    report = classify(result, faulty, spec)
+    print(f"{spec}; f={len(faulty)} ({report.regime} regime) "
+          f"over transport '{outcome.metrics.transport}'")
+    for node in nodes[1:]:
+        marker = "x" if node in faulty else " "
+        print(f"  [{marker}] {node} -> {result.decisions[node]!r}")
+    print(f"shape: {report.shape.value}")
+    print()
+    print(outcome.metrics.render())
+    ok = report.satisfied
+    if not args.no_verify:
+        extra = [OmissionInjector.from_sources(crashed)] if crashed else None
+        sync_result, _ = execute_degradable_protocol(
+            spec, nodes, "S", args.value, behaviors, extra_injectors=extra
+        )
+        matches = sync_result.decisions == result.decisions
+        print()
+        print("synchronous-engine cross-check: "
+              + ("decisions identical" if matches else "MISMATCH"))
+        if not matches:
+            for node, value in sorted(sync_result.decisions.items()):
+                if result.decisions.get(node) != value:
+                    print(f"  {node}: sync={value!r} "
+                          f"async={result.decisions.get(node)!r}")
+        ok = ok and matches
+    if ok:
         print("contract: SATISFIED")
         return 0
     print("contract: VIOLATED")
@@ -337,6 +443,7 @@ _COMMANDS = {
     "table": _cmd_table,
     "tradeoff": _cmd_tradeoff,
     "run": _cmd_run,
+    "net": _cmd_net,
     "scenarios": _cmd_scenarios,
     "connectivity": _cmd_connectivity,
     "reliability": _cmd_reliability,

@@ -67,6 +67,7 @@ from repro.core.signed import (
 )
 from repro.core.protocol import (
     AgreementProcess,
+    ProtocolSession,
     execute_degradable_protocol,
     make_byz_processes,
     make_om_processes,
@@ -115,6 +116,7 @@ __all__ = [
     "configurations",
     "crusader_message_count",
     "direct_transport",
+    "ProtocolSession",
     "execute_degradable_protocol",
     "faulty_nodes",
     "feasible",

@@ -53,6 +53,11 @@ class ExecutionStats:
     messages: int = 0
     rounds: int = 0
     votes: int = 0
+    #: Expected-but-absent messages resolved to ``V_d`` per assumption (b).
+    #: Filled by the message-passing implementations (sync engine and the
+    #: async runtime); the functional oracle enforces absence structurally
+    #: and always reports 0.
+    substitutions: int = 0
 
     def merge_rounds(self, depth: int) -> None:
         self.rounds = max(self.rounds, depth)

@@ -71,6 +71,12 @@ class AgreementProcess(Process):
         self.value = value
         self.tag = tag
         self.is_sender = node_id == sender
+        #: Count of expected-but-absent messages this node resolved to
+        #: ``V_d`` (model assumption (b)).  On the synchronous engine an
+        #: absence is a message dropped in flight; on the async runtime it
+        #: is a missed round deadline — either way it lands here, which is
+        #: what lets the equivalence tests compare the two paths.
+        self.absence_substitutions = 0
         if not self.is_sender:
             self.tree = EIGTree(node_id, self.all_nodes, depth)
 
@@ -127,6 +133,7 @@ class AgreementProcess(Process):
         for path in self.tree.expected_paths(wave_length, self.sender):
             if not self.tree.has(path):
                 self.tree.store(path, DEFAULT)
+                self.absence_substitutions += 1
 
     def _relay_wave(self, round_no: int) -> List[Message]:
         """Forward every value of the previous wave, tagged with our id."""
@@ -140,6 +147,99 @@ class AgreementProcess(Process):
                     continue
                 outgoing.append(self.send(dest, payload, round_no, tag=self.tag))
         return outgoing
+
+
+# ----------------------------------------------------------------------
+# Transport-facing driver seam
+# ----------------------------------------------------------------------
+class ProtocolSession:
+    """Transport-agnostic handle on one message-passing protocol run.
+
+    The protocol logic lives entirely in the :class:`AgreementProcess`
+    state machines; what varies between runtimes is only *who ferries the
+    messages between rounds*.  A session bundles everything a runtime needs
+    to drive one agreement instance — the processes, the total round count,
+    and result collection — so the synchronous engine
+    (:func:`execute_degradable_protocol`) and the asyncio runtime
+    (:class:`repro.net.AsyncRoundRunner`) execute literally the same
+    protocol code over different transports.
+    """
+
+    def __init__(
+        self,
+        spec: DegradableSpec,
+        nodes: Sequence[NodeId],
+        sender: NodeId,
+        sender_value: Value,
+        processes: Sequence[AgreementProcess],
+    ) -> None:
+        self.spec = spec
+        self.nodes: Tuple[NodeId, ...] = tuple(nodes)
+        self.sender = sender
+        self.sender_value = sender_value
+        self.processes: List[AgreementProcess] = list(processes)
+        self.process_map: Dict[NodeId, AgreementProcess] = {
+            p.node_id: p for p in self.processes
+        }
+
+    @classmethod
+    def byz(
+        cls,
+        spec: DegradableSpec,
+        nodes: Sequence[NodeId],
+        sender: NodeId,
+        sender_value: Value,
+        tag: str = "byz",
+    ) -> "ProtocolSession":
+        """Session for one m/u-degradable agreement (algorithm BYZ) run."""
+        return cls(
+            spec,
+            nodes,
+            sender,
+            sender_value,
+            make_byz_processes(spec, nodes, sender, sender_value, tag=tag),
+        )
+
+    @property
+    def total_rounds(self) -> int:
+        """Engine rounds one run needs: ``spec.rounds`` waves + the final
+        ingest-and-decide round."""
+        return self.spec.rounds + 1
+
+    @property
+    def substitutions(self) -> int:
+        """Total ``V_d`` substitutions for absent messages across all nodes."""
+        return sum(p.absence_substitutions for p in self.processes)
+
+    def all_decided(self) -> bool:
+        return all(p.decided for p in self.processes)
+
+    def collect_result(self, messages: int = 0, rounds: int = 0) -> AgreementResult:
+        """Package every receiver's decision as an :class:`AgreementResult`.
+
+        Raises :class:`~repro.exceptions.ProtocolError` if any receiver has
+        not decided — a correctly driven run always decides within
+        :attr:`total_rounds`.
+        """
+        decisions: Dict[NodeId, Value] = {}
+        for process in self.processes:
+            if process.node_id == self.sender:
+                continue
+            if not process.decided:
+                raise ProtocolError(
+                    f"receiver {process.node_id!r} failed to decide within "
+                    f"{rounds} rounds"
+                )
+            decisions[process.node_id] = process.decision
+        stats = ExecutionStats(
+            messages=messages, rounds=rounds, substitutions=self.substitutions
+        )
+        return AgreementResult(
+            decisions=decisions,
+            sender=self.sender,
+            sender_value=self.sender_value,
+            stats=stats,
+        )
 
 
 # ----------------------------------------------------------------------
@@ -216,32 +316,18 @@ def execute_degradable_protocol(
     trace the experiments mine for views and message counts.
     """
     topology = topology or Topology.complete(nodes)
-    processes = make_byz_processes(spec, nodes, sender, sender_value)
+    session = ProtocolSession.byz(spec, nodes, sender, sender_value)
     injectors: List[FaultInjector] = []
     if behaviors:
         injectors.extend(behavior_injectors(behaviors))
     if extra_injectors:
         injectors.extend(extra_injectors)
     engine = SynchronousEngine(
-        topology, processes, injectors, record_trace=record_trace
+        topology, session.processes, injectors, record_trace=record_trace
     )
-    rounds = engine.run(spec.rounds + 1)
-    decisions: Dict[NodeId, Value] = {}
-    for process in processes:
-        if process.node_id == sender:
-            continue
-        if not process.decided:
-            raise ProtocolError(
-                f"receiver {process.node_id!r} failed to decide within "
-                f"{rounds} rounds"
-            )
-        decisions[process.node_id] = process.decision
-    stats = ExecutionStats(messages=_count_messages(engine), rounds=rounds)
-    result = AgreementResult(
-        decisions=decisions,
-        sender=sender,
-        sender_value=sender_value,
-        stats=stats,
+    rounds = engine.run(session.total_rounds)
+    result = session.collect_result(
+        messages=_count_messages(engine), rounds=rounds
     )
     return result, engine
 

@@ -1,0 +1,91 @@
+"""repro.net — asyncio message-bus runtime for the agreement protocols.
+
+The simulator (:mod:`repro.sim`) enforces the paper's model structurally:
+lock-step rounds, guaranteed delivery, absence by construction.  This
+package runs the *same protocol state machines* over real transports with
+real deadlines:
+
+* :class:`Transport` — the wire abstraction;
+  :class:`LocalBus` (in-process asyncio queues, zero-copy fan-out),
+  :class:`TcpTransport` (length-prefixed JSON frames over localhost
+  sockets) and :class:`FlakyTransport` (injected transient send failures);
+* :class:`AsyncRoundRunner` — drives a
+  :class:`~repro.core.protocol.ProtocolSession` round by round with
+  per-round deadlines; a missed deadline *is* the paper's assumption (b):
+  the receiver detects the absence and substitutes ``V_d``.  Transient
+  transport errors are retried with bounded backoff inside the deadline;
+* fault adapters — every synchronous-engine injector and Byzantine
+  behaviour lifts onto the async path unchanged
+  (:func:`lift_injectors`, :func:`behavior_adapters`), and
+  :class:`MuteAdapter` crashes a node at the wire level so timeouts are
+  exercised for real;
+* :class:`NetMetrics` — per-round message/byte counts, latency
+  percentiles, retries, timeout substitutions.
+
+Quickstart::
+
+    import asyncio
+    from repro import DegradableSpec
+    from repro.net import TcpTransport, run_agreement_async
+
+    spec = DegradableSpec(m=1, u=2, n_nodes=5)
+    nodes = ["S", "p1", "p2", "p3", "p4"]
+    outcome = asyncio.run(run_agreement_async(
+        spec, nodes, "S", "engage", transport=TcpTransport(),
+    ))
+    print(outcome.decisions)          # same verdicts as the sync engine
+    print(outcome.metrics.render())   # the wire story
+
+Or from the command line: ``python -m repro net --transport tcp``.
+"""
+
+from repro.net.adapters import (
+    AsyncFaultAdapter,
+    InjectorAdapter,
+    MuteAdapter,
+    behavior_adapters,
+    lift_injectors,
+)
+from repro.net.codec import (
+    Frame,
+    FrameDecoder,
+    decode_frame,
+    encode_frame,
+    from_jsonable,
+    pack_frame,
+    to_jsonable,
+)
+from repro.net.metrics import NetMetrics, RoundMetrics
+from repro.net.runner import (
+    AsyncRoundRunner,
+    NetRunOutcome,
+    RetryPolicy,
+    run_agreement_async,
+)
+from repro.net.tcp import TcpTransport
+from repro.net.transport import FlakyTransport, LocalBus, Transport
+
+__all__ = [
+    "AsyncFaultAdapter",
+    "AsyncRoundRunner",
+    "FlakyTransport",
+    "Frame",
+    "FrameDecoder",
+    "InjectorAdapter",
+    "LocalBus",
+    "MuteAdapter",
+    "NetMetrics",
+    "NetRunOutcome",
+    "RetryPolicy",
+    "RoundMetrics",
+    "TcpTransport",
+    "Transport",
+    "behavior_adapters",
+    "decode_frame",
+    "encode_frame",
+    "from_jsonable",
+    "lift_injectors",
+    "pack_frame",
+    "run_agreement_async",
+    "to_jsonable",
+]

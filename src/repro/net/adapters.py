@@ -1,0 +1,94 @@
+"""Fault injection on the async path.
+
+The synchronous engine injects faults through
+:class:`~repro.sim.engine.FaultInjector` hooks; the async runner uses
+:class:`AsyncFaultAdapter`, which extends the same message-interception
+contract with one transport-level capability: *muting a node's end-of-round
+markers*.  On the wire a crashed node does not announce "I'm done sending"
+— receivers discover its silence only when the round deadline expires.
+Suppressing markers is how the runtime reproduces that genuinely.
+
+:func:`lift_injectors` wraps any existing simulator injector — Byzantine
+behaviour corruption, omissions, spurious timeouts, corruptors — so every
+fault the sync engine can inject works unchanged over sockets, and the two
+runtimes can be driven by one scenario description
+(:func:`behavior_adapters` lifts a plain
+:class:`~repro.core.behavior.BehaviorMap` in one call).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, List, Sequence
+
+from repro.core.behavior import BehaviorMap
+from repro.sim.engine import FaultInjector
+from repro.sim.faults import behavior_injectors
+from repro.sim.messages import Message
+
+NodeId = Hashable
+
+
+class AsyncFaultAdapter:
+    """Intercepts messages (like an injector) and optionally mutes markers.
+
+    Subclasses override :meth:`intercept` to drop/corrupt/multiply in-flight
+    messages (same semantics as the sync engine: return ``[]`` to drop,
+    the message unchanged to pass, a modified copy to corrupt), and
+    :meth:`mutes_marker` to suppress a node's end-of-round markers so
+    receivers must ride out the deadline to detect its absence.
+    """
+
+    def intercept(self, round_no: int, message: Message) -> List[Message]:
+        return [message]
+
+    def mutes_marker(self, round_no: int, node: NodeId) -> bool:
+        return False
+
+
+class InjectorAdapter(AsyncFaultAdapter):
+    """Lifts one synchronous-engine :class:`FaultInjector` onto the wire."""
+
+    def __init__(self, injector: FaultInjector) -> None:
+        self.injector = injector
+
+    def intercept(self, round_no: int, message: Message) -> List[Message]:
+        return self.injector.intercept(round_no, message)
+
+
+class MuteAdapter(AsyncFaultAdapter):
+    """Crash fault as the wire sees it: a node that stops talking entirely.
+
+    Drops every message *and* every end-of-round marker originating at the
+    muted nodes.  Unlike a lifted omission injector (messages vanish but
+    markers still flow, so rounds close fast), receivers here must wait out
+    the full round deadline before substituting ``V_d`` — the timeout path
+    of assumption (b), exercised for real.
+    """
+
+    def __init__(self, nodes: Iterable[NodeId]) -> None:
+        self.nodes = frozenset(nodes)
+
+    def intercept(self, round_no: int, message: Message) -> List[Message]:
+        if message.source in self.nodes:
+            return []
+        return [message]
+
+    def mutes_marker(self, round_no: int, node: NodeId) -> bool:
+        return node in self.nodes
+
+
+def lift_injectors(
+    injectors: Sequence[FaultInjector],
+) -> List[AsyncFaultAdapter]:
+    """Wrap simulator injectors for the async path, preserving order."""
+    return [InjectorAdapter(injector) for injector in injectors]
+
+
+def behavior_adapters(behaviors: BehaviorMap) -> List[AsyncFaultAdapter]:
+    """Standard adapter stack for a behaviour-driven Byzantine fault set.
+
+    Mirrors :func:`repro.sim.faults.behavior_injectors`: the same
+    :class:`~repro.core.behavior.Behavior` objects that drive the functional
+    oracle and the synchronous engine corrupt relay payloads on the wire.
+    """
+    return lift_injectors(behavior_injectors(behaviors))

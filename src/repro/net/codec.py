@@ -1,0 +1,215 @@
+"""Wire format for the async runtime: tagged JSON in length-prefixed frames.
+
+Everything the agreement protocols put on the wire is reduced to JSON with
+a small tagging scheme so the value domain survives a round trip exactly:
+
+* the default value ``V_d`` (a process-local singleton) becomes
+  ``{"__repro__": "vd"}`` and decodes back to the *same* singleton, so
+  identity checks (``value is DEFAULT``) keep working on the receiving side;
+* tuples — relay paths are tuples of node ids — are tagged so they do not
+  collapse into lists;
+* dicts are encoded as tagged item lists, which keeps non-string keys legal
+  and makes the tag namespace collision-free (a user dict that happens to
+  contain the key ``"__repro__"`` is *data*, never a tag);
+* :class:`~repro.sim.messages.RelayPayload` gets its own tag so a decoded
+  message is structurally identical to the sent one.
+
+Frames are ``4-byte big-endian length + JSON bytes``.  JSON is emitted with
+sorted keys and no whitespace, making encodings canonical — byte-identical
+for equal frames — which the cross-runtime equivalence tests rely on.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass
+from typing import Any, Hashable, List, Optional
+
+from repro.core.values import DEFAULT, Value
+from repro.exceptions import TransportError
+from repro.sim.messages import Message, RelayPayload
+
+NodeId = Hashable
+
+TAG = "__repro__"
+
+#: Frame kinds: protocol payload vs end-of-round marker.
+DATA = "data"
+MARK = "mark"
+
+_LENGTH = struct.Struct(">I")
+
+#: Upper bound on a single frame body; anything larger is a protocol bug,
+#: not a legitimate agreement message.
+MAX_FRAME_BYTES = 1 << 24
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One transport-level unit: a protocol message or a round marker.
+
+    ``kind == DATA`` carries a :class:`~repro.sim.messages.Message` in
+    ``message``.  ``kind == MARK`` is an end-of-round marker: ``source``
+    promises it has sent everything it will send in ``round_no``, letting
+    receivers finish the round before the deadline.  A node whose markers
+    are suppressed (crashed / muted) is only resolved by the deadline
+    itself — the runtime's realization of "detectable absence".
+
+    ``sent_at`` is the sender's monotonic timestamp, stamped by the runner
+    and used for latency percentiles (all endpoints share one clock since
+    the runtime hosts every node in one process).
+    """
+
+    kind: str
+    round_no: int
+    source: NodeId
+    destination: NodeId
+    message: Optional[Message] = None
+    sent_at: float = 0.0
+
+
+# ----------------------------------------------------------------------
+# Value (de)serialization
+# ----------------------------------------------------------------------
+def to_jsonable(value: Any) -> Any:
+    """Reduce *value* to JSON-representable primitives, tagging the rest."""
+    if value is DEFAULT:
+        return {TAG: "vd"}
+    if isinstance(value, RelayPayload):
+        return {
+            TAG: "relay",
+            "path": [to_jsonable(hop) for hop in value.path],
+            "value": to_jsonable(value.value),
+        }
+    if isinstance(value, tuple):
+        return {TAG: "tuple", "items": [to_jsonable(v) for v in value]}
+    if isinstance(value, dict):
+        return {
+            TAG: "dict",
+            "items": [[to_jsonable(k), to_jsonable(v)] for k, v in value.items()],
+        }
+    if isinstance(value, list):
+        return [to_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise TransportError(
+        f"value of type {type(value).__name__} is not wire-encodable: {value!r}"
+    )
+
+
+def from_jsonable(obj: Any) -> Any:
+    """Inverse of :func:`to_jsonable`."""
+    if isinstance(obj, dict):
+        tag = obj.get(TAG)
+        if tag == "vd":
+            return DEFAULT
+        if tag == "relay":
+            return RelayPayload(
+                path=tuple(from_jsonable(hop) for hop in obj["path"]),
+                value=from_jsonable(obj["value"]),
+            )
+        if tag == "tuple":
+            return tuple(from_jsonable(v) for v in obj["items"])
+        if tag == "dict":
+            return {from_jsonable(k): from_jsonable(v) for k, v in obj["items"]}
+        raise TransportError(f"unknown wire tag {tag!r}")
+    if isinstance(obj, list):
+        return [from_jsonable(v) for v in obj]
+    return obj
+
+
+# ----------------------------------------------------------------------
+# Frame (de)serialization
+# ----------------------------------------------------------------------
+def encode_frame(frame: Frame) -> bytes:
+    """Canonical JSON body for *frame* (no length prefix)."""
+    body = {
+        "kind": frame.kind,
+        "round": frame.round_no,
+        "src": to_jsonable(frame.source),
+        "dst": to_jsonable(frame.destination),
+        "at": frame.sent_at,
+    }
+    if frame.kind == DATA:
+        if frame.message is None:
+            raise TransportError("DATA frame without a message")
+        message = frame.message
+        body["msg"] = {
+            "source": to_jsonable(message.source),
+            "destination": to_jsonable(message.destination),
+            "payload": to_jsonable(message.payload),
+            "round_sent": message.round_sent,
+            "tag": message.tag,
+        }
+    try:
+        return json.dumps(body, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise TransportError(f"frame not JSON-encodable: {exc}") from exc
+
+
+def decode_frame(data: bytes) -> Frame:
+    """Inverse of :func:`encode_frame`."""
+    try:
+        body = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise TransportError(f"malformed frame: {exc}") from exc
+    message = None
+    if body["kind"] == DATA:
+        raw = body["msg"]
+        message = Message(
+            source=from_jsonable(raw["source"]),
+            destination=from_jsonable(raw["destination"]),
+            payload=from_jsonable(raw["payload"]),
+            round_sent=raw["round_sent"],
+            tag=raw["tag"],
+        )
+    return Frame(
+        kind=body["kind"],
+        round_no=body["round"],
+        source=from_jsonable(body["src"]),
+        destination=from_jsonable(body["dst"]),
+        message=message,
+        sent_at=body["at"],
+    )
+
+
+def pack_frame(frame: Frame) -> bytes:
+    """Encode *frame* and prepend the 4-byte big-endian length prefix."""
+    body = encode_frame(frame)
+    if len(body) > MAX_FRAME_BYTES:
+        raise TransportError(f"frame body too large: {len(body)} bytes")
+    return _LENGTH.pack(len(body)) + body
+
+
+class FrameDecoder:
+    """Incremental decoder for a length-prefixed frame stream.
+
+    Feed arbitrary byte chunks (as they come off a socket); complete frames
+    are returned as soon as their last byte arrives, partial data is
+    buffered.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> List[Frame]:
+        self._buffer.extend(data)
+        frames: List[Frame] = []
+        while True:
+            if len(self._buffer) < _LENGTH.size:
+                break
+            (length,) = _LENGTH.unpack_from(self._buffer, 0)
+            if length > MAX_FRAME_BYTES:
+                raise TransportError(f"frame length {length} exceeds limit")
+            if len(self._buffer) < _LENGTH.size + length:
+                break
+            body = bytes(self._buffer[_LENGTH.size : _LENGTH.size + length])
+            del self._buffer[: _LENGTH.size + length]
+            frames.append(decode_frame(body))
+        return frames
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered while waiting for the rest of a frame."""
+        return len(self._buffer)

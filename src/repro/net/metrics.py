@@ -1,0 +1,171 @@
+"""Per-round accounting for the async runtime.
+
+:class:`NetMetrics` records, per engine round: message and byte counts,
+delivery latencies, adapter drops, retries, send failures, late frames and
+deadline timeouts — plus the run-wide count of ``V_d`` substitutions the
+protocol performed for absent messages.  The recorder is surfaced through
+:class:`~repro.net.runner.NetRunOutcome` so experiments and the CLI can
+print it next to the agreement verdict.
+
+Latency percentiles use nearest-rank on the pooled sample; with the whole
+runtime in one OS process, the send/receive timestamps share one monotonic
+clock, so the numbers are genuine one-way frame latencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Tuple
+
+NodeId = Hashable
+
+
+@dataclass
+class RoundMetrics:
+    """Counters for a single engine round."""
+
+    round_no: int
+    #: Protocol messages handed to the transport (post-adapter survivors).
+    messages_sent: int = 0
+    #: Bytes on the wire for those messages (0 for unmeasured transports).
+    bytes_sent: int = 0
+    #: Messages removed by fault adapters before reaching the transport.
+    dropped: int = 0
+    #: Transport send attempts that were retried after a transient error.
+    retries: int = 0
+    #: Messages abandoned after retries were exhausted (observed as absence).
+    send_failures: int = 0
+    #: (receiver, peer) pairs whose end-of-round marker missed the deadline.
+    timeouts: int = 0
+    #: Data frames that arrived after their round had already closed.
+    late_frames: int = 0
+    #: One-way delivery latencies (seconds) of data frames this round.
+    latencies: List[float] = field(default_factory=list)
+
+
+class NetMetrics:
+    """Run-wide metrics recorder for one async agreement execution."""
+
+    def __init__(self, transport: str = "") -> None:
+        self.transport = transport
+        self.rounds: Dict[int, RoundMetrics] = {}
+        #: ``V_d`` substitutions performed by the protocol (assumption (b)).
+        self.substitutions = 0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def round(self, round_no: int) -> RoundMetrics:
+        if round_no not in self.rounds:
+            self.rounds[round_no] = RoundMetrics(round_no=round_no)
+        return self.rounds[round_no]
+
+    def record_send(self, round_no: int, nbytes: int) -> None:
+        entry = self.round(round_no)
+        entry.messages_sent += 1
+        entry.bytes_sent += nbytes
+
+    def record_drop(self, round_no: int) -> None:
+        self.round(round_no).dropped += 1
+
+    def record_retry(self, round_no: int) -> None:
+        self.round(round_no).retries += 1
+
+    def record_send_failure(self, round_no: int) -> None:
+        self.round(round_no).send_failures += 1
+
+    def record_timeout(self, round_no: int, receiver: NodeId, peer: NodeId) -> None:
+        self.round(round_no).timeouts += 1
+
+    def record_late(self, round_no: int) -> None:
+        self.round(round_no).late_frames += 1
+
+    def record_latency(self, round_no: int, seconds: float) -> None:
+        self.round(round_no).latencies.append(seconds)
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    @property
+    def total_messages(self) -> int:
+        return sum(r.messages_sent for r in self.rounds.values())
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(r.bytes_sent for r in self.rounds.values())
+
+    @property
+    def total_timeouts(self) -> int:
+        return sum(r.timeouts for r in self.rounds.values())
+
+    @property
+    def total_retries(self) -> int:
+        return sum(r.retries for r in self.rounds.values())
+
+    @property
+    def total_send_failures(self) -> int:
+        return sum(r.send_failures for r in self.rounds.values())
+
+    @property
+    def total_dropped(self) -> int:
+        return sum(r.dropped for r in self.rounds.values())
+
+    def latency_percentiles(self) -> Dict[str, float]:
+        """Pooled one-way latency percentiles, nearest-rank, in seconds."""
+        pooled: List[float] = []
+        for entry in self.rounds.values():
+            pooled.extend(entry.latencies)
+        if not pooled:
+            return {"p50": 0.0, "p90": 0.0, "p99": 0.0}
+        pooled.sort()
+        return {
+            name: pooled[min(len(pooled) - 1, int(q * len(pooled)))]
+            for name, q in (("p50", 0.50), ("p90", 0.90), ("p99", 0.99))
+        }
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """Plain-text per-round table plus the run summary."""
+        headers = ("round", "msgs", "bytes", "dropped", "retries", "timeouts", "late")
+        rows: List[Tuple[str, ...]] = [headers]
+        for round_no in sorted(self.rounds):
+            entry = self.rounds[round_no]
+            rows.append(
+                (
+                    str(entry.round_no),
+                    str(entry.messages_sent),
+                    str(entry.bytes_sent),
+                    str(entry.dropped),
+                    str(entry.retries),
+                    str(entry.timeouts),
+                    str(entry.late_frames),
+                )
+            )
+        widths = [max(len(row[i]) for row in rows) for i in range(len(headers))]
+        lines = []
+        for idx, row in enumerate(rows):
+            lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+            if idx == 0:
+                lines.append("  ".join("-" * w for w in widths))
+        pct = self.latency_percentiles()
+        lines.append("")
+        lines.append(
+            f"transport={self.transport or 'unknown'}  "
+            f"messages={self.total_messages}  bytes={self.total_bytes}  "
+            f"V_d substitutions={self.substitutions}"
+        )
+        lines.append(
+            "latency p50={:.6f}s p90={:.6f}s p99={:.6f}s".format(
+                pct["p50"], pct["p90"], pct["p99"]
+            )
+        )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"NetMetrics(transport={self.transport!r}, "
+            f"rounds={len(self.rounds)}, messages={self.total_messages}, "
+            f"timeouts={self.total_timeouts})"
+        )

@@ -1,0 +1,336 @@
+"""Async round runner: drives BYZ over a real transport, deadline by deadline.
+
+:class:`AsyncRoundRunner` executes one
+:class:`~repro.core.protocol.ProtocolSession` — the exact same
+:class:`~repro.core.protocol.AgreementProcess` state machines the
+synchronous engine steps — but moves every message through a
+:class:`~repro.net.transport.Transport` and closes each round with a real
+deadline instead of a lock-step barrier:
+
+1. processes step in deterministic order and emit their round's messages;
+2. fault adapters may drop/corrupt them (same interception contract as the
+   sync engine, same behaviour objects);
+3. surviving frames go out over the transport; transient transport errors
+   are retried with bounded exponential backoff, *capped by the round
+   deadline* so flaky wires can delay but never reorder rounds;
+4. every node then emits an end-of-round marker to every peer;
+5. each node collects its inbox until it holds markers from all peers or
+   the deadline expires.  Whatever did not arrive is simply absent — the
+   protocol's ingest resolves each expected-but-missing relay path to
+   ``V_d``, which is model assumption (b) ("the absence of a message can be
+   detected") realized by an actual timeout over an actual wire.
+
+Determinism: inboxes are sorted with the synchronous engine's delivery
+order before stepping, so for every scenario in which no honest frame
+misses its deadline the decisions, classification verdicts and
+substitution counts are identical between the two runtimes — the
+equivalence suite in ``tests/net`` pins this down.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Sequence, Set
+
+from repro.core.behavior import BehaviorMap
+from repro.core.byz import AgreementResult
+from repro.core.protocol import ProtocolSession
+from repro.core.spec import DegradableSpec
+from repro.core.values import Value
+from repro.exceptions import SimulationError, TransportError
+from repro.net.adapters import AsyncFaultAdapter, behavior_adapters, lift_injectors
+from repro.net.codec import DATA, MARK, Frame
+from repro.net.metrics import NetMetrics
+from repro.net.transport import LocalBus, Transport
+from repro.sim.engine import FaultInjector
+from repro.sim.messages import Message
+
+NodeId = Hashable
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff for transient transport errors.
+
+    ``max_attempts`` counts total tries (first send included).  Waits start
+    at ``base_delay`` and multiply by ``multiplier`` up to ``max_delay``;
+    every wait is additionally clipped to the time remaining before the
+    round deadline, so retrying can never leak a message into a later
+    round.  Exhausted retries turn the message into a *loss* — receivers
+    observe absence and substitute ``V_d`` — rather than an error, keeping
+    agreement semantics intact under arbitrarily bad wires.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.02
+    multiplier: float = 2.0
+    max_delay: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+
+
+@dataclass
+class NetRunOutcome:
+    """Everything one async run produced: the verdict and the wire story."""
+
+    result: AgreementResult
+    metrics: NetMetrics
+
+    @property
+    def decisions(self) -> Dict[NodeId, Value]:
+        return self.result.decisions
+
+
+class AsyncRoundRunner:
+    """Round-by-round protocol driver over an async transport."""
+
+    def __init__(
+        self,
+        session: ProtocolSession,
+        transport: Optional[Transport] = None,
+        adapters: Optional[Sequence[AsyncFaultAdapter]] = None,
+        round_timeout: float = 5.0,
+        retry: Optional[RetryPolicy] = None,
+        metrics: Optional[NetMetrics] = None,
+    ) -> None:
+        if round_timeout <= 0:
+            raise ValueError(f"round_timeout must be > 0, got {round_timeout}")
+        self.session = session
+        self.transport = transport if transport is not None else LocalBus()
+        self.adapters: List[AsyncFaultAdapter] = list(adapters or [])
+        self.round_timeout = round_timeout
+        self.retry = retry or RetryPolicy()
+        self.metrics = metrics or NetMetrics(transport=self.transport.name)
+        if not self.metrics.transport:
+            self.metrics.transport = self.transport.name
+        # Same deterministic stepping order as the synchronous engine.
+        self._order: List[NodeId] = sorted(session.nodes, key=lambda n: str(n))
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    async def run(self) -> AgreementResult:
+        """Run the protocol to completion and return the agreement result."""
+        loop = asyncio.get_running_loop()
+        session = self.session
+        await self.transport.open(list(session.nodes))
+        executed = 0
+        emitted_total = 0
+        try:
+            inboxes: Dict[NodeId, List[Message]] = {n: [] for n in self._order}
+            for round_no in range(1, session.total_rounds + 1):
+                if session.all_decided() and not any(inboxes.values()):
+                    break
+                self.metrics.round(round_no)
+                outgoing = self._step_processes(round_no, inboxes)
+                emitted_total += len(outgoing)
+                survivors = self._apply_adapters(round_no, outgoing)
+                deadline = loop.time() + self.round_timeout
+                for message in survivors:
+                    frame = Frame(
+                        kind=DATA,
+                        round_no=round_no,
+                        source=message.source,
+                        destination=message.destination,
+                        message=message,
+                        sent_at=loop.time(),
+                    )
+                    await self._send_with_retry(frame, round_no, deadline)
+                await self._send_markers(round_no, deadline)
+                collected = await asyncio.gather(
+                    *(
+                        self._collect(node, round_no, deadline)
+                        for node in self._order
+                    )
+                )
+                inboxes = dict(zip(self._order, collected))
+                executed += 1
+        finally:
+            await self.transport.close()
+        self.metrics.substitutions = session.substitutions
+        return session.collect_result(messages=emitted_total, rounds=executed)
+
+    # ------------------------------------------------------------------
+    # Round phases
+    # ------------------------------------------------------------------
+    def _step_processes(
+        self, round_no: int, inboxes: Dict[NodeId, List[Message]]
+    ) -> List[Message]:
+        outgoing: List[Message] = []
+        for node in self._order:
+            process = self.session.process_map[node]
+            inbox = sorted(
+                inboxes[node],
+                key=lambda m: (str(m.destination), str(m.source), str(m.payload)),
+            )
+            for message in process.step(round_no, inbox):
+                if message.source != node:
+                    raise SimulationError(
+                        f"process {node!r} attempted to forge source "
+                        f"{message.source!r}"
+                    )
+                if message.destination == message.source:
+                    raise SimulationError(
+                        f"node {node!r} attempted to message itself"
+                    )
+                if message.destination not in self.session.process_map:
+                    raise SimulationError(
+                        f"message to unknown node {message.destination!r}"
+                    )
+                outgoing.append(message)
+        return outgoing
+
+    def _apply_adapters(
+        self, round_no: int, outgoing: Sequence[Message]
+    ) -> List[Message]:
+        all_survivors: List[Message] = []
+        for original in outgoing:
+            survivors = [original]
+            for adapter in self.adapters:
+                next_wave: List[Message] = []
+                for message in survivors:
+                    for replacement in adapter.intercept(round_no, message):
+                        if replacement.source != original.source:
+                            raise SimulationError(
+                                f"adapter {type(adapter).__name__} attempted "
+                                f"to forge source {replacement.source!r} on a "
+                                f"message from {original.source!r}"
+                            )
+                        next_wave.append(replacement)
+                survivors = next_wave
+            if not survivors:
+                self.metrics.record_drop(round_no)
+            all_survivors.extend(survivors)
+        return all_survivors
+
+    async def _send_markers(self, round_no: int, deadline: float) -> None:
+        loop = asyncio.get_running_loop()
+        for source in self._order:
+            if any(a.mutes_marker(round_no, source) for a in self.adapters):
+                continue
+            for destination in self._order:
+                if destination == source:
+                    continue
+                frame = Frame(
+                    kind=MARK,
+                    round_no=round_no,
+                    source=source,
+                    destination=destination,
+                    sent_at=loop.time(),
+                )
+                await self._send_with_retry(frame, round_no, deadline)
+
+    async def _send_with_retry(
+        self, frame: Frame, round_no: int, deadline: float
+    ) -> bool:
+        """Send one frame, retrying transient errors within the deadline.
+
+        Returns True on success; False means the frame is lost (recorded as
+        a send failure, observed by the receiver as absence).
+        """
+        loop = asyncio.get_running_loop()
+        delay = self.retry.base_delay
+        for attempt in range(1, self.retry.max_attempts + 1):
+            try:
+                nbytes = await self.transport.send(frame)
+            except TransportError:
+                if attempt >= self.retry.max_attempts:
+                    break
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    break
+                self.metrics.record_retry(round_no)
+                await asyncio.sleep(min(delay, remaining))
+                delay = min(delay * self.retry.multiplier, self.retry.max_delay)
+                continue
+            if frame.kind == DATA:
+                self.metrics.record_send(round_no, nbytes)
+            return True
+        self.metrics.record_send_failure(round_no)
+        return False
+
+    async def _collect(
+        self, node: NodeId, round_no: int, deadline: float
+    ) -> List[Message]:
+        """Drain *node*'s inbox until all peer markers arrive or deadline.
+
+        A peer whose marker never shows up is recorded as a timeout; any of
+        its frames that were still in flight stay undelivered for this
+        round, and the protocol resolves the corresponding expected paths
+        to ``V_d`` — the real-wire realization of assumption (b).
+        """
+        loop = asyncio.get_running_loop()
+        inbox: List[Message] = []
+        pending: Set[NodeId] = {n for n in self._order if n != node}
+        while pending:
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                break
+            try:
+                frame = await asyncio.wait_for(
+                    self.transport.recv(node), timeout=remaining
+                )
+            except asyncio.TimeoutError:
+                break
+            if frame.kind == MARK:
+                if frame.round_no == round_no:
+                    pending.discard(frame.source)
+            elif frame.round_no == round_no and frame.message is not None:
+                inbox.append(frame.message)
+                self.metrics.record_latency(
+                    round_no, max(0.0, loop.time() - frame.sent_at)
+                )
+            else:
+                self.metrics.record_late(round_no)
+        for peer in pending:
+            self.metrics.record_timeout(round_no, node, peer)
+        return inbox
+
+
+# ----------------------------------------------------------------------
+# High-level entry point
+# ----------------------------------------------------------------------
+async def run_agreement_async(
+    spec: DegradableSpec,
+    nodes: Sequence[NodeId],
+    sender: NodeId,
+    sender_value: Value,
+    behaviors: Optional[BehaviorMap] = None,
+    transport: Optional[Transport] = None,
+    adapters: Optional[Sequence[AsyncFaultAdapter]] = None,
+    extra_injectors: Optional[Sequence[FaultInjector]] = None,
+    round_timeout: float = 5.0,
+    retry: Optional[RetryPolicy] = None,
+) -> NetRunOutcome:
+    """Run one m/u-degradable agreement over an async transport.
+
+    The async counterpart of
+    :func:`repro.core.protocol.execute_degradable_protocol`: same
+    parameters, same behaviour objects, same result shape — plus the
+    :class:`~repro.net.metrics.NetMetrics` recorder for the wire story.
+    Defaults to :class:`~repro.net.transport.LocalBus`.
+    """
+    stack: List[AsyncFaultAdapter] = []
+    if behaviors:
+        stack.extend(behavior_adapters(behaviors))
+    if extra_injectors:
+        stack.extend(lift_injectors(extra_injectors))
+    if adapters:
+        stack.extend(adapters)
+    session = ProtocolSession.byz(spec, nodes, sender, sender_value)
+    runner = AsyncRoundRunner(
+        session,
+        transport=transport,
+        adapters=stack,
+        round_timeout=round_timeout,
+        retry=retry,
+    )
+    result = await runner.run()
+    return NetRunOutcome(result=result, metrics=runner.metrics)

@@ -1,0 +1,133 @@
+"""Real-socket transport: length-prefixed JSON frames over localhost TCP.
+
+Every node endpoint is an asyncio TCP server bound to an ephemeral port on
+the loopback interface.  Senders keep one pooled connection per directed
+``(source, destination)`` link — mirroring the paper's point-to-point
+network — and write ``4-byte length + canonical JSON`` frames
+(:mod:`repro.net.codec`).  The server side feeds an incremental
+:class:`~repro.net.codec.FrameDecoder` and routes completed frames into the
+destination node's inbox queue.
+
+Failure model: connect and write errors surface as
+:class:`~repro.exceptions.TransportError`; the failed connection is evicted
+from the pool so the runner's retry opens a fresh socket.  A frame that is
+never delivered (peer crashed, retries exhausted) is simply *absent* at the
+receiver, which resolves it to ``V_d`` at the round deadline — the same
+degradation path as every other fault in the model.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+from repro.exceptions import TransportError
+from repro.net.codec import Frame, FrameDecoder, pack_frame
+from repro.net.transport import Transport
+
+NodeId = Hashable
+
+
+class TcpTransport(Transport):
+    """Length-prefixed JSON frames over real localhost sockets."""
+
+    name = "tcp"
+
+    def __init__(self, host: str = "127.0.0.1") -> None:
+        self.host = host
+        self._servers: Dict[NodeId, asyncio.AbstractServer] = {}
+        self._addresses: Dict[NodeId, Tuple[str, int]] = {}
+        self._inboxes: Dict[NodeId, "asyncio.Queue[Frame]"] = {}
+        self._writers: Dict[Tuple[NodeId, NodeId], asyncio.StreamWriter] = {}
+        self._reader_tasks: List[asyncio.Task] = []
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def open(self, nodes: Sequence[NodeId]) -> None:
+        for node in nodes:
+            self._inboxes[node] = asyncio.Queue()
+            server = await asyncio.start_server(
+                self._make_handler(node), host=self.host, port=0
+            )
+            self._servers[node] = server
+            sockname = server.sockets[0].getsockname()
+            self._addresses[node] = (sockname[0], sockname[1])
+
+    def _make_handler(self, node: NodeId):
+        async def handle(
+            reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+        ) -> None:
+            task = asyncio.current_task()
+            if task is not None:
+                self._reader_tasks.append(task)
+            decoder = FrameDecoder()
+            try:
+                while True:
+                    chunk = await reader.read(65536)
+                    if not chunk:
+                        break
+                    for frame in decoder.feed(chunk):
+                        self._inboxes[node].put_nowait(frame)
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+            finally:
+                writer.close()
+
+        return handle
+
+    async def close(self) -> None:
+        for writer in self._writers.values():
+            writer.close()
+        self._writers = {}
+        for server in self._servers.values():
+            server.close()
+        for server in self._servers.values():
+            await server.wait_closed()
+        self._servers = {}
+        for task in self._reader_tasks:
+            if not task.done():
+                task.cancel()
+        self._reader_tasks = []
+        self._inboxes = {}
+        self._addresses = {}
+
+    # ------------------------------------------------------------------
+    # Traffic
+    # ------------------------------------------------------------------
+    def address_of(self, node: NodeId) -> Tuple[str, int]:
+        """The (host, port) a node's endpoint listens on (for diagnostics)."""
+        try:
+            return self._addresses[node]
+        except KeyError:
+            raise TransportError(f"no endpoint for node {node!r}") from None
+
+    async def send(self, frame: Frame) -> int:
+        address = self._addresses.get(frame.destination)
+        if address is None:
+            raise TransportError(
+                f"no endpoint for destination {frame.destination!r}"
+            )
+        payload = pack_frame(frame)
+        link = (frame.source, frame.destination)
+        writer = self._writers.get(link)
+        try:
+            if writer is None or writer.is_closing():
+                _, writer = await asyncio.open_connection(*address)
+                self._writers[link] = writer
+            writer.write(payload)
+            await writer.drain()
+        except (ConnectionError, OSError) as exc:
+            stale = self._writers.pop(link, None)
+            if stale is not None:
+                stale.close()
+            raise TransportError(
+                f"send {frame.source!r} -> {frame.destination!r} failed: {exc}"
+            ) from exc
+        return len(payload)
+
+    async def recv(self, node: NodeId) -> Frame:
+        inbox = self._inboxes.get(node)
+        if inbox is None:
+            raise TransportError(f"no endpoint for node {node!r}")
+        return await inbox.get()

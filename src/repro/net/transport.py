@@ -1,0 +1,153 @@
+"""Transport abstraction for the async runtime.
+
+A :class:`Transport` moves :class:`~repro.net.codec.Frame` objects between
+node endpoints.  The runner never cares how: :class:`LocalBus` ferries
+frames through in-process asyncio queues without copying (built for massive
+in-process fan-out), :class:`~repro.net.tcp.TcpTransport` ships
+length-prefixed JSON over real localhost sockets, and
+:class:`FlakyTransport` wraps any transport with injected transient send
+failures so the retry/backoff path is testable deterministically.
+
+Contract:
+
+* :meth:`Transport.open` is called once with the full node set before any
+  traffic; :meth:`Transport.close` releases every resource;
+* :meth:`Transport.send` delivers one frame to its destination's inbox and
+  returns the number of bytes that crossed the wire (0 when unmeasured);
+  transient failures raise :class:`~repro.exceptions.TransportError` — the
+  runner retries those with bounded backoff inside the round deadline;
+* :meth:`Transport.recv` returns the next frame addressed to a node,
+  waiting until one arrives (the runner bounds the wait with the round
+  deadline — that timeout *is* the paper's "detectable absence").
+"""
+
+from __future__ import annotations
+
+import asyncio
+from abc import ABC, abstractmethod
+from typing import Callable, Dict, Hashable, Optional, Sequence
+
+from repro.exceptions import TransportError
+from repro.net.codec import Frame, encode_frame
+
+NodeId = Hashable
+
+
+class Transport(ABC):
+    """Moves frames between the endpoints of one protocol run."""
+
+    #: Human-readable transport name (shown in metrics).
+    name = "abstract"
+
+    @abstractmethod
+    async def open(self, nodes: Sequence[NodeId]) -> None:
+        """Provision an endpoint (inbox) for every node in *nodes*."""
+
+    @abstractmethod
+    async def send(self, frame: Frame) -> int:
+        """Deliver *frame* to its destination endpoint; return wire bytes."""
+
+    @abstractmethod
+    async def recv(self, node: NodeId) -> Frame:
+        """Next frame addressed to *node* (waits until one arrives)."""
+
+    @abstractmethod
+    async def close(self) -> None:
+        """Tear down endpoints and release all resources."""
+
+    async def __aenter__(self) -> "Transport":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+
+class LocalBus(Transport):
+    """In-process transport over per-node asyncio queues.
+
+    Frames are delivered by reference — the payload object the sender hands
+    over is the object the receiver gets, no serialization on the hot path.
+    Byte accounting is optional (``measure_bytes=True`` runs the codec once
+    per frame purely to size it); switch it off for raw fan-out throughput.
+    """
+
+    name = "local"
+
+    def __init__(self, measure_bytes: bool = True) -> None:
+        self.measure_bytes = measure_bytes
+        self._inboxes: Dict[NodeId, "asyncio.Queue[Frame]"] = {}
+
+    async def open(self, nodes: Sequence[NodeId]) -> None:
+        self._inboxes = {node: asyncio.Queue() for node in nodes}
+
+    async def send(self, frame: Frame) -> int:
+        inbox = self._inboxes.get(frame.destination)
+        if inbox is None:
+            raise TransportError(
+                f"no endpoint for destination {frame.destination!r}"
+            )
+        nbytes = len(encode_frame(frame)) if self.measure_bytes else 0
+        inbox.put_nowait(frame)
+        return nbytes
+
+    async def recv(self, node: NodeId) -> Frame:
+        inbox = self._inboxes.get(node)
+        if inbox is None:
+            raise TransportError(f"no endpoint for node {node!r}")
+        return await inbox.get()
+
+    async def close(self) -> None:
+        self._inboxes = {}
+
+
+class FlakyTransport(Transport):
+    """Wraps a transport with deterministic transient send failures.
+
+    The first *failures* send attempts of every matching
+    ``(source, destination, kind)`` link raise
+    :class:`~repro.exceptions.TransportError`; later attempts pass through
+    to the wrapped transport.  With ``failures`` below the runner's retry
+    budget this exercises the backoff path without changing any outcome;
+    with ``failures`` effectively infinite it turns a link (or a node's
+    whole output, via *match*) into an omission fault.
+    """
+
+    def __init__(
+        self,
+        inner: Transport,
+        failures: int = 1,
+        match: Optional[Callable[[Frame], bool]] = None,
+    ) -> None:
+        if failures < 0:
+            raise ValueError(f"failures must be >= 0, got {failures}")
+        self.inner = inner
+        self.failures = failures
+        self.match = match
+        self.injected_failures = 0
+        self._attempts: Dict[tuple, int] = {}
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"flaky+{self.inner.name}"
+
+    async def open(self, nodes: Sequence[NodeId]) -> None:
+        await self.inner.open(nodes)
+
+    async def send(self, frame: Frame) -> int:
+        if self.match is None or self.match(frame):
+            key = (frame.source, frame.destination, frame.kind)
+            seen = self._attempts.get(key, 0)
+            if seen < self.failures:
+                self._attempts[key] = seen + 1
+                self.injected_failures += 1
+                raise TransportError(
+                    f"injected transient failure #{seen + 1} on "
+                    f"{frame.source!r} -> {frame.destination!r}"
+                )
+        return await self.inner.send(frame)
+
+    async def recv(self, node: NodeId) -> Frame:
+        return await self.inner.recv(node)
+
+    async def close(self) -> None:
+        await self.inner.close()

@@ -1,0 +1,1 @@
+"""Tests for the asyncio message-bus runtime (repro.net)."""

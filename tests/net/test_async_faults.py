@@ -1,0 +1,166 @@
+"""Fault injection over the async path: lifted injectors, wire-level mutes.
+
+Drop / corrupt / two-faced faults must work over real transports exactly as
+they do in the simulator, and a node muted at the wire level must be
+resolved by the round deadline — a genuine timeout substituting ``V_d``.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core.behavior import TwoFacedBehavior
+from repro.core.conditions import classify
+from repro.core.protocol import execute_degradable_protocol
+from repro.core.values import DEFAULT
+from repro.net import (
+    LocalBus,
+    MuteAdapter,
+    TcpTransport,
+    lift_injectors,
+    run_agreement_async,
+)
+from repro.sim.faults import MessageCorruptor, OmissionInjector
+from repro.sim.messages import RelayPayload
+
+from tests.conftest import node_names
+
+VALUE = "engage"
+TIMEOUT = 0.4
+
+
+def _run(spec, nodes, transport, **kwargs):
+    return asyncio.run(
+        run_agreement_async(
+            spec, nodes, "S", VALUE, transport=transport,
+            round_timeout=TIMEOUT, **kwargs
+        )
+    )
+
+
+class TestMutedNodeTimesOut:
+    """A wire-crashed node is detected by the deadline, not by a marker."""
+
+    @pytest.mark.parametrize("transport_factory", [LocalBus, TcpTransport])
+    def test_muted_receiver_equals_sync_omission(
+        self, spec_1_2, transport_factory
+    ):
+        nodes = node_names(5)
+        outcome = _run(
+            spec_1_2, nodes, transport_factory(),
+            adapters=[MuteAdapter({"p1"})],
+        )
+        sync_result, _ = execute_degradable_protocol(
+            spec_1_2, nodes, "S", VALUE,
+            extra_injectors=[OmissionInjector.from_sources({"p1"})],
+        )
+        assert outcome.result.decisions == sync_result.decisions
+        assert outcome.result.stats.substitutions == (
+            sync_result.stats.substitutions
+        )
+        # Every round, every other node waited out p1's missing marker.
+        assert outcome.metrics.total_timeouts > 0
+        report = classify(outcome.result, {"p1"}, spec_1_2)
+        assert report.satisfied
+
+    def test_muted_sender_decides_default_everywhere(self, spec_1_2):
+        nodes = node_names(5)
+        outcome = _run(
+            spec_1_2, nodes, LocalBus(), adapters=[MuteAdapter({"S"})]
+        )
+        assert all(
+            value is DEFAULT for value in outcome.result.decisions.values()
+        )
+        report = classify(outcome.result, {"S"}, spec_1_2)
+        assert report.satisfied and report.d2 is True
+
+    def test_mute_beyond_u_can_only_degrade_to_default(self, spec_1_2):
+        """Even past the fault bound, timeouts only ever produce V_d."""
+        nodes = node_names(5)
+        outcome = _run(
+            spec_1_2, nodes, LocalBus(),
+            adapters=[MuteAdapter({"p1", "p2", "p3"})],
+        )
+        for value in outcome.result.decisions.values():
+            assert value == VALUE or value is DEFAULT
+
+
+class TestLiftedInjectors:
+    def test_omission_injector_over_local_bus(self, spec_1_2):
+        """Lifted omissions drop frames but markers still close the round."""
+        nodes = node_names(5)
+        outcome = _run(
+            spec_1_2, nodes, LocalBus(),
+            extra_injectors=[OmissionInjector.from_sources({"p1"})],
+        )
+        sync_result, _ = execute_degradable_protocol(
+            spec_1_2, nodes, "S", VALUE,
+            extra_injectors=[OmissionInjector.from_sources({"p1"})],
+        )
+        assert outcome.result.decisions == sync_result.decisions
+        # No marker was muted, so no deadline was ridden out.
+        assert outcome.metrics.total_timeouts == 0
+        assert outcome.metrics.total_dropped > 0
+
+    def test_link_omission_over_tcp(self, spec_1_2):
+        nodes = node_names(5)
+        links = {("S", "p1")}
+        outcome = _run(
+            spec_1_2, nodes, TcpTransport(),
+            extra_injectors=[OmissionInjector.for_links(links)],
+        )
+        sync_result, _ = execute_degradable_protocol(
+            spec_1_2, nodes, "S", VALUE,
+            extra_injectors=[OmissionInjector.for_links(links)],
+        )
+        assert outcome.result.decisions == sync_result.decisions
+        assert outcome.result.stats.substitutions > 0
+
+    def test_corruptor_over_tcp(self, spec_1_2):
+        """A payload corruptor works over sockets like in the simulator."""
+        nodes = node_names(5)
+
+        def corrupt(message):
+            payload = message.payload
+            return message.with_payload(
+                RelayPayload(payload.path, "corrupted")
+            )
+
+        injector = MessageCorruptor(
+            matches=lambda _round, msg: (
+                isinstance(msg.payload, RelayPayload)
+                and msg.source == "p1"
+            ),
+            transform=corrupt,
+        )
+        outcome = _run(
+            spec_1_2, nodes, TcpTransport(), extra_injectors=[injector]
+        )
+        sync_result, _ = execute_degradable_protocol(
+            spec_1_2, nodes, "S", VALUE, extra_injectors=[injector]
+        )
+        assert outcome.result.decisions == sync_result.decisions
+        report = classify(outcome.result, {"p1"}, spec_1_2)
+        assert report.satisfied
+
+    def test_two_faced_behavior_over_tcp(self, spec_1_2):
+        """The canonical Byzantine attack, carried over real sockets."""
+        nodes = node_names(5)
+        behaviors = {
+            "p1": TwoFacedBehavior({"p2": "x", "p3": "y", "p4": "z"})
+        }
+        outcome = _run(
+            spec_1_2, nodes, TcpTransport(), behaviors=dict(behaviors)
+        )
+        sync_result, _ = execute_degradable_protocol(
+            spec_1_2, nodes, "S", VALUE, behaviors
+        )
+        assert outcome.result.decisions == sync_result.decisions
+        report = classify(outcome.result, {"p1"}, spec_1_2)
+        assert report.satisfied and report.d1 is True
+
+    def test_lift_preserves_injector_order(self):
+        first = OmissionInjector.from_sources({"a"})
+        second = OmissionInjector.from_sources({"b"})
+        adapters = lift_injectors([first, second])
+        assert [a.injector for a in adapters] == [first, second]

@@ -1,0 +1,122 @@
+"""Wire-format tests: tagged JSON values, frames, incremental decoding."""
+
+import pytest
+
+from repro.core.values import DEFAULT
+from repro.exceptions import TransportError
+from repro.net.codec import (
+    DATA,
+    MARK,
+    Frame,
+    FrameDecoder,
+    decode_frame,
+    encode_frame,
+    from_jsonable,
+    pack_frame,
+    to_jsonable,
+)
+from repro.sim.messages import Message, RelayPayload
+
+
+class TestValueRoundTrip:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            "alpha",
+            42,
+            3.5,
+            True,
+            None,
+            ["a", 1, None],
+            ("S", "p1", "p2"),
+            (("nested",), "tuple"),
+            {"key": "value", "n": 1},
+            {("tuple", "key"): "value"},
+            {"__repro__": "user data, not a tag"},
+        ],
+    )
+    def test_round_trip(self, value):
+        assert from_jsonable(to_jsonable(value)) == value
+
+    def test_default_round_trips_to_same_singleton(self):
+        decoded = from_jsonable(to_jsonable(DEFAULT))
+        assert decoded is DEFAULT
+
+    def test_default_nested_in_payload(self):
+        payload = RelayPayload(path=("S", "p1"), value=DEFAULT)
+        decoded = from_jsonable(to_jsonable(payload))
+        assert decoded == payload
+        assert decoded.value is DEFAULT
+        assert isinstance(decoded.path, tuple)
+
+    def test_unencodable_value_raises(self):
+        with pytest.raises(TransportError):
+            to_jsonable(object())
+
+    def test_unknown_tag_raises(self):
+        with pytest.raises(TransportError):
+            from_jsonable({"__repro__": "no-such-tag"})
+
+
+class TestFrameRoundTrip:
+    def _data_frame(self):
+        message = Message(
+            source="p1",
+            destination="p2",
+            payload=RelayPayload(path=("S", "p1"), value="engage"),
+            round_sent=2,
+            tag="byz",
+        )
+        return Frame(
+            kind=DATA, round_no=2, source="p1", destination="p2",
+            message=message, sent_at=1.25,
+        )
+
+    def test_data_frame(self):
+        frame = self._data_frame()
+        assert decode_frame(encode_frame(frame)) == frame
+
+    def test_mark_frame(self):
+        frame = Frame(kind=MARK, round_no=3, source="S", destination="p4")
+        assert decode_frame(encode_frame(frame)) == frame
+
+    def test_encoding_is_canonical(self):
+        frame = self._data_frame()
+        assert encode_frame(frame) == encode_frame(frame)
+
+    def test_data_frame_without_message_raises(self):
+        with pytest.raises(TransportError):
+            encode_frame(Frame(kind=DATA, round_no=1, source="a", destination="b"))
+
+    def test_malformed_bytes_raise(self):
+        with pytest.raises(TransportError):
+            decode_frame(b"\xff not json")
+
+
+class TestFrameDecoder:
+    def test_single_frame(self):
+        frame = Frame(kind=MARK, round_no=1, source="S", destination="p1")
+        decoder = FrameDecoder()
+        assert decoder.feed(pack_frame(frame)) == [frame]
+        assert decoder.pending_bytes == 0
+
+    def test_split_across_chunks(self):
+        frame = Frame(kind=MARK, round_no=1, source="S", destination="p1")
+        packed = pack_frame(frame)
+        decoder = FrameDecoder()
+        for byte in packed[:-1]:
+            assert decoder.feed(bytes([byte])) == []
+        assert decoder.feed(packed[-1:]) == [frame]
+
+    def test_multiple_frames_in_one_chunk(self):
+        frames = [
+            Frame(kind=MARK, round_no=r, source="S", destination="p1")
+            for r in range(1, 4)
+        ]
+        blob = b"".join(pack_frame(f) for f in frames)
+        assert FrameDecoder().feed(blob) == frames
+
+    def test_oversized_length_rejected(self):
+        decoder = FrameDecoder()
+        with pytest.raises(TransportError):
+            decoder.feed(b"\xff\xff\xff\xff")

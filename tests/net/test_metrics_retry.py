@@ -1,0 +1,117 @@
+"""NetMetrics contents and the bounded retry-with-backoff path."""
+
+import asyncio
+
+import pytest
+
+from repro.core.protocol import execute_degradable_protocol
+from repro.core.spec import DegradableSpec
+from repro.net import (
+    FlakyTransport,
+    LocalBus,
+    NetMetrics,
+    RetryPolicy,
+    run_agreement_async,
+)
+from repro.sim.faults import OmissionInjector
+
+from tests.conftest import node_names
+
+VALUE = "engage"
+FAST_RETRY = RetryPolicy(max_attempts=4, base_delay=0.001, max_delay=0.004)
+
+
+def _run(spec, nodes, transport, **kwargs):
+    return asyncio.run(
+        run_agreement_async(spec, nodes, "S", VALUE, transport=transport, **kwargs)
+    )
+
+
+class TestRetryPolicy:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-0.1)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+
+    def test_transient_failures_are_absorbed(self, spec_1_2):
+        """Failures below the retry budget change nothing but the metrics."""
+        nodes = node_names(5)
+        flaky = FlakyTransport(LocalBus(), failures=2)
+        outcome = _run(spec_1_2, nodes, flaky, retry=FAST_RETRY)
+        sync_result, _ = execute_degradable_protocol(spec_1_2, nodes, "S", VALUE)
+        assert outcome.result.decisions == sync_result.decisions
+        assert outcome.metrics.total_retries > 0
+        assert outcome.metrics.total_send_failures == 0
+        assert flaky.injected_failures > 0
+
+    def test_exhausted_retries_become_message_loss(self, spec_1_2):
+        """A permanently failing link degrades to omission, never to error."""
+        nodes = node_names(5)
+        flaky = FlakyTransport(
+            LocalBus(),
+            failures=10 ** 9,
+            match=lambda f: f.source == "S"
+            and f.destination == "p1"
+            and f.kind == "data",
+        )
+        outcome = _run(
+            spec_1_2, nodes, flaky, retry=FAST_RETRY, round_timeout=0.4
+        )
+        sync_result, _ = execute_degradable_protocol(
+            spec_1_2, nodes, "S", VALUE,
+            extra_injectors=[OmissionInjector.for_links({("S", "p1")})],
+        )
+        assert outcome.result.decisions == sync_result.decisions
+        assert outcome.metrics.total_send_failures > 0
+        assert outcome.result.stats.substitutions == (
+            sync_result.stats.substitutions
+        )
+
+
+class TestNetMetrics:
+    def test_per_round_counters_cover_every_round(self, spec_1_2):
+        nodes = node_names(5)
+        outcome = _run(spec_1_2, nodes, LocalBus())
+        # spec.rounds waves + the final decide round, all present.
+        assert sorted(outcome.metrics.rounds) == [1, 2, 3]
+        assert outcome.metrics.rounds[1].messages_sent == 4
+        assert outcome.metrics.rounds[2].messages_sent == 12
+        assert outcome.metrics.rounds[3].messages_sent == 0
+
+    def test_bytes_and_latencies_recorded(self, spec_1_2):
+        nodes = node_names(5)
+        outcome = _run(spec_1_2, nodes, LocalBus())
+        assert outcome.metrics.total_bytes > 0
+        pct = outcome.metrics.latency_percentiles()
+        assert 0.0 <= pct["p50"] <= pct["p99"]
+
+    def test_substitutions_mirror_result_stats(self):
+        spec = DegradableSpec(m=1, u=2, n_nodes=5)
+        nodes = node_names(5)
+        outcome = _run(
+            spec, nodes, LocalBus(),
+            extra_injectors=[OmissionInjector.from_sources({"p1"})],
+        )
+        assert outcome.metrics.substitutions == (
+            outcome.result.stats.substitutions
+        )
+        assert outcome.metrics.substitutions > 0
+
+    def test_render_produces_table_and_summary(self, spec_1_2):
+        nodes = node_names(5)
+        outcome = _run(spec_1_2, nodes, LocalBus())
+        text = outcome.metrics.render()
+        assert "round" in text and "msgs" in text
+        assert "transport=local" in text
+        assert "latency p50=" in text
+
+    def test_empty_metrics_render(self):
+        metrics = NetMetrics(transport="local")
+        text = metrics.render()
+        assert "transport=local" in text
+        assert metrics.latency_percentiles() == {
+            "p50": 0.0, "p90": 0.0, "p99": 0.0,
+        }

@@ -1,0 +1,156 @@
+"""Sync/async equivalence: the acceptance suite for the net runtime.
+
+For a parametrized grid of (m, u, N, behaviour) scenarios — fault-free,
+liars within m, colluding liars in the degraded band, silent nodes, a
+two-faced sender, the m = 0 special case and a depth-3 recursion — the
+async runtime over both ``LocalBus`` and ``TcpTransport`` must produce
+exactly the per-receiver decisions and D.1–D.4 classification that the
+synchronous engine produces, including identical ``V_d`` substitution
+counts.  This is what makes the async runtime a *runtime* and not a fork
+of the protocol.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core.behavior import (
+    ConstantLiar,
+    LieAboutSender,
+    SilentBehavior,
+    TwoFacedBehavior,
+)
+from repro.core.conditions import classify
+from repro.core.protocol import execute_degradable_protocol
+from repro.core.spec import DegradableSpec
+from repro.core.values import DEFAULT
+from repro.net import LocalBus, TcpTransport, run_agreement_async
+
+from tests.conftest import node_names
+
+
+def _two_faced_sender(nodes):
+    return TwoFacedBehavior(
+        {p: ("x" if i % 2 else "y") for i, p in enumerate(nodes)}
+    )
+
+
+def scenario(name, m, u, n, faulty_behaviors):
+    """(name, spec, nodes, behaviors, faulty-set) tuple for the grid."""
+    spec = DegradableSpec(m=m, u=u, n_nodes=n)
+    nodes = node_names(n)
+    behaviors = faulty_behaviors(nodes)
+    return pytest.param(
+        spec, nodes, behaviors, frozenset(behaviors), id=name
+    )
+
+
+SCENARIOS = [
+    scenario("clean-1-2", 1, 2, 5, lambda nodes: {}),
+    scenario(
+        "one-liar", 1, 2, 5,
+        lambda nodes: {"p1": LieAboutSender("forged", "S")},
+    ),
+    scenario(
+        "degraded-two-liars", 1, 2, 5,
+        lambda nodes: {
+            "p1": LieAboutSender("forged", "S"),
+            "p2": LieAboutSender("forged", "S"),
+        },
+    ),
+    scenario(
+        "silent-receiver", 1, 2, 5,
+        lambda nodes: {"p1": SilentBehavior()},
+    ),
+    scenario(
+        "constant-liar-roomy", 1, 2, 6,
+        lambda nodes: {"p1": ConstantLiar("noise")},
+    ),
+    scenario(
+        "two-faced-sender", 1, 2, 5,
+        lambda nodes: {"S": _two_faced_sender(nodes)},
+    ),
+    scenario("m0-clean", 0, 3, 4, lambda nodes: {}),
+    scenario(
+        "m0-silent-receivers", 0, 3, 5,
+        lambda nodes: {"p1": SilentBehavior(), "p2": SilentBehavior()},
+    ),
+    scenario("deep-2-3-clean", 2, 3, 8, lambda nodes: {}),
+    scenario(
+        "deep-2-3-degraded", 2, 3, 8,
+        lambda nodes: {
+            "p1": LieAboutSender("forged", "S"),
+            "p2": LieAboutSender("forged", "S"),
+            "p3": LieAboutSender("forged", "S"),
+        },
+    ),
+]
+
+#: TCP reruns a representative subset (sockets are slower than queues).
+TCP_SCENARIOS = [SCENARIOS[0], SCENARIOS[2], SCENARIOS[5], SCENARIOS[7]]
+
+VALUE = "engage"
+
+
+def _run_async(spec, nodes, behaviors, transport):
+    outcome = asyncio.run(
+        run_agreement_async(
+            spec, nodes, "S", VALUE, behaviors=behaviors, transport=transport
+        )
+    )
+    return outcome
+
+
+def _assert_equivalent(spec, nodes, behaviors, faulty, transport):
+    sync_result, _ = execute_degradable_protocol(
+        spec, nodes, "S", VALUE, dict(behaviors)
+    )
+    outcome = _run_async(spec, nodes, dict(behaviors), transport)
+    async_result = outcome.result
+
+    assert async_result.decisions == sync_result.decisions
+    # V_d must survive the wire as the very same singleton.
+    for node, value in async_result.decisions.items():
+        if sync_result.decisions[node] is DEFAULT:
+            assert value is DEFAULT, node
+
+    sync_report = classify(sync_result, faulty, spec)
+    async_report = classify(async_result, faulty, spec)
+    for attribute in ("regime", "shape", "satisfied", "d1", "d2", "d3", "d4"):
+        assert getattr(async_report, attribute) == getattr(
+            sync_report, attribute
+        ), attribute
+    assert async_report.violations == sync_report.violations
+
+    # Same messages emitted, same absences substituted.
+    assert async_result.stats.messages == sync_result.stats.messages
+    assert async_result.stats.substitutions == sync_result.stats.substitutions
+    assert outcome.metrics.total_messages <= async_result.stats.messages
+
+
+class TestLocalBusEquivalence:
+    @pytest.mark.parametrize("spec, nodes, behaviors, faulty", SCENARIOS)
+    def test_matches_synchronous_engine(self, spec, nodes, behaviors, faulty):
+        _assert_equivalent(spec, nodes, behaviors, faulty, LocalBus())
+
+
+class TestTcpEquivalence:
+    @pytest.mark.parametrize("spec, nodes, behaviors, faulty", TCP_SCENARIOS)
+    def test_matches_synchronous_engine(self, spec, nodes, behaviors, faulty):
+        _assert_equivalent(spec, nodes, behaviors, faulty, TcpTransport())
+
+
+class TestRunnerShape:
+    def test_rounds_executed_match_engine(self, spec_1_2):
+        nodes = node_names(5)
+        sync_result, _ = execute_degradable_protocol(
+            spec_1_2, nodes, "S", VALUE
+        )
+        outcome = _run_async(spec_1_2, nodes, {}, LocalBus())
+        assert outcome.result.stats.rounds == sync_result.stats.rounds
+
+    def test_tcp_metrics_report_real_bytes(self, spec_1_2):
+        nodes = node_names(5)
+        outcome = _run_async(spec_1_2, nodes, {}, TcpTransport())
+        assert outcome.metrics.total_bytes > 0
+        assert outcome.metrics.latency_percentiles()["p50"] >= 0.0

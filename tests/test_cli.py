@@ -150,6 +150,48 @@ class TestSuiteCommand:
         assert "scenarios passed" in out
 
 
+class TestNet:
+    def test_local_clean_run(self, capsys):
+        code, out, _ = run_cli(capsys, "net", "-m", "1", "-u", "2")
+        assert code == 0
+        assert "transport=local" in out
+        assert "contract: SATISFIED" in out
+        assert "synchronous-engine cross-check: decisions identical" in out
+
+    def test_tcp_run_over_real_sockets(self, capsys):
+        code, out, _ = run_cli(capsys, "net", "--transport", "tcp")
+        assert code == 0
+        assert "transport=tcp" in out
+        assert "bytes" in out
+        assert "contract: SATISFIED" in out
+
+    def test_crash_adversary_times_out(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "net", "--faulty", "p1", "--adversary", "crash",
+            "--timeout", "0.4",
+        )
+        assert code == 0
+        assert "V_d substitutions" in out
+        assert "contract: SATISFIED" in out
+
+    def test_degraded_band_over_local_bus(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "net", "--faulty", "p1,p2", "--adversary", "lie"
+        )
+        assert code == 0
+        assert "degraded regime" in out
+
+    def test_no_verify_skips_cross_check(self, capsys):
+        code, out, _ = run_cli(capsys, "net", "--no-verify")
+        assert code == 0
+        assert "cross-check" not in out
+
+    def test_unknown_faulty_id(self, capsys):
+        code, _, err = run_cli(capsys, "net", "--faulty", "ghost")
+        assert code == 2
+        assert "unknown node ids" in err
+
+
 class TestParser:
     def test_requires_command(self, capsys):
         with pytest.raises(SystemExit):

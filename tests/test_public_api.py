@@ -20,6 +20,7 @@ PACKAGES = [
     "repro.channels",
     "repro.clocksync",
     "repro.analysis",
+    "repro.net",
 ]
 
 
@@ -59,16 +60,24 @@ def test_top_level_convenience_names():
         "DEFAULT",
         "vote",
         "min_nodes",
+        "LocalBus",
+        "TcpTransport",
+        "AsyncRoundRunner",
+        "NetMetrics",
+        "run_agreement_async",
     ):
         assert hasattr(repro, name), name
 
 
 def test_reexports_are_canonical():
     from repro.core import byz, conditions, spec
+    from repro.net import runner, transport
 
     assert repro.run_degradable_agreement is byz.run_degradable_agreement
     assert repro.classify is conditions.classify
     assert repro.DegradableSpec is spec.DegradableSpec
+    assert repro.LocalBus is transport.LocalBus
+    assert repro.run_agreement_async is runner.run_agreement_async
 
 
 def test_version_string():
