@@ -24,4 +24,7 @@ python -m repro suite
 python -m repro net --transport local
 python -m repro net --transport tcp
 
+echo "== chaos soak (seeded, replayable) =="
+timeout 300 python -m repro chaos --severity light --trials 5 --seed 7
+
 echo "CI green."

@@ -11,4 +11,7 @@ python -m pytest -x -q
 echo "== net runtime over the local bus =="
 python -m repro net --transport local
 
+echo "== chaos smoke =="
+timeout 120 python -m repro chaos --severity light --trials 2 --seed 7
+
 echo "Smoke green."

@@ -12,7 +12,10 @@ Exposes the library's main entry points for interactive exploration:
 * ``search``       — exhaustive adversary search for 1/u instances;
 * ``mission``      — fly the Figure 1(b) channel system with transient faults;
 * ``net``          — run one agreement over the asyncio runtime (in-process
-  bus or real TCP sockets) and print the wire metrics.
+  bus or real TCP sockets) and print the wire metrics;
+* ``chaos``        — soak the runtime under seeded network chaos (loss,
+  duplication, reordering, corruption, partitions, crashes) and assert the
+  paper's D.1–D.4 guarantee tiers against the chaos actually injected.
 
 Every command prints plain text; exit status is 0 on success, 1 when an
 executed check fails (e.g. a violated agreement contract), 2 on usage
@@ -95,6 +98,27 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-round deadline in seconds")
     p.add_argument("--no-verify", action="store_true",
                    help="skip the synchronous-engine cross-check")
+
+    p = sub.add_parser(
+        "chaos",
+        help="soak the async runtime under seeded network chaos",
+    )
+    p.add_argument("--seed", type=int, default=0,
+                   help="campaign seed; every trial seed derives from it")
+    p.add_argument("--severity", default="light",
+                   choices=["light", "heavy", "partition", "crash", "all"],
+                   help="chaos preset to sweep ('all' runs every preset)")
+    p.add_argument("--trials", type=int, default=10,
+                   help="trials per severity preset")
+    p.add_argument("--transport", default="local", choices=["local", "tcp"],
+                   help="in-process asyncio bus or real localhost sockets")
+    p.add_argument("--timeout", type=float, default=0.25,
+                   help="per-round deadline in seconds")
+    p.add_argument("--report", default="",
+                   help="write the full JSON campaign report here")
+    p.add_argument("--replay", default="",
+                   help="replay one trial from a failure's replay token "
+                        "(overrides every other option)")
 
     p = sub.add_parser("scenarios", help="Theorem 2 triple at and below the bound")
     p.add_argument("-m", type=int, required=True)
@@ -294,6 +318,89 @@ def _cmd_net(args) -> int:
     return 1
 
 
+def _cmd_chaos(args) -> int:
+    from repro.net.chaos import (
+        SEVERITIES,
+        parse_replay,
+        run_campaign_sync,
+        run_trial_sync,
+    )
+
+    if args.replay:
+        config = parse_replay(args.replay)
+        result = run_trial_sync(config)
+        print(f"replay {config.replay_token}")
+        print(f"  tier={result.tier} f_eff={result.f_eff} "
+              f"afflicted={result.afflicted}")
+        print(f"  shape={result.shape} substitutions={result.substitutions} "
+              f"timeouts={result.timeouts}")
+        print(f"  chaos={result.chaos_counts}")
+        for node, value in sorted(result.decisions.items()):
+            print(f"    {node} -> {value}")
+        if not result.checked:
+            print("verdict: RECORD-ONLY (f_eff > u; the paper promises "
+                  "nothing here)")
+            return 0
+        if result.passed:
+            print("verdict: PASSED")
+            return 0
+        print("verdict: FAILED")
+        for violation in result.violations:
+            print(f"  !! {violation}")
+        return 1
+
+    if args.trials <= 0:
+        print(f"error: --trials must be > 0, got {args.trials}",
+              file=sys.stderr)
+        return 2
+    if args.timeout <= 0:
+        print(f"error: --timeout must be > 0, got {args.timeout}",
+              file=sys.stderr)
+        return 2
+    severities = list(SEVERITIES) if args.severity == "all" else [args.severity]
+
+    def progress(result) -> None:
+        status = ("FAIL" if result.failed
+                  else "ok" if result.checked else "rec")
+        print(f"  [{status}] {result.config.replay_token} "
+              f"tier={result.tier} f_eff={result.f_eff}")
+
+    print(f"chaos campaign: seed={args.seed} transport={args.transport} "
+          f"severities={','.join(severities)} trials/severity={args.trials}")
+    report = run_campaign_sync(
+        args.seed,
+        severities,
+        args.trials,
+        transport=args.transport,
+        timeout=args.timeout,
+        progress=progress,
+    )
+    print()
+    for tier, entry in report.tier_summary().items():
+        if tier == "none":
+            print(f"  tier {tier:<9}: {entry['trials']} trial(s) recorded "
+                  f"(no guarantee asserted)")
+        else:
+            print(f"  tier {tier:<9}: {entry['passed']}/{entry['trials']} "
+                  f"passed (rate {entry['pass_rate']:.2f})")
+    totals = report.chaos_totals()
+    if totals:
+        print("  chaos totals: "
+              + " ".join(f"{k}={v}" for k, v in sorted(totals.items())))
+    if args.report:
+        report.save(args.report)
+        print(f"  report written to {args.report}")
+    if report.ok:
+        print(f"campaign PASSED ({len(report.trials)} trials, "
+              f"0 checked-tier violations)")
+        return 0
+    print(f"campaign FAILED ({len(report.failures)} checked-tier "
+          f"violation(s)); replay each with:")
+    for trial in report.failures:
+        print(f'  python -m repro chaos --replay "{trial.config.replay_token}"')
+    return 1
+
+
 def _cmd_scenarios(args) -> int:
     below = run_scenario_triple(args.m, args.u, 2 * args.m + args.u)
     above = run_scenario_triple(args.m, args.u, 2 * args.m + args.u + 1)
@@ -444,6 +551,7 @@ _COMMANDS = {
     "tradeoff": _cmd_tradeoff,
     "run": _cmd_run,
     "net": _cmd_net,
+    "chaos": _cmd_chaos,
     "scenarios": _cmd_scenarios,
     "connectivity": _cmd_connectivity,
     "reliability": _cmd_reliability,

@@ -20,7 +20,12 @@ real deadlines:
   :class:`MuteAdapter` crashes a node at the wire level so timeouts are
   exercised for real;
 * :class:`NetMetrics` — per-round message/byte counts, latency
-  percentiles, retries, timeout substitutions.
+  percentiles, retries, timeout substitutions, chaos counters;
+* :mod:`repro.net.chaos` — a seeded network-chaos layer
+  (:class:`ChaosTransport` around any transport: loss, duplication,
+  reordering, corruption, partitions, crashes) plus soak campaigns that
+  assert the paper's D.1–D.4 tiers against the chaos actually injected
+  (``python -m repro chaos``).
 
 Quickstart::
 
@@ -65,9 +70,25 @@ from repro.net.runner import (
 from repro.net.tcp import TcpTransport
 from repro.net.transport import FlakyTransport, LocalBus, Transport
 
+# Chaos imports the runner — keep this after the core modules above.
+from repro.net.chaos import (
+    ChaosLog,
+    ChaosPolicy,
+    ChaosTransport,
+    Crash,
+    Partition,
+    make_policy,
+    partition_injector,
+    run_trial_sync,
+)
+
 __all__ = [
     "AsyncFaultAdapter",
     "AsyncRoundRunner",
+    "ChaosLog",
+    "ChaosPolicy",
+    "ChaosTransport",
+    "Crash",
     "FlakyTransport",
     "Frame",
     "FrameDecoder",
@@ -76,6 +97,7 @@ __all__ = [
     "MuteAdapter",
     "NetMetrics",
     "NetRunOutcome",
+    "Partition",
     "RetryPolicy",
     "RoundMetrics",
     "TcpTransport",
@@ -85,7 +107,10 @@ __all__ = [
     "encode_frame",
     "from_jsonable",
     "lift_injectors",
+    "make_policy",
     "pack_frame",
+    "partition_injector",
     "run_agreement_async",
+    "run_trial_sync",
     "to_jsonable",
 ]

@@ -1,0 +1,348 @@
+"""Soak campaigns: degradation-spec sweeps under seeded network chaos.
+
+A campaign sweeps a grid of ``(m, u, N) x severity x seed`` trials.  Each
+trial runs one agreement instance through the
+:class:`~repro.net.runner.AsyncRoundRunner` behind a
+:class:`~repro.net.chaos.transport.ChaosTransport`, translates the chaos
+the run actually suffered into an effective fault count
+(:mod:`~repro.net.chaos.accounting`), and judges the outcome against the
+guarantee tier that fault count selects:
+
+* ``f_eff <= m`` — D.1/D.2 asserted;
+* ``m < f_eff <= u`` — D.3/D.4 asserted (the two-class split, one class
+  on ``V_d``);
+* ``f_eff > u`` — recorded, never asserted (the paper promises nothing).
+
+Every trial is a pure function of its :class:`TrialConfig` — a failed
+trial prints a replay token that reruns it alone, bit for bit::
+
+    python -m repro chaos --replay "m=1,u=2,n=5,severity=heavy,transport=local,seed=123456,timeout=0.25"
+
+The report (:class:`CampaignReport`, JSON-serializable) records per-tier
+pass rates, total chaos event counts, each failure's replay token, and
+the worst-case seeds (failures first, heaviest chaos otherwise).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.conditions import classify
+from repro.core.spec import DegradableSpec
+from repro.exceptions import ConfigurationError
+from repro.net.chaos.accounting import tier_for, tier_is_asserted
+from repro.net.chaos.policy import SEVERITIES, make_policy
+from repro.net.chaos.transport import ChaosTransport
+from repro.net.runner import run_agreement_async
+from repro.net.tcp import TcpTransport
+from repro.net.transport import LocalBus, Transport
+
+#: Spec grid a campaign cycles through: the paper's running example, the
+#: m = 0 special case, a roomier degraded band, and a deeper recursion.
+DEFAULT_GRID: Tuple[Tuple[int, int, int], ...] = (
+    (1, 2, 5),
+    (0, 2, 4),
+    (1, 3, 6),
+    (2, 3, 8),
+)
+
+TRANSPORTS = ("local", "tcp")
+
+SENDER_VALUE = "engage"
+
+
+@dataclass(frozen=True)
+class TrialConfig:
+    """Everything that determines one trial, replayable from equality."""
+
+    m: int
+    u: int
+    n_nodes: int
+    severity: str
+    transport: str
+    seed: int
+    timeout: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ConfigurationError(
+                f"unknown severity {self.severity!r}; choose from {SEVERITIES}"
+            )
+        if self.transport not in TRANSPORTS:
+            raise ConfigurationError(
+                f"unknown transport {self.transport!r}; choose from {TRANSPORTS}"
+            )
+        if self.timeout <= 0:
+            raise ConfigurationError(
+                f"timeout must be > 0, got {self.timeout}"
+            )
+
+    @property
+    def replay_token(self) -> str:
+        return (
+            f"m={self.m},u={self.u},n={self.n_nodes},"
+            f"severity={self.severity},transport={self.transport},"
+            f"seed={self.seed},timeout={self.timeout}"
+        )
+
+
+def parse_replay(token: str) -> TrialConfig:
+    """Inverse of :attr:`TrialConfig.replay_token`."""
+    fields: Dict[str, str] = {}
+    for part in token.split(","):
+        key, sep, value = part.strip().partition("=")
+        if not sep or not key or not value:
+            raise ConfigurationError(
+                f"malformed replay token part {part!r} "
+                f"(expected key=value pairs)"
+            )
+        fields[key] = value
+    try:
+        return TrialConfig(
+            m=int(fields.pop("m")),
+            u=int(fields.pop("u")),
+            n_nodes=int(fields.pop("n")),
+            severity=fields.pop("severity"),
+            transport=fields.pop("transport"),
+            seed=int(fields.pop("seed")),
+            timeout=float(fields.pop("timeout", "0.25")),
+        )
+    except KeyError as exc:
+        raise ConfigurationError(f"replay token missing field {exc}") from exc
+    except ValueError as exc:
+        raise ConfigurationError(f"malformed replay token: {exc}") from exc
+
+
+@dataclass
+class TrialResult:
+    """One trial's verdict plus the chaos that produced it."""
+
+    config: TrialConfig
+    f_eff: int
+    afflicted: List[str]
+    tier: str
+    #: Whether the tier obliges any condition (False for ``f_eff > u``).
+    checked: bool
+    #: Verdict when checked; None in the record-only tier.
+    passed: Optional[bool]
+    shape: str
+    violations: List[str]
+    decisions: Dict[str, str]
+    chaos_counts: Dict[str, int]
+    substitutions: int
+    timeouts: int
+
+    @property
+    def failed(self) -> bool:
+        return self.checked and not self.passed
+
+    def to_json(self) -> Dict:
+        return {
+            "replay": self.config.replay_token,
+            "f_eff": self.f_eff,
+            "afflicted": self.afflicted,
+            "tier": self.tier,
+            "checked": self.checked,
+            "passed": self.passed,
+            "shape": self.shape,
+            "violations": self.violations,
+            "decisions": self.decisions,
+            "chaos_counts": self.chaos_counts,
+            "substitutions": self.substitutions,
+            "timeouts": self.timeouts,
+        }
+
+
+def _make_transport(name: str) -> Transport:
+    return TcpTransport() if name == "tcp" else LocalBus()
+
+
+async def run_trial(config: TrialConfig) -> TrialResult:
+    """Run one chaos trial; a pure function of *config*."""
+    spec = DegradableSpec(m=config.m, u=config.u, n_nodes=config.n_nodes)
+    nodes = ["S"] + [f"p{k}" for k in range(1, config.n_nodes)]
+    # One RNG drives the whole trial: victim selection in the policy AND
+    # every per-frame draw in the transport.
+    rng = random.Random(config.seed)
+    policy = make_policy(config.severity, spec, nodes, rng, seed=config.seed)
+    chaos = ChaosTransport(_make_transport(config.transport), policy, rng=rng)
+    outcome = await run_agreement_async(
+        spec,
+        nodes,
+        "S",
+        SENDER_VALUE,
+        transport=chaos,
+        round_timeout=config.timeout,
+    )
+    afflicted = chaos.log.afflicted
+    tier = tier_for(spec, len(afflicted))
+    checked = tier_is_asserted(tier)
+    report = classify(outcome.result, afflicted, spec)
+    return TrialResult(
+        config=config,
+        f_eff=len(afflicted),
+        afflicted=sorted(str(n) for n in afflicted),
+        tier=tier,
+        checked=checked,
+        passed=report.satisfied if checked else None,
+        shape=report.shape.value,
+        violations=list(report.violations),
+        decisions={
+            str(node): repr(value)
+            for node, value in sorted(
+                outcome.result.decisions.items(), key=lambda kv: str(kv[0])
+            )
+        },
+        chaos_counts=chaos.log.counts(),
+        substitutions=outcome.result.stats.substitutions,
+        timeouts=outcome.metrics.total_timeouts,
+    )
+
+
+def run_trial_sync(config: TrialConfig) -> TrialResult:
+    return asyncio.run(run_trial(config))
+
+
+# ----------------------------------------------------------------------
+# Campaigns
+# ----------------------------------------------------------------------
+@dataclass
+class CampaignReport:
+    """Aggregated verdicts of one soak campaign."""
+
+    seed: int
+    transport: str
+    severities: List[str]
+    trials_per_severity: int
+    timeout: float
+    trials: List[TrialResult] = field(default_factory=list)
+
+    @property
+    def failures(self) -> List[TrialResult]:
+        return [t for t in self.trials if t.failed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def tier_summary(self) -> Dict[str, Dict]:
+        out: Dict[str, Dict] = {}
+        for tier in ("byzantine", "degraded", "none"):
+            tier_trials = [t for t in self.trials if t.tier == tier]
+            entry: Dict = {"trials": len(tier_trials)}
+            if tier == "none":
+                entry["recorded"] = len(tier_trials)
+            else:
+                passed = sum(1 for t in tier_trials if t.passed)
+                entry["passed"] = passed
+                entry["pass_rate"] = (
+                    passed / len(tier_trials) if tier_trials else 1.0
+                )
+            out[tier] = entry
+        return out
+
+    def chaos_totals(self) -> Dict[str, int]:
+        totals: Dict[str, int] = {}
+        for trial in self.trials:
+            for kind, count in trial.chaos_counts.items():
+                totals[kind] = totals.get(kind, 0) + count
+        return totals
+
+    def worst_case_seeds(self, limit: int = 3) -> List[str]:
+        """Replay tokens worth keeping: failures first, heaviest chaos next."""
+        if self.failures:
+            return [t.config.replay_token for t in self.failures]
+        heaviest = sorted(
+            self.trials,
+            key=lambda t: sum(t.chaos_counts.values()),
+            reverse=True,
+        )
+        return [t.config.replay_token for t in heaviest[:limit]]
+
+    def to_json(self) -> Dict:
+        return {
+            "seed": self.seed,
+            "transport": self.transport,
+            "severities": self.severities,
+            "trials_per_severity": self.trials_per_severity,
+            "timeout": self.timeout,
+            "n_trials": len(self.trials),
+            "ok": self.ok,
+            "tiers": self.tier_summary(),
+            "chaos_totals": self.chaos_totals(),
+            "failures": [t.config.replay_token for t in self.failures],
+            "worst_case_seeds": self.worst_case_seeds(),
+            "trials": [t.to_json() for t in self.trials],
+        }
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_json(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+
+def trial_seed(base_seed: int, severity: str, index: int) -> int:
+    """Stable per-trial seed: hashable from the campaign seed alone."""
+    return random.Random(f"{base_seed}|{severity}|{index}").getrandbits(32)
+
+
+def campaign_configs(
+    base_seed: int,
+    severities: Sequence[str],
+    trials_per_severity: int,
+    transport: str,
+    timeout: float = 0.25,
+    grid: Sequence[Tuple[int, int, int]] = DEFAULT_GRID,
+) -> List[TrialConfig]:
+    """The full deterministic trial list for one campaign."""
+    configs: List[TrialConfig] = []
+    for severity in severities:
+        for index in range(trials_per_severity):
+            m, u, n = grid[index % len(grid)]
+            configs.append(
+                TrialConfig(
+                    m=m,
+                    u=u,
+                    n_nodes=n,
+                    severity=severity,
+                    transport=transport,
+                    seed=trial_seed(base_seed, severity, index),
+                    timeout=timeout,
+                )
+            )
+    return configs
+
+
+async def run_campaign(
+    base_seed: int,
+    severities: Sequence[str],
+    trials_per_severity: int,
+    transport: str = "local",
+    timeout: float = 0.25,
+    grid: Sequence[Tuple[int, int, int]] = DEFAULT_GRID,
+    progress=None,
+) -> CampaignReport:
+    """Run the sweep; *progress* (if given) is called with each result."""
+    report = CampaignReport(
+        seed=base_seed,
+        transport=transport,
+        severities=list(severities),
+        trials_per_severity=trials_per_severity,
+        timeout=timeout,
+    )
+    for config in campaign_configs(
+        base_seed, severities, trials_per_severity, transport, timeout, grid
+    ):
+        result = await run_trial(config)
+        report.trials.append(result)
+        if progress is not None:
+            progress(result)
+    return report
+
+
+def run_campaign_sync(*args, **kwargs) -> CampaignReport:
+    return asyncio.run(run_campaign(*args, **kwargs))

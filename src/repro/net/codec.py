@@ -24,7 +24,7 @@ from __future__ import annotations
 import json
 import struct
 from dataclasses import dataclass
-from typing import Any, Hashable, List, Optional
+from typing import Any, Hashable, List, Optional, Tuple
 
 from repro.core.values import DEFAULT, Value
 from repro.exceptions import TransportError
@@ -194,6 +194,22 @@ class FrameDecoder:
         self._buffer = bytearray()
 
     def feed(self, data: bytes) -> List[Frame]:
+        frames, error = self.feed_tolerant(data)
+        if error is not None:
+            raise error
+        return frames
+
+    def feed_tolerant(
+        self, data: bytes
+    ) -> Tuple[List[Frame], Optional[TransportError]]:
+        """Like :meth:`feed`, but never discards already-decoded frames.
+
+        Returns every frame completed *before* the first poisoned one,
+        plus the decode error itself (or ``None``).  After an error the
+        stream is desynchronized — length-prefixed framing cannot resync —
+        so the caller must abandon the stream; the decoder's buffer is
+        cleared to make that state explicit.
+        """
         self._buffer.extend(data)
         frames: List[Frame] = []
         while True:
@@ -201,13 +217,20 @@ class FrameDecoder:
                 break
             (length,) = _LENGTH.unpack_from(self._buffer, 0)
             if length > MAX_FRAME_BYTES:
-                raise TransportError(f"frame length {length} exceeds limit")
+                self._buffer.clear()
+                return frames, TransportError(
+                    f"frame length {length} exceeds limit"
+                )
             if len(self._buffer) < _LENGTH.size + length:
                 break
             body = bytes(self._buffer[_LENGTH.size : _LENGTH.size + length])
             del self._buffer[: _LENGTH.size + length]
-            frames.append(decode_frame(body))
-        return frames
+            try:
+                frames.append(decode_frame(body))
+            except TransportError as exc:
+                self._buffer.clear()
+                return frames, exc
+        return frames, None
 
     @property
     def pending_bytes(self) -> int:

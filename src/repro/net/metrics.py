@@ -7,6 +7,15 @@ protocol performed for absent messages.  The recorder is surfaced through
 :class:`~repro.net.runner.NetRunOutcome` so experiments and the CLI can
 print it next to the agreement verdict.
 
+Injected chaos (:mod:`repro.net.chaos`) is accounted separately from
+organic wire trouble: ``chaos_*`` counters record what the chaos layer
+*did* (dropped/duplicated/reordered/corrupted frames, partition rounds,
+crash events), while ``retries``/``timeouts``/``send_failures`` keep
+recording what the runtime *observed*.  ``decode_errors`` counts poisoned
+byte streams a transport discarded (one per dropped connection).
+:meth:`counters` flattens every integer counter into one dict — the
+fingerprint the determinism suite compares across same-seed runs.
+
 Latency percentiles use nearest-rank on the pooled sample; with the whole
 runtime in one OS process, the send/receive timestamps share one monotonic
 clock, so the numbers are genuine one-way frame latencies.
@@ -39,6 +48,14 @@ class RoundMetrics:
     timeouts: int = 0
     #: Data frames that arrived after their round had already closed.
     late_frames: int = 0
+    #: Frames the chaos layer deliberately lost (incl. partition/crash).
+    chaos_drops: int = 0
+    #: Frames the chaos layer delivered twice.
+    chaos_dups: int = 0
+    #: Frames the chaos layer held back for delayed redelivery.
+    chaos_reorders: int = 0
+    #: Frames the chaos layer corrupted in flight.
+    chaos_corruptions: int = 0
     #: One-way delivery latencies (seconds) of data frames this round.
     latencies: List[float] = field(default_factory=list)
 
@@ -51,6 +68,12 @@ class NetMetrics:
         self.rounds: Dict[int, RoundMetrics] = {}
         #: ``V_d`` substitutions performed by the protocol (assumption (b)).
         self.substitutions = 0
+        #: Poisoned byte streams a transport discarded (one per connection).
+        self.decode_errors = 0
+        #: Engine rounds during which at least one partition was severed.
+        self.partition_rounds = 0
+        #: Node crash onsets the chaos layer executed.
+        self.crash_events = 0
 
     # ------------------------------------------------------------------
     # Recording
@@ -83,6 +106,27 @@ class NetMetrics:
     def record_latency(self, round_no: int, seconds: float) -> None:
         self.round(round_no).latencies.append(seconds)
 
+    def record_chaos_drop(self, round_no: int) -> None:
+        self.round(round_no).chaos_drops += 1
+
+    def record_chaos_dup(self, round_no: int) -> None:
+        self.round(round_no).chaos_dups += 1
+
+    def record_chaos_reorder(self, round_no: int) -> None:
+        self.round(round_no).chaos_reorders += 1
+
+    def record_chaos_corruption(self, round_no: int) -> None:
+        self.round(round_no).chaos_corruptions += 1
+
+    def record_decode_error(self) -> None:
+        self.decode_errors += 1
+
+    def record_partition_round(self) -> None:
+        self.partition_rounds += 1
+
+    def record_crash_event(self) -> None:
+        self.crash_events += 1
+
     # ------------------------------------------------------------------
     # Aggregates
     # ------------------------------------------------------------------
@@ -109,6 +153,65 @@ class NetMetrics:
     @property
     def total_dropped(self) -> int:
         return sum(r.dropped for r in self.rounds.values())
+
+    @property
+    def total_chaos_drops(self) -> int:
+        return sum(r.chaos_drops for r in self.rounds.values())
+
+    @property
+    def total_chaos_dups(self) -> int:
+        return sum(r.chaos_dups for r in self.rounds.values())
+
+    @property
+    def total_chaos_reorders(self) -> int:
+        return sum(r.chaos_reorders for r in self.rounds.values())
+
+    @property
+    def total_chaos_corruptions(self) -> int:
+        return sum(r.chaos_corruptions for r in self.rounds.values())
+
+    @property
+    def total_chaos_events(self) -> int:
+        """Every chaos perturbation this run: frame-level plus crashes."""
+        return (
+            self.total_chaos_drops
+            + self.total_chaos_dups
+            + self.total_chaos_reorders
+            + self.total_chaos_corruptions
+            + self.crash_events
+        )
+
+    def counters(self) -> Dict[str, int]:
+        """Every integer counter, flattened — the determinism fingerprint.
+
+        Deliberately excludes wall-clock-dependent values: latency samples
+        (only their count is included, as ``delivered``) and byte counts
+        (frame encodings embed the float ``sent_at`` timestamp, whose JSON
+        width varies run to run).  Two same-seed runs of a deterministic
+        scenario must produce equal dicts; the chaos determinism suite
+        pins exactly that.
+        """
+        out: Dict[str, int] = {
+            "substitutions": self.substitutions,
+            "decode_errors": self.decode_errors,
+            "partition_rounds": self.partition_rounds,
+            "crash_events": self.crash_events,
+        }
+        for round_no in sorted(self.rounds):
+            entry = self.rounds[round_no]
+            prefix = f"r{round_no}."
+            out[prefix + "messages_sent"] = entry.messages_sent
+            out[prefix + "dropped"] = entry.dropped
+            out[prefix + "retries"] = entry.retries
+            out[prefix + "send_failures"] = entry.send_failures
+            out[prefix + "timeouts"] = entry.timeouts
+            out[prefix + "late_frames"] = entry.late_frames
+            out[prefix + "chaos_drops"] = entry.chaos_drops
+            out[prefix + "chaos_dups"] = entry.chaos_dups
+            out[prefix + "chaos_reorders"] = entry.chaos_reorders
+            out[prefix + "chaos_corruptions"] = entry.chaos_corruptions
+            out[prefix + "delivered"] = len(entry.latencies)
+        return out
 
     def latency_percentiles(self) -> Dict[str, float]:
         """Pooled one-way latency percentiles, nearest-rank, in seconds."""
@@ -156,6 +259,16 @@ class NetMetrics:
             f"messages={self.total_messages}  bytes={self.total_bytes}  "
             f"V_d substitutions={self.substitutions}"
         )
+        if self.total_chaos_events or self.partition_rounds or self.decode_errors:
+            lines.append(
+                f"chaos: drops={self.total_chaos_drops}  "
+                f"dups={self.total_chaos_dups}  "
+                f"reorders={self.total_chaos_reorders}  "
+                f"corruptions={self.total_chaos_corruptions}  "
+                f"partition_rounds={self.partition_rounds}  "
+                f"crashes={self.crash_events}  "
+                f"decode_errors={self.decode_errors}"
+            )
         lines.append(
             "latency p50={:.6f}s p90={:.6f}s p99={:.6f}s".format(
                 pct["p50"], pct["p90"], pct["p99"]

@@ -30,8 +30,9 @@ equivalence suite in ``tests/net`` pins this down.
 from __future__ import annotations
 
 import asyncio
+import random
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional, Sequence, Set
+from typing import TYPE_CHECKING, Dict, Hashable, List, Optional, Sequence, Set
 
 from repro.core.behavior import BehaviorMap
 from repro.core.byz import AgreementResult
@@ -45,6 +46,10 @@ from repro.net.metrics import NetMetrics
 from repro.net.transport import LocalBus, Transport
 from repro.sim.engine import FaultInjector
 from repro.sim.messages import Message
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.net.chaos.accounting import ChaosLog
+    from repro.net.chaos.policy import ChaosPolicy
 
 NodeId = Hashable
 
@@ -82,6 +87,9 @@ class NetRunOutcome:
 
     result: AgreementResult
     metrics: NetMetrics
+    #: Chaos event log, present when the run was executed under a
+    #: :class:`~repro.net.chaos.policy.ChaosPolicy` (None otherwise).
+    chaos: Optional["ChaosLog"] = None
 
     @property
     def decisions(self) -> Dict[NodeId, Value]:
@@ -110,6 +118,9 @@ class AsyncRoundRunner:
         self.metrics = metrics or NetMetrics(transport=self.transport.name)
         if not self.metrics.transport:
             self.metrics.transport = self.transport.name
+        # Let the transport stack record what only it can see (decode
+        # errors, injected chaos) into the same recorder.
+        self.transport.attach_metrics(self.metrics)
         # Same deterministic stepping order as the synchronous engine.
         self._order: List[NodeId] = sorted(session.nodes, key=lambda n: str(n))
 
@@ -308,6 +319,8 @@ async def run_agreement_async(
     extra_injectors: Optional[Sequence[FaultInjector]] = None,
     round_timeout: float = 5.0,
     retry: Optional[RetryPolicy] = None,
+    chaos: Optional["ChaosPolicy"] = None,
+    chaos_rng: Optional[random.Random] = None,
 ) -> NetRunOutcome:
     """Run one m/u-degradable agreement over an async transport.
 
@@ -316,6 +329,12 @@ async def run_agreement_async(
     parameters, same behaviour objects, same result shape — plus the
     :class:`~repro.net.metrics.NetMetrics` recorder for the wire story.
     Defaults to :class:`~repro.net.transport.LocalBus`.
+
+    With *chaos* set, the transport is wrapped in a
+    :class:`~repro.net.chaos.transport.ChaosTransport` applying that
+    policy; every draw comes from *chaos_rng* (default:
+    ``random.Random(chaos.seed)``) and the outcome carries the full
+    :class:`~repro.net.chaos.accounting.ChaosLog` for fault accounting.
     """
     stack: List[AsyncFaultAdapter] = []
     if behaviors:
@@ -324,13 +343,21 @@ async def run_agreement_async(
         stack.extend(lift_injectors(extra_injectors))
     if adapters:
         stack.extend(adapters)
+    base_transport = transport if transport is not None else LocalBus()
+    chaos_log = None
+    if chaos is not None:
+        # Imported lazily: repro.net.chaos.campaign imports this module.
+        from repro.net.chaos.transport import ChaosTransport
+
+        base_transport = ChaosTransport(base_transport, chaos, rng=chaos_rng)
+        chaos_log = base_transport.log
     session = ProtocolSession.byz(spec, nodes, sender, sender_value)
     runner = AsyncRoundRunner(
         session,
-        transport=transport,
+        transport=base_transport,
         adapters=stack,
         round_timeout=round_timeout,
         retry=retry,
     )
     result = await runner.run()
-    return NetRunOutcome(result=result, metrics=runner.metrics)
+    return NetRunOutcome(result=result, metrics=runner.metrics, chaos=chaos_log)

@@ -14,18 +14,32 @@ from the pool so the runner's retry opens a fresh socket.  A frame that is
 never delivered (peer crashed, retries exhausted) is simply *absent* at the
 receiver, which resolves it to ``V_d`` at the round deadline — the same
 degradation path as every other fault in the model.
+
+A frame that *arrives* but does not decode (corrupted in flight — what the
+chaos layer injects through :meth:`TcpTransport.send_corrupted`) poisons
+only its own connection: frames completed before the poison are still
+delivered, the desynchronized stream is abandoned, the event is counted in
+:attr:`NetMetrics.decode_errors <repro.net.metrics.NetMetrics>`, and the
+endpoint keeps serving every other connection.  The sender's next frame on
+that link opens a fresh socket, so one corrupt frame costs exactly one
+frame — never the node.
 """
 
 from __future__ import annotations
 
 import asyncio
-from typing import Dict, Hashable, List, Sequence, Tuple
+import random
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.exceptions import TransportError
 from repro.net.codec import Frame, FrameDecoder, pack_frame
+from repro.net.metrics import NetMetrics
 from repro.net.transport import Transport
 
 NodeId = Hashable
+
+#: Grace period for a closing socket to finish its handshake.
+_CLOSE_TIMEOUT = 1.0
 
 
 class TcpTransport(Transport):
@@ -35,11 +49,16 @@ class TcpTransport(Transport):
 
     def __init__(self, host: str = "127.0.0.1") -> None:
         self.host = host
+        self.metrics: Optional[NetMetrics] = None
         self._servers: Dict[NodeId, asyncio.AbstractServer] = {}
         self._addresses: Dict[NodeId, Tuple[str, int]] = {}
         self._inboxes: Dict[NodeId, "asyncio.Queue[Frame]"] = {}
         self._writers: Dict[Tuple[NodeId, NodeId], asyncio.StreamWriter] = {}
+        self._retired: List[asyncio.StreamWriter] = []
         self._reader_tasks: List[asyncio.Task] = []
+
+    def attach_metrics(self, metrics: NetMetrics) -> None:
+        self.metrics = metrics
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -67,8 +86,17 @@ class TcpTransport(Transport):
                     chunk = await reader.read(65536)
                     if not chunk:
                         break
-                    for frame in decoder.feed(chunk):
+                    # Tolerant decode: frames completed before a poisoned
+                    # one are still delivered; the poison itself abandons
+                    # only this connection (the stream cannot resync), the
+                    # endpoint stays alive for every other connection.
+                    frames, error = decoder.feed_tolerant(chunk)
+                    for frame in frames:
                         self._inboxes[node].put_nowait(frame)
+                    if error is not None:
+                        if self.metrics is not None:
+                            self.metrics.record_decode_error()
+                        break
             except (ConnectionError, asyncio.CancelledError):
                 pass
             finally:
@@ -77,9 +105,13 @@ class TcpTransport(Transport):
         return handle
 
     async def close(self) -> None:
-        for writer in self._writers.values():
-            writer.close()
+        writers = list(self._writers.values()) + self._retired
         self._writers = {}
+        self._retired = []
+        for writer in writers:
+            writer.close()
+        for writer in writers:
+            await self._await_closed(writer)
         for server in self._servers.values():
             server.close()
         for server in self._servers.values():
@@ -92,6 +124,24 @@ class TcpTransport(Transport):
         self._inboxes = {}
         self._addresses = {}
 
+    @staticmethod
+    async def _await_closed(writer: asyncio.StreamWriter) -> None:
+        """Wait (briefly) for a closed socket to finish, never raising.
+
+        Without the ``wait_closed`` await, repeated open/close cycles —
+        exactly what chaos soak campaigns do — leak half-closed sockets
+        and emit ``ResourceWarning``s at garbage collection time.
+        """
+        try:
+            await asyncio.wait_for(writer.wait_closed(), timeout=_CLOSE_TIMEOUT)
+        except (asyncio.TimeoutError, ConnectionError, OSError):
+            pass
+
+    def _retire(self, writer: asyncio.StreamWriter) -> None:
+        """Evict a writer from service but keep it for a clean close."""
+        writer.close()
+        self._retired.append(writer)
+
     # ------------------------------------------------------------------
     # Traffic
     # ------------------------------------------------------------------
@@ -102,14 +152,10 @@ class TcpTransport(Transport):
         except KeyError:
             raise TransportError(f"no endpoint for node {node!r}") from None
 
-    async def send(self, frame: Frame) -> int:
-        address = self._addresses.get(frame.destination)
-        if address is None:
-            raise TransportError(
-                f"no endpoint for destination {frame.destination!r}"
-            )
-        payload = pack_frame(frame)
-        link = (frame.source, frame.destination)
+    async def _write(
+        self, link: Tuple[NodeId, NodeId], address: Tuple[str, int], payload: bytes
+    ) -> None:
+        """Write *payload* on the pooled connection for *link*."""
         writer = self._writers.get(link)
         try:
             if writer is None or writer.is_closing():
@@ -120,10 +166,48 @@ class TcpTransport(Transport):
         except (ConnectionError, OSError) as exc:
             stale = self._writers.pop(link, None)
             if stale is not None:
-                stale.close()
+                self._retire(stale)
             raise TransportError(
-                f"send {frame.source!r} -> {frame.destination!r} failed: {exc}"
+                f"send {link[0]!r} -> {link[1]!r} failed: {exc}"
             ) from exc
+
+    def _address_for(self, frame: Frame) -> Tuple[str, int]:
+        address = self._addresses.get(frame.destination)
+        if address is None:
+            raise TransportError(
+                f"no endpoint for destination {frame.destination!r}"
+            )
+        return address
+
+    async def send(self, frame: Frame) -> int:
+        address = self._address_for(frame)
+        payload = pack_frame(frame)
+        await self._write((frame.source, frame.destination), address, payload)
+        return len(payload)
+
+    async def send_corrupted(self, frame: Frame, rng: random.Random) -> int:
+        """Put a genuinely mangled rendition of *frame* on the wire.
+
+        A few body bytes (positions drawn from *rng*) are overwritten with
+        ``0xFF`` — never a valid UTF-8 byte, so the receiver's decode fails
+        deterministically.  The length prefix is left intact: the receiver
+        reads exactly one frame's worth of garbage, counts the decode
+        error and abandons that connection.  The pooled writer is retired
+        immediately afterwards so the *next* frame on this link opens a
+        fresh socket instead of racing the server-side abandonment —
+        keeping the blast radius (and therefore same-seed determinism) at
+        exactly one lost frame.
+        """
+        address = self._address_for(frame)
+        payload = bytearray(pack_frame(frame))
+        body_len = len(payload) - 4
+        for _ in range(1 + rng.randrange(3)):
+            payload[4 + rng.randrange(body_len)] = 0xFF
+        link = (frame.source, frame.destination)
+        await self._write(link, address, bytes(payload))
+        writer = self._writers.pop(link, None)
+        if writer is not None:
+            self._retire(writer)
         return len(payload)
 
     async def recv(self, node: NodeId) -> Frame:

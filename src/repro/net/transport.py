@@ -24,11 +24,13 @@ Contract:
 from __future__ import annotations
 
 import asyncio
+import random
 from abc import ABC, abstractmethod
 from typing import Callable, Dict, Hashable, Optional, Sequence
 
 from repro.exceptions import TransportError
 from repro.net.codec import Frame, encode_frame
+from repro.net.metrics import NetMetrics
 
 NodeId = Hashable
 
@@ -54,6 +56,29 @@ class Transport(ABC):
     @abstractmethod
     async def close(self) -> None:
         """Tear down endpoints and release all resources."""
+
+    def attach_metrics(self, metrics: NetMetrics) -> None:
+        """Offer a metrics recorder to the transport (optional seam).
+
+        The runner attaches its :class:`~repro.net.metrics.NetMetrics`
+        before opening the transport; transports that observe events the
+        runner cannot see (poisoned byte streams, injected chaos) record
+        them here.  Wrapping transports must forward the call.  The default
+        is a no-op.
+        """
+
+    async def send_corrupted(self, frame: Frame, rng: random.Random) -> int:
+        """Deliver a corrupted rendition of *frame* to its destination.
+
+        Chaos seam.  A corrupted frame is by definition undecodable, so the
+        default realization — appropriate for object-passing transports
+        with no byte layer — is to lose the frame entirely: the receiver
+        observes absence, exactly what a discarded undecodable frame
+        amounts to.  Byte transports override this to put genuinely
+        mangled bytes on the wire (:meth:`TcpTransport.send_corrupted`),
+        exercising the receive-side decode-error path for real.
+        """
+        return 0
 
     async def __aenter__(self) -> "Transport":
         return self
@@ -103,13 +128,19 @@ class LocalBus(Transport):
 class FlakyTransport(Transport):
     """Wraps a transport with deterministic transient send failures.
 
-    The first *failures* send attempts of every matching
-    ``(source, destination, kind)`` link raise
-    :class:`~repro.exceptions.TransportError`; later attempts pass through
-    to the wrapped transport.  With ``failures`` below the runner's retry
-    budget this exercises the backoff path without changing any outcome;
-    with ``failures`` effectively infinite it turns a link (or a node's
-    whole output, via *match*) into an omission fault.
+    Two failure modes, both fully reproducible:
+
+    * **count-based** (default): the first *failures* send attempts of
+      every matching ``(source, destination, kind)`` link raise
+      :class:`~repro.exceptions.TransportError`; later attempts pass
+      through.  With ``failures`` below the runner's retry budget this
+      exercises the backoff path without changing any outcome; with
+      ``failures`` effectively infinite it turns a link (or a node's whole
+      output, via *match*) into an omission fault.
+    * **probabilistic** (``failure_probability > 0``): each matching send
+      attempt independently fails with the given probability, drawn from
+      the injected ``rng`` — never the global RNG, so the same seed
+      reproduces the same failure pattern byte for byte.
     """
 
     def __init__(
@@ -117,12 +148,21 @@ class FlakyTransport(Transport):
         inner: Transport,
         failures: int = 1,
         match: Optional[Callable[[Frame], bool]] = None,
+        failure_probability: float = 0.0,
+        rng: Optional[random.Random] = None,
     ) -> None:
         if failures < 0:
             raise ValueError(f"failures must be >= 0, got {failures}")
+        if not 0.0 <= failure_probability <= 1.0:
+            raise ValueError(
+                f"failure_probability must be in [0, 1], "
+                f"got {failure_probability}"
+            )
         self.inner = inner
         self.failures = failures
         self.match = match
+        self.failure_probability = failure_probability
+        self.rng = rng if rng is not None else random.Random(0)
         self.injected_failures = 0
         self._attempts: Dict[tuple, int] = {}
 
@@ -130,21 +170,33 @@ class FlakyTransport(Transport):
     def name(self) -> str:  # type: ignore[override]
         return f"flaky+{self.inner.name}"
 
+    def attach_metrics(self, metrics: NetMetrics) -> None:
+        self.inner.attach_metrics(metrics)
+
     async def open(self, nodes: Sequence[NodeId]) -> None:
         await self.inner.open(nodes)
 
+    def _should_fail(self, frame: Frame) -> bool:
+        if self.failure_probability > 0.0:
+            return self.rng.random() < self.failure_probability
+        key = (frame.source, frame.destination, frame.kind)
+        seen = self._attempts.get(key, 0)
+        if seen < self.failures:
+            self._attempts[key] = seen + 1
+            return True
+        return False
+
     async def send(self, frame: Frame) -> int:
-        if self.match is None or self.match(frame):
-            key = (frame.source, frame.destination, frame.kind)
-            seen = self._attempts.get(key, 0)
-            if seen < self.failures:
-                self._attempts[key] = seen + 1
-                self.injected_failures += 1
-                raise TransportError(
-                    f"injected transient failure #{seen + 1} on "
-                    f"{frame.source!r} -> {frame.destination!r}"
-                )
+        if (self.match is None or self.match(frame)) and self._should_fail(frame):
+            self.injected_failures += 1
+            raise TransportError(
+                f"injected transient failure #{self.injected_failures} on "
+                f"{frame.source!r} -> {frame.destination!r}"
+            )
         return await self.inner.send(frame)
+
+    async def send_corrupted(self, frame: Frame, rng: random.Random) -> int:
+        return await self.inner.send_corrupted(frame, rng)
 
     async def recv(self, node: NodeId) -> Frame:
         return await self.inner.recv(node)

@@ -18,7 +18,14 @@ from repro.core.conditions import classify
 from repro.core.protocol import execute_degradable_protocol
 from repro.core.spec import DegradableSpec
 from repro.core.values import DEFAULT
-from repro.net import LocalBus, MuteAdapter, run_agreement_async
+from repro.net import (
+    ChaosPolicy,
+    LocalBus,
+    MuteAdapter,
+    Partition,
+    partition_injector,
+    run_agreement_async,
+)
 from repro.sim.faults import OmissionInjector
 
 from tests.conftest import node_names
@@ -80,6 +87,78 @@ def test_sync_omission_equals_async_timeout(m, u, n, omitting):
             sync_report, attribute
         ), attribute
     assert sync_report.satisfied
+
+
+class TestPartitionHeal:
+    """A link severed for exactly one round, then healed — the chaos
+    layer's scheduled partition against the sync engine's rendition of the
+    same cut (:func:`partition_injector`).  Only the severed relay is lost,
+    so only that relay's slot resolves to ``V_d``; once the link heals the
+    protocols are indistinguishable again."""
+
+    SPEC = dict(m=1, u=2, n_nodes=5)
+    #: p1 -> p2 severed during engine round 2 only.
+    PARTITION = Partition.sever_links([("p1", "p2")], 2, 3)
+
+    def test_async_partition_equals_sync_injector(self):
+        spec = DegradableSpec(**self.SPEC)
+        nodes = node_names(spec.n_nodes)
+
+        sync_result, _ = execute_degradable_protocol(
+            spec, nodes, "S", VALUE,
+            extra_injectors=[partition_injector(self.PARTITION)],
+        )
+        outcome = asyncio.run(
+            run_agreement_async(
+                spec, nodes, "S", VALUE,
+                transport=LocalBus(),
+                round_timeout=0.4,
+                chaos=ChaosPolicy(partitions=(self.PARTITION,)),
+            )
+        )
+        async_result = outcome.result
+
+        # Exactly the severed relay was substituted, on both paths.
+        assert sync_result.stats.substitutions == 1
+        assert async_result.stats.substitutions == 1
+        # The async path detected the absence through genuine deadline expiry.
+        assert outcome.metrics.total_timeouts > 0
+        assert outcome.chaos.counts()["partition"] >= 1
+        assert outcome.chaos.afflicted == frozenset({"p1"})
+
+        assert async_result.decisions == sync_result.decisions
+        afflicted = frozenset({"p1"})
+        sync_report = classify(sync_result, afflicted, spec)
+        async_report = classify(async_result, afflicted, spec)
+        for attribute in ("regime", "shape", "satisfied",
+                          "d1", "d2", "d3", "d4"):
+            assert getattr(async_report, attribute) == getattr(
+                sync_report, attribute
+            ), attribute
+        assert sync_report.satisfied
+
+    def test_healed_rounds_carry_traffic(self):
+        """The cut is one round wide: rounds before and after it deliver
+        normally, so the damage stays bounded to one relay slot."""
+        spec = DegradableSpec(**self.SPEC)
+        nodes = node_names(spec.n_nodes)
+
+        outcome = asyncio.run(
+            run_agreement_async(
+                spec, nodes, "S", VALUE,
+                transport=LocalBus(),
+                round_timeout=0.4,
+                chaos=ChaosPolicy(partitions=(self.PARTITION,)),
+            )
+        )
+        severed = [
+            e for e in outcome.chaos.events if e.kind == "partition"
+        ]
+        assert severed
+        assert {e.round_no for e in severed} == {2}
+        assert all(
+            (e.source, e.destination) == ("p1", "p2") for e in severed
+        )
 
 
 @pytest.mark.parametrize("m, u, n, omitting", GRID[:3])

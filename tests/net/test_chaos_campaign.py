@@ -1,0 +1,122 @@
+"""Campaign machinery: replay tokens, trial seeds, reports, reproducibility."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.net.chaos import (
+    DEFAULT_GRID,
+    TrialConfig,
+    campaign_configs,
+    parse_replay,
+    run_campaign_sync,
+    run_trial_sync,
+    trial_seed,
+)
+
+
+class TestReplayToken:
+    def test_round_trip(self):
+        config = TrialConfig(
+            m=1, u=2, n_nodes=5, severity="heavy",
+            transport="tcp", seed=987654, timeout=0.3,
+        )
+        assert parse_replay(config.replay_token) == config
+
+    def test_default_timeout_optional_in_token(self):
+        config = parse_replay("m=1,u=2,n=5,severity=light,transport=local,seed=3")
+        assert config.timeout == 0.25
+
+    @pytest.mark.parametrize("token", [
+        "",
+        "m=1,u=2",                                        # missing fields
+        "m=x,u=2,n=5,severity=light,transport=local,seed=3",  # bad int
+        "m=1,u=2,n=5,severity=nope,transport=local,seed=3",   # bad severity
+        "m=1;u=2;n=5",                                    # wrong separator
+    ])
+    def test_malformed_tokens_rejected(self, token):
+        with pytest.raises(ConfigurationError):
+            parse_replay(token)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            TrialConfig(m=1, u=2, n_nodes=5, severity="light",
+                        transport="carrier-pigeon", seed=1)
+        with pytest.raises(ConfigurationError):
+            TrialConfig(m=1, u=2, n_nodes=5, severity="light",
+                        transport="local", seed=1, timeout=0.0)
+
+
+class TestTrialSeeds:
+    def test_stable_and_distinct(self):
+        assert trial_seed(7, "light", 0) == trial_seed(7, "light", 0)
+        seeds = {
+            trial_seed(7, severity, index)
+            for severity in ("light", "heavy")
+            for index in range(10)
+        }
+        assert len(seeds) == 20  # no collisions across the small grid
+
+    def test_configs_cycle_the_spec_grid(self):
+        configs = campaign_configs(7, ["light"], len(DEFAULT_GRID) + 1, "local")
+        triples = [(c.m, c.u, c.n_nodes) for c in configs]
+        assert triples[: len(DEFAULT_GRID)] == list(DEFAULT_GRID)
+        assert triples[len(DEFAULT_GRID)] == DEFAULT_GRID[0]
+
+
+class TestTrialResult:
+    def test_record_only_tier_never_fails(self):
+        # A partition can afflict up to u + 1 nodes when the instance has
+        # room (u < N // 2); find a seed landing in the record-only tier
+        # and check it is recorded, not judged.
+        for seed in range(40):
+            result = run_trial_sync(TrialConfig(
+                m=1, u=2, n_nodes=6, severity="partition",
+                transport="local", seed=seed,
+            ))
+            if result.tier == "none":
+                assert not result.checked
+                assert result.passed is None
+                assert not result.failed
+                return
+        pytest.skip("no record-only trial in the first 40 seeds")
+
+    def test_json_shape(self):
+        result = run_trial_sync(TrialConfig(
+            m=1, u=2, n_nodes=5, severity="light",
+            transport="local", seed=11,
+        ))
+        blob = result.to_json()
+        assert parse_replay(blob["replay"]) == result.config
+        assert blob["tier"] in ("byzantine", "degraded", "none")
+        assert set(blob["chaos_counts"]) == {
+            "drop", "corrupt", "partition", "crash", "dup", "reorder", "delay"
+        }
+        assert json.dumps(blob)  # JSON-serializable through and through
+
+
+class TestCampaign:
+    def test_small_campaign_report(self, tmp_path):
+        report = run_campaign_sync(7, ["light", "crash"], 2, transport="local")
+        assert len(report.trials) == 4
+        assert report.ok  # light/crash on the default grid must pass
+
+        blob = report.to_json()
+        assert blob["n_trials"] == 4
+        assert set(blob["tiers"]) == {"byzantine", "degraded", "none"}
+        checked = [t for t in report.trials if t.checked]
+        assert checked, "campaign never exercised an asserted tier"
+        assert blob["worst_case_seeds"]  # heaviest-chaos seeds when no failures
+
+        out = tmp_path / "report.json"
+        report.save(str(out))
+        assert json.loads(out.read_text())["ok"] is True
+
+    def test_same_seed_campaign_is_bit_identical(self, tmp_path):
+        first = run_campaign_sync(13, ["heavy"], 3, transport="local")
+        second = run_campaign_sync(13, ["heavy"], 3, transport="local")
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        first.save(str(a))
+        second.save(str(b))
+        assert a.read_bytes() == b.read_bytes()

@@ -192,6 +192,46 @@ class TestNet:
         assert "unknown node ids" in err
 
 
+class TestChaos:
+    def test_light_campaign_passes(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "chaos", "--seed", "7", "--severity", "light",
+            "--trials", "2",
+        )
+        assert code == 0
+        assert "campaign PASSED" in out
+        assert "tier byzantine" in out
+
+    def test_report_written(self, capsys, tmp_path):
+        path = tmp_path / "chaos.json"
+        code, out, _ = run_cli(
+            capsys, "chaos", "--seed", "7", "--severity", "crash",
+            "--trials", "2", "--report", str(path),
+        )
+        assert code == 0
+        assert path.exists()
+        assert "report written" in out
+
+    def test_replay_mode(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "chaos", "--replay",
+            "m=1,u=2,n=5,severity=crash,transport=local,seed=11",
+        )
+        assert code == 0
+        assert "replay m=1,u=2,n=5" in out
+        assert "verdict:" in out
+
+    def test_bad_replay_token(self, capsys):
+        code, _, err = run_cli(capsys, "chaos", "--replay", "nonsense")
+        assert code == 2
+        assert "replay token" in err or "malformed" in err
+
+    def test_bad_trials_rejected(self, capsys):
+        code, _, err = run_cli(capsys, "chaos", "--trials", "0")
+        assert code == 2
+        assert "--trials" in err
+
+
 class TestParser:
     def test_requires_command(self, capsys):
         with pytest.raises(SystemExit):
