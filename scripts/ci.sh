@@ -23,6 +23,12 @@ python -m repro experiments
 python -m repro suite
 python -m repro net --transport local
 python -m repro net --transport tcp
+python -m repro net --transport tcp --no-batch
+
+echo "== wire-path bench (batched/unbatched equivalence gate) =="
+# Fails if the two wire modes diverge in decisions/substitutions/verdicts
+# anywhere on the quick grid, or the N=7 TCP frame reduction drops below 3x.
+timeout 300 python -m repro bench --quick --out BENCH_net.json
 
 echo "== chaos soak (seeded, replayable) =="
 timeout 300 python -m repro chaos --severity light --trials 5 --seed 7

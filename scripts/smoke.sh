@@ -14,4 +14,7 @@ python -m repro net --transport local
 echo "== chaos smoke =="
 timeout 120 python -m repro chaos --severity light --trials 2 --seed 7
 
+echo "== wire-path bench (archives BENCH_net.json) =="
+timeout 180 python -m repro bench --quick --repeats 1 --out BENCH_net.json
+
 echo "Smoke green."

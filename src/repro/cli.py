@@ -13,6 +13,9 @@ Exposes the library's main entry points for interactive exploration:
 * ``mission``      — fly the Figure 1(b) channel system with transient faults;
 * ``net``          — run one agreement over the asyncio runtime (in-process
   bus or real TCP sockets) and print the wire metrics;
+* ``bench``        — benchmark the wire path: batched vs unbatched frame
+  counts, bytes and round latencies across an (m, u, N) x transport grid,
+  gated on the two modes staying decision-identical;
 * ``chaos``        — soak the runtime under seeded network chaos (loss,
   duplication, reordering, corruption, partitions, crashes) and assert the
   paper's D.1–D.4 guarantee tiers against the chaos actually injected.
@@ -98,6 +101,26 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-round deadline in seconds")
     p.add_argument("--no-verify", action="store_true",
                    help="skip the synchronous-engine cross-check")
+    p.add_argument("--no-batch", action="store_true",
+                   help="use the legacy one-frame-per-message wire path "
+                        "instead of per-link batches")
+
+    p = sub.add_parser(
+        "bench",
+        help="benchmark the wire path: batched vs unbatched frame counts, "
+             "bytes and round latencies, with an equivalence gate",
+    )
+    p.add_argument("--quick", action="store_true",
+                   help="small grid / fewer repeats (the CI gate)")
+    p.add_argument("--repeats", type=int, default=3,
+                   help="runs per grid cell; round latencies pool across them")
+    p.add_argument("--out", default="BENCH_net.json",
+                   help="write the JSON report here ('' to skip)")
+    p.add_argument("--baseline", default="",
+                   help="compare against a previous BENCH_net.json; a "
+                        "batched frame-count increase fails the run")
+    p.add_argument("--timeout", type=float, default=5.0,
+                   help="per-round deadline in seconds")
 
     p = sub.add_parser(
         "chaos",
@@ -281,6 +304,7 @@ def _cmd_net(args) -> int:
             transport=transport,
             adapters=adapters,
             round_timeout=args.timeout,
+            batching=not args.no_batch,
         )
     )
     result = outcome.result
@@ -316,6 +340,52 @@ def _cmd_net(args) -> int:
     for violation in report.violations:
         print(f"  !! {violation}")
     return 1
+
+
+def _cmd_bench(args) -> int:
+    from repro.net.bench import (
+        compare_to_baseline,
+        load_report,
+        render_report,
+        run_bench,
+        save_report,
+    )
+
+    if args.repeats < 1:
+        print(f"error: --repeats must be >= 1, got {args.repeats}",
+              file=sys.stderr)
+        return 2
+    if args.timeout <= 0:
+        print(f"error: --timeout must be > 0, got {args.timeout}",
+              file=sys.stderr)
+        return 2
+    print(f"bench: grid={'quick' if args.quick else 'full'} "
+          f"repeats={args.repeats} timeout={args.timeout}s")
+    report = run_bench(
+        quick=args.quick, repeats=args.repeats, timeout=args.timeout
+    )
+    print()
+    print(render_report(report))
+    ok = bool(report["equivalent"])
+    headline = report.get("headline")
+    if headline is not None and not headline["met"]:
+        ok = False
+    if args.baseline:
+        try:
+            baseline = load_report(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read baseline {args.baseline!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+        base_ok, text = compare_to_baseline(report, baseline)
+        print()
+        print(text)
+        ok = ok and base_ok
+    if args.out:
+        save_report(report, args.out)
+        print()
+        print(f"report written to {args.out}")
+    return 0 if ok else 1
 
 
 def _cmd_chaos(args) -> int:
@@ -551,6 +621,7 @@ _COMMANDS = {
     "tradeoff": _cmd_tradeoff,
     "run": _cmd_run,
     "net": _cmd_net,
+    "bench": _cmd_bench,
     "chaos": _cmd_chaos,
     "scenarios": _cmd_scenarios,
     "connectivity": _cmd_connectivity,

@@ -26,7 +26,7 @@ layer from :mod:`repro.sim.routing`.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Tuple
 
 from repro.core.behavior import BehaviorMap
 from repro.core.byz import AgreementResult, ExecutionStats
@@ -213,6 +213,42 @@ class ProtocolSession:
 
     def all_decided(self) -> bool:
         return all(p.decided for p in self.processes)
+
+    @property
+    def data_rounds(self) -> int:
+        """Engine rounds that carry protocol data (the EIG depth).
+
+        Rounds beyond this are pure ingest-and-decide rounds; nothing is
+        on the wire.
+        """
+        return self.process_map[self.sender].depth
+
+    def expected_sources(self, round_no: int, node: NodeId) -> FrozenSet[NodeId]:
+        """Nodes that can, by protocol structure, send data to *node*.
+
+        The round schedule of the EIG protocol is common knowledge (the
+        paper's synchronous model): round 1 carries only the sender's
+        direct wave; rounds ``2 .. data_rounds`` carry receiver-to-receiver
+        relays (every relay path starts at the sender, so the sender is
+        never a relay destination); later rounds carry nothing.  Faulty
+        nodes cannot enlarge this set — behaviours and injectors transform
+        or suppress messages the honest state machines emitted, they never
+        mint traffic in rounds the protocol left silent.
+
+        Batched runtimes use this to wait only on links that can carry
+        data: a receiver's round closes once a batch (or the deadline)
+        resolved every expected source, with no marker traffic on the
+        protocol's structurally silent links.
+        """
+        if round_no == 1:
+            if node == self.sender:
+                return frozenset()
+            return frozenset({self.sender})
+        if 2 <= round_no <= self.data_rounds and node != self.sender:
+            return frozenset(
+                n for n in self.nodes if n != node and n != self.sender
+            )
+        return frozenset()
 
     def collect_result(self, messages: int = 0, rounds: int = 0) -> AgreementResult:
         """Package every receiver's decision as an :class:`AgreementResult`.

@@ -46,12 +46,23 @@ def vote(threshold: int, values: Sequence[Value]) -> Value:
     Raises
     ------
     ConfigurationError
-        If *threshold* is not positive.  A non-positive threshold would make
-        every value (and the default) "win", which is never meaningful.
+        If *threshold* is not positive — a non-positive threshold would make
+        every value (and the default) "win" — or if it exceeds the ballot
+        count.  The paper's ``VOTE(alpha, beta)`` presumes ``alpha <= beta``;
+        a threshold no ballot vector can reach is always a caller bug (a
+        short ballot vector, usually a missing upstream ``V_d``
+        substitution), and silently returning the default would mask it.
+        ``alpha == beta`` is legal: that is the unanimity vote.
     """
     if threshold <= 0:
         raise ConfigurationError(
             f"VOTE threshold must be positive, got {threshold}"
+        )
+    if threshold > len(values):
+        raise ConfigurationError(
+            f"VOTE threshold alpha={threshold} exceeds ballot count "
+            f"beta={len(values)}: the paper's VOTE(alpha, beta) presumes "
+            f"alpha <= beta — the caller passed a short ballot vector"
         )
     counts = Counter(values)
     winners = [v for v, c in counts.items() if c >= threshold]

@@ -51,7 +51,11 @@ from repro.net.adapters import (
     behavior_adapters,
     lift_injectors,
 )
+from repro.net.bench import compare_to_baseline, render_report, run_bench
 from repro.net.codec import (
+    BATCH,
+    DATA,
+    MARK,
     Frame,
     FrameDecoder,
     decode_frame,
@@ -85,15 +89,18 @@ from repro.net.chaos import (
 __all__ = [
     "AsyncFaultAdapter",
     "AsyncRoundRunner",
+    "BATCH",
     "ChaosLog",
     "ChaosPolicy",
     "ChaosTransport",
     "Crash",
+    "DATA",
     "FlakyTransport",
     "Frame",
     "FrameDecoder",
     "InjectorAdapter",
     "LocalBus",
+    "MARK",
     "MuteAdapter",
     "NetMetrics",
     "NetRunOutcome",
@@ -103,6 +110,7 @@ __all__ = [
     "TcpTransport",
     "Transport",
     "behavior_adapters",
+    "compare_to_baseline",
     "decode_frame",
     "encode_frame",
     "from_jsonable",
@@ -110,7 +118,9 @@ __all__ = [
     "make_policy",
     "pack_frame",
     "partition_injector",
+    "render_report",
     "run_agreement_async",
+    "run_bench",
     "run_trial_sync",
     "to_jsonable",
 ]

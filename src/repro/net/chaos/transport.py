@@ -31,7 +31,14 @@ failed soak trial must replay exactly from ``(config, seed)``:
 
 DATA frames face the full policy; MARK frames are touched only by
 partitions and crashes, whose entire point is making receivers ride out
-the deadline.
+the deadline.  BATCH frames (the batched wire path: one frame per
+directed link per round) face drop, corruption, latency and duplication
+draws *per batch frame*, with absence accounting charging the batch's
+source node exactly as it would a DATA frame's.  The reorder hold does
+not apply to batches: with one frame per link per round there is nothing
+in-round to reorder against, and holding a batch to the next round would
+manufacture absence from an event classified as benign, unsoundly
+shrinking ``f_eff``.
 """
 
 from __future__ import annotations
@@ -42,7 +49,7 @@ from typing import Dict, Hashable, Optional, Sequence, Tuple
 
 from repro.net.chaos.accounting import ChaosEvent, ChaosLog
 from repro.net.chaos.policy import ChaosPolicy
-from repro.net.codec import DATA, Frame
+from repro.net.codec import BATCH, DATA, Frame
 from repro.net.metrics import NetMetrics
 from repro.net.transport import Transport
 
@@ -53,6 +60,10 @@ Link = Tuple[NodeId, NodeId]
 
 class ChaosTransport(Transport):
     """Applies a seeded ChaosPolicy to every frame crossing a transport."""
+
+    #: One RNG feeds every draw; the runner must send sequentially so the
+    #: draw sequence stays a pure function of the frame sequence.
+    ordered_sends = True
 
     def __init__(
         self,
@@ -119,10 +130,35 @@ class ChaosTransport(Transport):
             self._record("crash", frame, afflicted=frozenset({crash.node}))
             return 0
 
+        if frame.kind == BATCH:
+            return await self._send_batch(frame)
         if frame.kind != DATA:
             await self._flush_link(link)
             return await self.inner.send(frame)
         return await self._send_data(frame, link)
+
+    async def _send_batch(self, frame: Frame) -> int:
+        """Drop/corrupt/latency/dup draws, one per batch frame.
+
+        Losing a batch loses the link's whole round — data and marker —
+        so the receiver detects it through genuine deadline expiry; the
+        accounting still charges one source node, the same attribution a
+        lost DATA frame gets.
+        """
+        policy, rng = self.policy, self.rng
+        if policy.drop_probability and rng.random() < policy.drop_probability:
+            self._record("drop", frame, afflicted=frozenset({frame.source}))
+            return 0
+        if policy.corrupt_probability and rng.random() < policy.corrupt_probability:
+            self._record("corrupt", frame, afflicted=frozenset({frame.source}))
+            return await self.inner.send_corrupted(frame, rng)
+        if policy.latency_probability and rng.random() < policy.latency_probability:
+            low, high = policy.latency
+            delay = low + (high - low) * rng.random()
+            self._record("delay", frame)
+            if delay > 0:
+                await asyncio.sleep(delay)
+        return await self._deliver(frame)
 
     async def _send_data(self, frame: Frame, link: Link) -> int:
         policy, rng = self.policy, self.rng

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import json
 import struct
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Hashable, List, Optional, Tuple
 
 from repro.core.values import DEFAULT, Value
@@ -34,9 +34,11 @@ NodeId = Hashable
 
 TAG = "__repro__"
 
-#: Frame kinds: protocol payload vs end-of-round marker.
+#: Frame kinds: protocol payload, end-of-round marker, or a per-link batch
+#: coalescing both.
 DATA = "data"
 MARK = "mark"
+BATCH = "batch"
 
 _LENGTH = struct.Struct(">I")
 
@@ -47,7 +49,7 @@ MAX_FRAME_BYTES = 1 << 24
 
 @dataclass(frozen=True)
 class Frame:
-    """One transport-level unit: a protocol message or a round marker.
+    """One transport-level unit: a message, a round marker, or a batch.
 
     ``kind == DATA`` carries a :class:`~repro.sim.messages.Message` in
     ``message``.  ``kind == MARK`` is an end-of-round marker: ``source``
@@ -55,6 +57,15 @@ class Frame:
     receivers finish the round before the deadline.  A node whose markers
     are suppressed (crashed / muted) is only resolved by the deadline
     itself — the runtime's realization of "detectable absence".
+
+    ``kind == BATCH`` coalesces one directed link's whole round: every DATA
+    message from ``source`` to ``destination`` in ``round_no`` (in
+    ``messages``, send order preserved) plus — when ``mark`` is true — the
+    end-of-round marker.  One batch frame per link per round replaces one
+    frame per protocol message plus a marker; DATA/MARK stay decodable, so
+    batched and unbatched senders share one wire format.  An empty
+    ``messages`` with ``mark`` set is a marker-only batch (the link carried
+    no data this round but the source is still announcing it is done).
 
     ``sent_at`` is the sender's monotonic timestamp, stamped by the runner
     and used for latency percentiles (all endpoints share one clock since
@@ -67,6 +78,8 @@ class Frame:
     destination: NodeId
     message: Optional[Message] = None
     sent_at: float = 0.0
+    messages: Tuple[Message, ...] = field(default=())
+    mark: bool = False
 
 
 # ----------------------------------------------------------------------
@@ -122,6 +135,26 @@ def from_jsonable(obj: Any) -> Any:
 # ----------------------------------------------------------------------
 # Frame (de)serialization
 # ----------------------------------------------------------------------
+def _message_to_jsonable(message: Message) -> dict:
+    return {
+        "source": to_jsonable(message.source),
+        "destination": to_jsonable(message.destination),
+        "payload": to_jsonable(message.payload),
+        "round_sent": message.round_sent,
+        "tag": message.tag,
+    }
+
+
+def _message_from_jsonable(raw: dict) -> Message:
+    return Message(
+        source=from_jsonable(raw["source"]),
+        destination=from_jsonable(raw["destination"]),
+        payload=from_jsonable(raw["payload"]),
+        round_sent=raw["round_sent"],
+        tag=raw["tag"],
+    )
+
+
 def encode_frame(frame: Frame) -> bytes:
     """Canonical JSON body for *frame* (no length prefix)."""
     body = {
@@ -134,14 +167,10 @@ def encode_frame(frame: Frame) -> bytes:
     if frame.kind == DATA:
         if frame.message is None:
             raise TransportError("DATA frame without a message")
-        message = frame.message
-        body["msg"] = {
-            "source": to_jsonable(message.source),
-            "destination": to_jsonable(message.destination),
-            "payload": to_jsonable(message.payload),
-            "round_sent": message.round_sent,
-            "tag": message.tag,
-        }
+        body["msg"] = _message_to_jsonable(frame.message)
+    elif frame.kind == BATCH:
+        body["msgs"] = [_message_to_jsonable(m) for m in frame.messages]
+        body["mark"] = frame.mark
     try:
         return json.dumps(body, sort_keys=True, separators=(",", ":")).encode("utf-8")
     except (TypeError, ValueError) as exc:
@@ -155,15 +184,13 @@ def decode_frame(data: bytes) -> Frame:
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise TransportError(f"malformed frame: {exc}") from exc
     message = None
+    messages: Tuple[Message, ...] = ()
+    mark = False
     if body["kind"] == DATA:
-        raw = body["msg"]
-        message = Message(
-            source=from_jsonable(raw["source"]),
-            destination=from_jsonable(raw["destination"]),
-            payload=from_jsonable(raw["payload"]),
-            round_sent=raw["round_sent"],
-            tag=raw["tag"],
-        )
+        message = _message_from_jsonable(body["msg"])
+    elif body["kind"] == BATCH:
+        messages = tuple(_message_from_jsonable(raw) for raw in body["msgs"])
+        mark = bool(body["mark"])
     return Frame(
         kind=body["kind"],
         round_no=body["round"],
@@ -171,6 +198,8 @@ def decode_frame(data: bytes) -> Frame:
         destination=from_jsonable(body["dst"]),
         message=message,
         sent_at=body["at"],
+        messages=messages,
+        mark=mark,
     )
 
 

@@ -35,9 +35,20 @@ class RoundMetrics:
 
     round_no: int
     #: Protocol messages handed to the transport (post-adapter survivors).
+    #: In batched mode each BATCH frame contributes its coalesced message
+    #: count, so this stays comparable across wire modes.
     messages_sent: int = 0
     #: Bytes on the wire for those messages (0 for unmeasured transports).
     bytes_sent: int = 0
+    #: Wire frames the runner successfully sent (DATA + MARK + BATCH).
+    frames_sent: int = 0
+    #: BATCH frames among those (0 on the unbatched path).
+    frames_batched: int = 0
+    #: Bytes the batch envelope deduplication saved vs one frame per
+    #: message plus a marker (0 for unmeasured transports).
+    batch_bytes_saved: int = 0
+    #: Wall-clock seconds from first send to the end of collection.
+    duration: float = 0.0
     #: Messages removed by fault adapters before reaching the transport.
     dropped: int = 0
     #: Transport send attempts that were retried after a transient error.
@@ -87,6 +98,23 @@ class NetMetrics:
         entry = self.round(round_no)
         entry.messages_sent += 1
         entry.bytes_sent += nbytes
+        entry.frames_sent += 1
+
+    def record_mark(self, round_no: int) -> None:
+        self.round(round_no).frames_sent += 1
+
+    def record_batch(
+        self, round_no: int, n_messages: int, nbytes: int, saved: int
+    ) -> None:
+        entry = self.round(round_no)
+        entry.messages_sent += n_messages
+        entry.bytes_sent += nbytes
+        entry.frames_sent += 1
+        entry.frames_batched += 1
+        entry.batch_bytes_saved += saved
+
+    def record_round_duration(self, round_no: int, seconds: float) -> None:
+        self.round(round_no).duration = seconds
 
     def record_drop(self, round_no: int) -> None:
         self.round(round_no).dropped += 1
@@ -137,6 +165,23 @@ class NetMetrics:
     @property
     def total_bytes(self) -> int:
         return sum(r.bytes_sent for r in self.rounds.values())
+
+    @property
+    def total_frames(self) -> int:
+        """Wire frames successfully sent — the batching win shows here."""
+        return sum(r.frames_sent for r in self.rounds.values())
+
+    @property
+    def total_frames_batched(self) -> int:
+        return sum(r.frames_batched for r in self.rounds.values())
+
+    @property
+    def total_batch_bytes_saved(self) -> int:
+        return sum(r.batch_bytes_saved for r in self.rounds.values())
+
+    def round_durations(self) -> List[float]:
+        """Per-round wall-clock durations, in round order (seconds)."""
+        return [self.rounds[r].duration for r in sorted(self.rounds)]
 
     @property
     def total_timeouts(self) -> int:
@@ -201,6 +246,8 @@ class NetMetrics:
             entry = self.rounds[round_no]
             prefix = f"r{round_no}."
             out[prefix + "messages_sent"] = entry.messages_sent
+            out[prefix + "frames_sent"] = entry.frames_sent
+            out[prefix + "frames_batched"] = entry.frames_batched
             out[prefix + "dropped"] = entry.dropped
             out[prefix + "retries"] = entry.retries
             out[prefix + "send_failures"] = entry.send_failures
@@ -231,7 +278,10 @@ class NetMetrics:
     # ------------------------------------------------------------------
     def render(self) -> str:
         """Plain-text per-round table plus the run summary."""
-        headers = ("round", "msgs", "bytes", "dropped", "retries", "timeouts", "late")
+        headers = (
+            "round", "msgs", "frames", "bytes",
+            "dropped", "retries", "timeouts", "late",
+        )
         rows: List[Tuple[str, ...]] = [headers]
         for round_no in sorted(self.rounds):
             entry = self.rounds[round_no]
@@ -239,6 +289,7 @@ class NetMetrics:
                 (
                     str(entry.round_no),
                     str(entry.messages_sent),
+                    str(entry.frames_sent),
                     str(entry.bytes_sent),
                     str(entry.dropped),
                     str(entry.retries),
@@ -256,9 +307,15 @@ class NetMetrics:
         lines.append("")
         lines.append(
             f"transport={self.transport or 'unknown'}  "
-            f"messages={self.total_messages}  bytes={self.total_bytes}  "
+            f"messages={self.total_messages}  frames={self.total_frames}  "
+            f"bytes={self.total_bytes}  "
             f"V_d substitutions={self.substitutions}"
         )
+        if self.total_frames_batched:
+            lines.append(
+                f"batching: {self.total_frames_batched} batch frame(s), "
+                f"{self.total_batch_bytes_saved} envelope byte(s) saved"
+            )
         if self.total_chaos_events or self.partition_rounds or self.decode_errors:
             lines.append(
                 f"chaos: drops={self.total_chaos_drops}  "

@@ -20,6 +20,23 @@ deadline instead of a lock-step barrier:
    ``V_d``, which is model assumption (b) ("the absence of a message can be
    detected") realized by an actual timeout over an actual wire.
 
+Wire modes: by default the runner runs **batched** — steps 3 and 4
+collapse into one ``BATCH`` frame per directed link per round (all of the
+link's DATA messages plus the end-of-round marker), and the per-link
+batches go out concurrently via :func:`asyncio.gather` (per-link ordering
+is trivially preserved: one frame per link per round).  Collection then
+waits only on the protocol's *expected* sources for the round
+(:meth:`~repro.core.protocol.ProtocolSession.expected_sources`) instead of
+on every peer's marker, so structurally silent links carry nothing at all.
+A batch that fails to send is one link's absence — its receiver resolves
+the missing paths to ``V_d`` exactly as with per-message losses.
+``batching=False`` keeps the original one-frame-per-message path
+(sequential sends, full marker mesh); both modes share one wire format
+and are pinned decision-identical by the equivalence suite.  Transports
+whose behaviour depends on send order (seeded chaos, probabilistic
+flakiness — ``Transport.ordered_sends``) get their batches sent
+sequentially so same-seed runs stay byte-for-byte reproducible.
+
 Determinism: inboxes are sorted with the synchronous engine's delivery
 order before stepping, so for every scenario in which no honest frame
 misses its deadline the decisions, classification verdicts and
@@ -41,7 +58,7 @@ from repro.core.spec import DegradableSpec
 from repro.core.values import Value
 from repro.exceptions import SimulationError, TransportError
 from repro.net.adapters import AsyncFaultAdapter, behavior_adapters, lift_injectors
-from repro.net.codec import DATA, MARK, Frame
+from repro.net.codec import BATCH, DATA, MARK, Frame, encode_frame
 from repro.net.metrics import NetMetrics
 from repro.net.transport import LocalBus, Transport
 from repro.sim.engine import FaultInjector
@@ -107,6 +124,7 @@ class AsyncRoundRunner:
         round_timeout: float = 5.0,
         retry: Optional[RetryPolicy] = None,
         metrics: Optional[NetMetrics] = None,
+        batching: bool = True,
     ) -> None:
         if round_timeout <= 0:
             raise ValueError(f"round_timeout must be > 0, got {round_timeout}")
@@ -115,6 +133,7 @@ class AsyncRoundRunner:
         self.adapters: List[AsyncFaultAdapter] = list(adapters or [])
         self.round_timeout = round_timeout
         self.retry = retry or RetryPolicy()
+        self.batching = batching
         self.metrics = metrics or NetMetrics(transport=self.transport.name)
         if not self.metrics.transport:
             self.metrics.transport = self.transport.name
@@ -143,25 +162,38 @@ class AsyncRoundRunner:
                 outgoing = self._step_processes(round_no, inboxes)
                 emitted_total += len(outgoing)
                 survivors = self._apply_adapters(round_no, outgoing)
-                deadline = loop.time() + self.round_timeout
-                for message in survivors:
-                    frame = Frame(
-                        kind=DATA,
-                        round_no=round_no,
-                        source=message.source,
-                        destination=message.destination,
-                        message=message,
-                        sent_at=loop.time(),
+                round_started = loop.time()
+                deadline = round_started + self.round_timeout
+                if self.batching:
+                    expected = await self._send_round_batched(
+                        round_no, survivors, deadline
                     )
-                    await self._send_with_retry(frame, round_no, deadline)
-                await self._send_markers(round_no, deadline)
+                else:
+                    for message in survivors:
+                        frame = Frame(
+                            kind=DATA,
+                            round_no=round_no,
+                            source=message.source,
+                            destination=message.destination,
+                            message=message,
+                            sent_at=loop.time(),
+                        )
+                        await self._send_with_retry(frame, round_no, deadline)
+                    await self._send_markers(round_no, deadline)
+                    expected = {
+                        node: {n for n in self._order if n != node}
+                        for node in self._order
+                    }
                 collected = await asyncio.gather(
                     *(
-                        self._collect(node, round_no, deadline)
+                        self._collect(node, round_no, deadline, expected[node])
                         for node in self._order
                     )
                 )
                 inboxes = dict(zip(self._order, collected))
+                self.metrics.record_round_duration(
+                    round_no, loop.time() - round_started
+                )
                 executed += 1
         finally:
             await self.transport.close()
@@ -221,6 +253,68 @@ class AsyncRoundRunner:
             all_survivors.extend(survivors)
         return all_survivors
 
+    async def _send_round_batched(
+        self, round_no: int, survivors: Sequence[Message], deadline: float
+    ) -> Dict[NodeId, Set[NodeId]]:
+        """Coalesce the round into one BATCH frame per directed link.
+
+        Groups *survivors* by ``(source, destination)`` (send order
+        preserved inside each batch), folds the end-of-round marker into
+        the batch's ``mark`` flag (cleared when an adapter mutes the
+        source's markers, so receivers still ride out the deadline for
+        wire-crashed nodes), and skips links that carry no data *and* are
+        not expected by the protocol's round schedule — structurally
+        silent links cost zero frames.  Batches go out concurrently via
+        ``asyncio.gather`` unless the transport demands ordered sends
+        (seeded chaos), in which case they are sent sequentially in
+        deterministic link order.
+
+        Returns each node's pending-source set for collection: the sources
+        it should wait on before closing the round early.
+        """
+        loop = asyncio.get_running_loop()
+        groups: Dict[tuple, List[Message]] = {}
+        for message in survivors:
+            key = (message.source, message.destination)
+            groups.setdefault(key, []).append(message)
+        expected: Dict[NodeId, Set[NodeId]] = {
+            node: set(self.session.expected_sources(round_no, node))
+            for node in self._order
+        }
+        frames: List[Frame] = []
+        for source in self._order:
+            muted = any(
+                a.mutes_marker(round_no, source) for a in self.adapters
+            )
+            for destination in self._order:
+                if destination == source:
+                    continue
+                messages = groups.get((source, destination), ())
+                if not messages and (muted or source not in expected[destination]):
+                    continue
+                frames.append(
+                    Frame(
+                        kind=BATCH,
+                        round_no=round_no,
+                        source=source,
+                        destination=destination,
+                        messages=tuple(messages),
+                        mark=not muted,
+                        sent_at=loop.time(),
+                    )
+                )
+        if self.transport.ordered_sends:
+            for frame in frames:
+                await self._send_with_retry(frame, round_no, deadline)
+        elif frames:
+            await asyncio.gather(
+                *(
+                    self._send_with_retry(frame, round_no, deadline)
+                    for frame in frames
+                )
+            )
+        return expected
+
     async def _send_markers(self, round_no: int, deadline: float) -> None:
         loop = asyncio.get_running_loop()
         for source in self._order:
@@ -244,7 +338,12 @@ class AsyncRoundRunner:
         """Send one frame, retrying transient errors within the deadline.
 
         Returns True on success; False means the frame is lost (recorded as
-        a send failure, observed by the receiver as absence).
+        a send failure, observed by the receiver as absence).  The deadline
+        is checked before *and after* every backoff sleep: a sleep that
+        consumes the rest of the round converts the send into a recorded
+        loss instead of firing a retry attempt into a later round (which
+        would break the "retrying never leaks a message across rounds"
+        invariant on slow wires).
         """
         loop = asyncio.get_running_loop()
         delay = self.retry.base_delay
@@ -259,27 +358,87 @@ class AsyncRoundRunner:
                     break
                 self.metrics.record_retry(round_no)
                 await asyncio.sleep(min(delay, remaining))
+                if deadline - loop.time() <= 0:
+                    break
                 delay = min(delay * self.retry.multiplier, self.retry.max_delay)
                 continue
             if frame.kind == DATA:
                 self.metrics.record_send(round_no, nbytes)
+            elif frame.kind == MARK:
+                self.metrics.record_mark(round_no)
+            elif frame.kind == BATCH:
+                self.metrics.record_batch(
+                    round_no,
+                    len(frame.messages),
+                    nbytes,
+                    self._batch_savings(frame, nbytes),
+                )
             return True
         self.metrics.record_send_failure(round_no)
         return False
 
-    async def _collect(
-        self, node: NodeId, round_no: int, deadline: float
-    ) -> List[Message]:
-        """Drain *node*'s inbox until all peer markers arrive or deadline.
+    @staticmethod
+    def _batch_savings(frame: Frame, nbytes: int) -> int:
+        """Envelope bytes one batch saved vs per-message frames + a marker.
 
-        A peer whose marker never shows up is recorded as a timeout; any of
-        its frames that were still in flight stay undelivered for this
-        round, and the protocol resolves the corresponding expected paths
-        to ``V_d`` — the real-wire realization of assumption (b).
+        Exact (re-encodes the frames the batch replaced), but only
+        computed for byte-measuring transports; unmeasured sends
+        (``nbytes == 0``) report 0 saved rather than paying the codec.
+        """
+        if nbytes <= 0:
+            return 0
+        unbatched = sum(
+            len(
+                encode_frame(
+                    Frame(
+                        kind=DATA,
+                        round_no=frame.round_no,
+                        source=frame.source,
+                        destination=frame.destination,
+                        message=message,
+                        sent_at=frame.sent_at,
+                    )
+                )
+            )
+            for message in frame.messages
+        )
+        if frame.mark:
+            unbatched += len(
+                encode_frame(
+                    Frame(
+                        kind=MARK,
+                        round_no=frame.round_no,
+                        source=frame.source,
+                        destination=frame.destination,
+                        sent_at=frame.sent_at,
+                    )
+                )
+            )
+        return max(0, unbatched - len(encode_frame(frame)))
+
+    async def _collect(
+        self,
+        node: NodeId,
+        round_no: int,
+        deadline: float,
+        pending: Set[NodeId],
+    ) -> List[Message]:
+        """Drain *node*'s inbox until *pending* resolves or the deadline.
+
+        *pending* is the set of sources whose end-of-round signal (MARK
+        frame, or a BATCH frame's ``mark`` flag) closes the round early:
+        every peer on the unbatched path, only the protocol's expected
+        sources on the batched one.  A source that never resolves is
+        recorded as a timeout; any of its frames that were still in flight
+        stay undelivered for this round, and the protocol resolves the
+        corresponding expected paths to ``V_d`` — the real-wire
+        realization of assumption (b).  Frames from other rounds — stale
+        DATA, stale BATCH, *and stale MARK* — are metered as late frames,
+        so chaos-induced lateness shows up in campaign reports whichever
+        frame kind it hit.
         """
         loop = asyncio.get_running_loop()
         inbox: List[Message] = []
-        pending: Set[NodeId] = {n for n in self._order if n != node}
         while pending:
             remaining = deadline - loop.time()
             if remaining <= 0:
@@ -290,10 +449,19 @@ class AsyncRoundRunner:
                 )
             except asyncio.TimeoutError:
                 break
+            if frame.round_no != round_no:
+                self.metrics.record_late(round_no)
+                continue
             if frame.kind == MARK:
-                if frame.round_no == round_no:
+                pending.discard(frame.source)
+            elif frame.kind == BATCH:
+                latency = max(0.0, loop.time() - frame.sent_at)
+                for message in frame.messages:
+                    inbox.append(message)
+                    self.metrics.record_latency(round_no, latency)
+                if frame.mark:
                     pending.discard(frame.source)
-            elif frame.round_no == round_no and frame.message is not None:
+            elif frame.message is not None:
                 inbox.append(frame.message)
                 self.metrics.record_latency(
                     round_no, max(0.0, loop.time() - frame.sent_at)
@@ -321,6 +489,7 @@ async def run_agreement_async(
     retry: Optional[RetryPolicy] = None,
     chaos: Optional["ChaosPolicy"] = None,
     chaos_rng: Optional[random.Random] = None,
+    batching: bool = True,
 ) -> NetRunOutcome:
     """Run one m/u-degradable agreement over an async transport.
 
@@ -328,7 +497,10 @@ async def run_agreement_async(
     :func:`repro.core.protocol.execute_degradable_protocol`: same
     parameters, same behaviour objects, same result shape — plus the
     :class:`~repro.net.metrics.NetMetrics` recorder for the wire story.
-    Defaults to :class:`~repro.net.transport.LocalBus`.
+    Defaults to :class:`~repro.net.transport.LocalBus` and the batched
+    wire path (one frame per directed link per round); ``batching=False``
+    selects the legacy one-frame-per-message path.  The two are
+    decision-identical — only the wire story differs.
 
     With *chaos* set, the transport is wrapped in a
     :class:`~repro.net.chaos.transport.ChaosTransport` applying that
@@ -358,6 +530,7 @@ async def run_agreement_async(
         adapters=stack,
         round_timeout=round_timeout,
         retry=retry,
+        batching=batching,
     )
     result = await runner.run()
     return NetRunOutcome(result=result, metrics=runner.metrics, chaos=chaos_log)

@@ -23,6 +23,14 @@ delivered, the desynchronized stream is abandoned, the event is counted in
 endpoint keeps serving every other connection.  The sender's next frame on
 that link opens a fresh socket, so one corrupt frame costs exactly one
 frame — never the node.
+
+The transport is frame-kind agnostic: DATA, MARK and BATCH frames share
+the same length-prefixed pipe, and under the batched wire path the pooled
+per-link connection carries exactly one BATCH frame per round, which is
+where the concurrent per-link ``asyncio.gather`` sends pay off — each
+link's frame writes to its own socket with no cross-link ordering to
+preserve.  Losing one (connection reset, poisoned stream) loses that
+link's round wholesale: data and marker together, detected by deadline.
 """
 
 from __future__ import annotations

@@ -41,6 +41,12 @@ class Transport(ABC):
     #: Human-readable transport name (shown in metrics).
     name = "abstract"
 
+    #: True when the transport's observable behaviour depends on the order
+    #: send() calls are issued (seeded chaos / probabilistic failure draws).
+    #: The runner then serializes a round's batch sends instead of firing
+    #: them concurrently, so one seed keeps producing one draw sequence.
+    ordered_sends = False
+
     @abstractmethod
     async def open(self, nodes: Sequence[NodeId]) -> None:
         """Provision an endpoint (inbox) for every node in *nodes*."""
@@ -169,6 +175,12 @@ class FlakyTransport(Transport):
     @property
     def name(self) -> str:  # type: ignore[override]
         return f"flaky+{self.inner.name}"
+
+    @property
+    def ordered_sends(self) -> bool:  # type: ignore[override]
+        # Probabilistic failures draw from one RNG: concurrent sends would
+        # make the draw order (hence the failure pattern) racy.
+        return self.failure_probability > 0.0 or self.inner.ordered_sends
 
     def attach_metrics(self, metrics: NetMetrics) -> None:
         self.inner.attach_metrics(metrics)

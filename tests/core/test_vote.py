@@ -48,11 +48,27 @@ class TestVote:
         with pytest.raises(ConfigurationError):
             vote(-1, ["a"])
 
-    def test_empty_ballots_default(self):
-        assert vote(1, []) is DEFAULT
+    def test_threshold_above_ballot_count_raises(self):
+        # VOTE(alpha, beta) presumes alpha <= beta; a threshold no ballot
+        # vector can reach is a caller bug (a short ballot vector), and
+        # silently returning V_d would mask it.
+        with pytest.raises(ConfigurationError, match="exceeds ballot count"):
+            vote(4, ["x", "x", "x"])
+        with pytest.raises(ConfigurationError, match="exceeds ballot count"):
+            vote(1, [])
+
+    def test_threshold_equal_to_ballot_count_is_unanimity(self):
+        # alpha == beta is the legal boundary: the unanimity vote.
+        assert vote(3, ["x", "x", "x"]) == "x"
+        assert vote(3, ["x", "x", "y"]) is DEFAULT
+        assert vote(1, ["x"]) == "x"
 
     @given(values_st, st.integers(min_value=1, max_value=12))
     def test_winner_has_threshold_multiplicity(self, ballots, threshold):
+        if threshold > len(ballots):
+            with pytest.raises(ConfigurationError):
+                vote(threshold, ballots)
+            return
         result = vote(threshold, ballots)
         if result is not DEFAULT:
             assert ballots.count(result) >= threshold
@@ -61,7 +77,7 @@ class TestVote:
     def test_majority_threshold_never_ties(self, ballots, threshold):
         # When the threshold exceeds half the ballots (as in algorithm
         # BYZ), a non-default winner is the unique value at or above it.
-        if threshold * 2 > len(ballots):
+        if threshold * 2 > len(ballots) and threshold <= len(ballots):
             result = vote(threshold, ballots)
             above = [v for v in set(ballots) if ballots.count(v) >= threshold]
             if above:
@@ -71,7 +87,8 @@ class TestVote:
 
     @given(values_st)
     def test_permutation_invariance(self, ballots):
-        assert vote(2, ballots) == vote(2, list(reversed(ballots)))
+        threshold = min(2, len(ballots))
+        assert vote(threshold, ballots) == vote(threshold, list(reversed(ballots)))
 
 
 class TestMajority:

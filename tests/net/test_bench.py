@@ -1,0 +1,143 @@
+"""The bench harness: case runner, report rendering, baseline compare."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.net.bench import (
+    SCHEMA,
+    _percentile,
+    _run_case,
+    compare_to_baseline,
+    load_report,
+    render_report,
+    run_bench,
+    save_report,
+)
+
+
+def _case(**overrides):
+    entry = {
+        "m": 1, "u": 2, "n": 5, "transport": "local", "scenario": "clean",
+        "frames_unbatched": 76, "frames_batched": 16,
+        "frame_reduction": 4.75,
+        "bytes_unbatched": 9000, "bytes_batched": 7000,
+        "p50_unbatched": 0.001, "p50_batched": 0.0006,
+        "p95_unbatched": 0.002, "p95_batched": 0.001,
+        "equivalent": True,
+    }
+    entry.update(overrides)
+    return entry
+
+
+def _report(comparisons, equivalent=True, headline=None):
+    return {
+        "schema": SCHEMA,
+        "quick": True,
+        "repeats": 1,
+        "round_timeout": 5.0,
+        "cases": [],
+        "comparisons": comparisons,
+        "equivalent": equivalent,
+        "headline": headline,
+    }
+
+
+class TestPercentile:
+    def test_empty(self):
+        assert _percentile([], 0.5) == 0.0
+
+    def test_nearest_rank(self):
+        samples = [0.1, 0.2, 0.3, 0.4]
+        assert _percentile(samples, 0.50) == 0.3
+        assert _percentile(samples, 0.95) == 0.4
+
+    def test_order_independent(self):
+        assert _percentile([3.0, 1.0, 2.0], 0.95) == 3.0
+
+
+class TestRunCase:
+    def test_single_cell_runs_and_reports(self):
+        entry = asyncio.run(
+            _run_case(1, 1, 4, "local", "clean", "batched", 1, 5.0)
+        )
+        assert entry["frames"] == 9       # 3 + 6 + 0 for m=1, N=4
+        assert entry["frames_batched"] == 9
+        assert entry["messages"] == 9     # M(4, 1) = 3 + 3*2
+        assert entry["timeouts"] == 0
+        assert entry["fingerprint"]["satisfied"] is True
+        assert entry["round_latency_p50"] <= entry["round_latency_p95"]
+
+    def test_unbatched_cell_has_no_batch_frames(self):
+        entry = asyncio.run(
+            _run_case(1, 1, 4, "local", "clean", "unbatched", 1, 5.0)
+        )
+        assert entry["frames_batched"] == 0
+        assert entry["frames"] == 45      # 9 data + 3 rounds x 12 marks
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            run_bench(repeats=0)
+        with pytest.raises(ValueError):
+            run_bench(timeout=0.0)
+
+
+class TestRenderReport:
+    def test_table_headline_and_gate(self):
+        headline = {
+            "m": 2, "u": 2, "n": 7, "transport": "tcp",
+            "frame_reduction": 4.91, "required_min": 3.0, "met": True,
+        }
+        text = render_report(_report([_case()], headline=headline))
+        assert "76 -> 16" in text
+        assert "4.75x" in text
+        assert "4.91x frame reduction" in text
+        assert "PASSED" in text
+
+    def test_divergence_is_loud(self):
+        text = render_report(
+            _report([_case(equivalent=False)], equivalent=False)
+        )
+        assert "FAILED" in text
+
+
+class TestBaselineCompare:
+    def test_identical_frames_pass(self):
+        report = _report([_case()])
+        ok, text = compare_to_baseline(report, _report([_case()]))
+        assert ok
+        assert "no frame regressions" in text
+
+    def test_frame_increase_is_a_regression(self):
+        report = _report([_case(frames_batched=20)])
+        ok, text = compare_to_baseline(report, _report([_case()]))
+        assert not ok
+        assert "REGRESSION" in text
+
+    def test_frame_decrease_is_an_improvement(self):
+        report = _report([_case(frames_batched=12)])
+        ok, text = compare_to_baseline(report, _report([_case()]))
+        assert ok
+        assert "improved" in text
+
+    def test_schema_mismatch_refused(self):
+        baseline = _report([_case()])
+        baseline["schema"] = "something/else"
+        ok, text = compare_to_baseline(_report([_case()]), baseline)
+        assert not ok
+        assert "schema" in text
+
+    def test_disjoint_grids_refused(self):
+        other = _case(n=6)
+        ok, text = compare_to_baseline(_report([_case()]), _report([other]))
+        assert not ok
+        assert "no grid cells" in text.lower() or "shares no" in text
+
+    def test_save_and_load_round_trip(self, tmp_path):
+        report = _report([_case()])
+        path = str(tmp_path / "BENCH_net.json")
+        save_report(report, path)
+        loaded = load_report(path)
+        assert loaded == json.loads(json.dumps(report))
+        assert loaded["schema"] == SCHEMA

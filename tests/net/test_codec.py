@@ -5,6 +5,7 @@ import pytest
 from repro.core.values import DEFAULT
 from repro.exceptions import TransportError
 from repro.net.codec import (
+    BATCH,
     DATA,
     MARK,
     Frame,
@@ -91,6 +92,81 @@ class TestFrameRoundTrip:
     def test_malformed_bytes_raise(self):
         with pytest.raises(TransportError):
             decode_frame(b"\xff not json")
+
+    def _batch_messages(self):
+        return tuple(
+            Message(
+                source="p1",
+                destination="p2",
+                payload=RelayPayload(path=("S", path_tail, "p1"), value=value),
+                round_sent=2,
+                tag="byz",
+            )
+            for path_tail, value in (("p3", "engage"), ("p4", DEFAULT))
+        )
+
+    def test_batch_frame_round_trip(self):
+        frame = Frame(
+            kind=BATCH, round_no=2, source="p1", destination="p2",
+            messages=self._batch_messages(), mark=True, sent_at=2.5,
+        )
+        decoded = decode_frame(encode_frame(frame))
+        assert decoded == frame
+        assert isinstance(decoded.messages, tuple)
+        assert decoded.mark is True
+        # V_d inside a batched payload survives as the same singleton.
+        assert decoded.messages[1].payload.value is DEFAULT
+
+    def test_empty_batch_round_trip(self):
+        # A mark-only batch: no data, just the end-of-round signal.
+        frame = Frame(
+            kind=BATCH, round_no=1, source="S", destination="p1",
+            messages=(), mark=True,
+        )
+        decoded = decode_frame(encode_frame(frame))
+        assert decoded == frame
+        assert decoded.messages == ()
+
+    def test_markless_batch_round_trip(self):
+        frame = Frame(
+            kind=BATCH, round_no=1, source="S", destination="p1",
+            messages=self._batch_messages()[:1], mark=False,
+        )
+        decoded = decode_frame(encode_frame(frame))
+        assert decoded.mark is False
+        assert len(decoded.messages) == 1
+
+    def test_batch_preserves_message_order(self):
+        messages = self._batch_messages()
+        frame = Frame(
+            kind=BATCH, round_no=2, source="p1", destination="p2",
+            messages=messages, mark=True,
+        )
+        decoded = decode_frame(encode_frame(frame))
+        assert decoded.messages == messages
+
+    def test_unbatched_wire_encoding_unchanged_by_batch_fields(self):
+        # DATA and MARK frames ignore the batch-only fields entirely:
+        # their byte encodings carry no "msgs"/"mark" keys, so a batched
+        # sender stays wire-compatible with an unbatched receiver.
+        data = self._data_frame()
+        assert b'"msgs":' not in encode_frame(data)
+        assert b'"mark":' not in encode_frame(data)
+        mark = Frame(kind=MARK, round_no=3, source="S", destination="p4")
+        assert b'"msgs":' not in encode_frame(mark)
+        assert b'"mark":' not in encode_frame(mark)
+
+    def test_batch_decoder_interleaves_with_plain_frames(self):
+        frames = [
+            Frame(kind=MARK, round_no=1, source="S", destination="p1"),
+            Frame(
+                kind=BATCH, round_no=1, source="S", destination="p1",
+                messages=self._batch_messages(), mark=True,
+            ),
+            self._data_frame(),
+        ]
+        blob = b"".join(pack_frame(f) for f in frames)
+        assert FrameDecoder().feed(blob) == frames
 
 
 class TestFrameDecoder:

@@ -8,6 +8,14 @@ exactly the per-receiver decisions and D.1–D.4 classification that the
 synchronous engine produces, including identical ``V_d`` substitution
 counts.  This is what makes the async runtime a *runtime* and not a fork
 of the protocol.
+
+Both wire modes are held to that bar: the batched path (one BATCH frame
+per directed link per round, the default) and the legacy unbatched path
+(one frame per message plus a marker mesh) must be decision-,
+substitution- and verdict-identical — to the synchronous engine and to
+each other, including under scheduled chaos (partitions, crashes).  The
+only permitted difference is the wire story: strictly fewer frames on
+the batched path.
 """
 
 import asyncio
@@ -25,6 +33,7 @@ from repro.core.protocol import execute_degradable_protocol
 from repro.core.spec import DegradableSpec
 from repro.core.values import DEFAULT
 from repro.net import LocalBus, TcpTransport, run_agreement_async
+from repro.net.chaos import ChaosPolicy, Crash, Partition
 
 from tests.conftest import node_names
 
@@ -92,20 +101,23 @@ TCP_SCENARIOS = [SCENARIOS[0], SCENARIOS[2], SCENARIOS[5], SCENARIOS[7]]
 VALUE = "engage"
 
 
-def _run_async(spec, nodes, behaviors, transport):
+def _run_async(spec, nodes, behaviors, transport, batching=True):
     outcome = asyncio.run(
         run_agreement_async(
-            spec, nodes, "S", VALUE, behaviors=behaviors, transport=transport
+            spec, nodes, "S", VALUE, behaviors=behaviors,
+            transport=transport, batching=batching,
         )
     )
     return outcome
 
 
-def _assert_equivalent(spec, nodes, behaviors, faulty, transport):
+def _assert_equivalent(spec, nodes, behaviors, faulty, transport, batching=True):
     sync_result, _ = execute_degradable_protocol(
         spec, nodes, "S", VALUE, dict(behaviors)
     )
-    outcome = _run_async(spec, nodes, dict(behaviors), transport)
+    outcome = _run_async(
+        spec, nodes, dict(behaviors), transport, batching=batching
+    )
     async_result = outcome.result
 
     assert async_result.decisions == sync_result.decisions
@@ -138,6 +150,132 @@ class TestTcpEquivalence:
     @pytest.mark.parametrize("spec, nodes, behaviors, faulty", TCP_SCENARIOS)
     def test_matches_synchronous_engine(self, spec, nodes, behaviors, faulty):
         _assert_equivalent(spec, nodes, behaviors, faulty, TcpTransport())
+
+
+class TestUnbatchedEquivalence:
+    """The legacy one-frame-per-message path is held to the same bar."""
+
+    @pytest.mark.parametrize("spec, nodes, behaviors, faulty", SCENARIOS)
+    def test_matches_synchronous_engine(self, spec, nodes, behaviors, faulty):
+        _assert_equivalent(
+            spec, nodes, behaviors, faulty, LocalBus(), batching=False
+        )
+
+    @pytest.mark.parametrize("spec, nodes, behaviors, faulty", TCP_SCENARIOS)
+    def test_matches_synchronous_engine_over_tcp(
+        self, spec, nodes, behaviors, faulty
+    ):
+        _assert_equivalent(
+            spec, nodes, behaviors, faulty, TcpTransport(), batching=False
+        )
+
+
+def _mode_fingerprint(outcome, faulty, spec):
+    report = classify(outcome.result, faulty, spec)
+    return (
+        dict(outcome.result.decisions),
+        outcome.result.stats.substitutions,
+        report.regime,
+        report.shape,
+        report.satisfied,
+        tuple(report.violations),
+    )
+
+
+class TestWireModeEquivalence:
+    """Batched vs unbatched, compared to each other directly: identical
+    decisions, substitutions and D.1–D.4 verdicts; strictly fewer wire
+    frames on the batched path."""
+
+    @pytest.mark.parametrize("spec, nodes, behaviors, faulty", SCENARIOS)
+    def test_modes_agree_and_batching_shrinks_the_wire(
+        self, spec, nodes, behaviors, faulty
+    ):
+        batched = _run_async(
+            spec, nodes, dict(behaviors), LocalBus(), batching=True
+        )
+        unbatched = _run_async(
+            spec, nodes, dict(behaviors), LocalBus(), batching=False
+        )
+        assert _mode_fingerprint(batched, faulty, spec) == _mode_fingerprint(
+            unbatched, faulty, spec
+        )
+        assert batched.metrics.total_frames < unbatched.metrics.total_frames
+        assert batched.metrics.total_frames_batched > 0
+        assert unbatched.metrics.total_frames_batched == 0
+
+    def test_headline_frame_reduction_over_tcp(self):
+        """The acceptance bar: >= 3x fewer wire frames for N=7, m=2."""
+        spec = DegradableSpec(m=2, u=2, n_nodes=7)
+        nodes = node_names(7)
+        batched = _run_async(spec, nodes, {}, TcpTransport(), batching=True)
+        unbatched = _run_async(spec, nodes, {}, TcpTransport(), batching=False)
+        assert batched.result.decisions == unbatched.result.decisions
+        reduction = (
+            unbatched.metrics.total_frames / batched.metrics.total_frames
+        )
+        assert reduction >= 3.0, (
+            f"frame reduction {reduction:.2f}x below the 3x bar "
+            f"({unbatched.metrics.total_frames} -> "
+            f"{batched.metrics.total_frames})"
+        )
+
+
+#: Scheduled chaos (no probabilistic draws, so both wire modes face the
+#: exact same severed links): a one-round partition isolating p1, and p1
+#: crashing outright at round 1.
+CHAOS_SCHEDULES = [
+    pytest.param(
+        ChaosPolicy(partitions=(
+            Partition.split(["p1"], ["S", "p2", "p3", "p4"], 1, 2),
+        )),
+        id="partition-round1",
+    ),
+    pytest.param(
+        ChaosPolicy(crashes=(Crash(node="p1", at_round=1),)),
+        id="crash-at-round1",
+    ),
+    pytest.param(
+        ChaosPolicy(
+            partitions=(
+                Partition.sever_links([("S", "p1"), ("p2", "p3")], 2, 3),
+            ),
+            crashes=(Crash(node="p4", at_round=2),),
+        ),
+        id="mixed-links-and-crash",
+    ),
+]
+
+
+class TestWireModeEquivalenceUnderScheduledChaos:
+    @pytest.mark.parametrize("policy", CHAOS_SCHEDULES)
+    def test_modes_agree_under_partitions_and_crashes(self, policy):
+        spec = DegradableSpec(m=1, u=2, n_nodes=5)
+        nodes = node_names(5)
+        afflicted = frozenset().union(
+            *(p.afflicted for p in policy.partitions),
+            frozenset(c.node for c in policy.crashes),
+        )
+
+        def run(batching):
+            return asyncio.run(
+                run_agreement_async(
+                    spec, nodes, "S", VALUE,
+                    transport=LocalBus(),
+                    round_timeout=0.3,
+                    chaos=policy,
+                    batching=batching,
+                )
+            )
+
+        batched = run(True)
+        unbatched = run(False)
+        assert _mode_fingerprint(
+            batched, afflicted, spec
+        ) == _mode_fingerprint(unbatched, afflicted, spec)
+        # The schedule actually bit — this is not vacuous equivalence.
+        assert batched.metrics.total_chaos_drops > 0
+        assert batched.metrics.total_timeouts > 0
 
 
 class TestRunnerShape:
