@@ -33,4 +33,11 @@ timeout 300 python -m repro bench --quick --out BENCH_net.json
 echo "== chaos soak (seeded, replayable) =="
 timeout 300 python -m repro chaos --severity light --trials 5 --seed 7
 
+echo "== trace conformance (golden trace + differential fuzz) =="
+python -m repro verify examples/traces/golden_m1u2.jsonl
+timeout 300 python -m repro fuzz --quick --seed 7
+
+echo "== slow suite (full fuzz budget) =="
+timeout 600 python -m pytest -q -m slow
+
 echo "CI green."

@@ -17,4 +17,8 @@ timeout 120 python -m repro chaos --severity light --trials 2 --seed 7
 echo "== wire-path bench (archives BENCH_net.json) =="
 timeout 180 python -m repro bench --quick --repeats 1 --out BENCH_net.json
 
+echo "== trace conformance (golden trace + differential fuzz) =="
+python -m repro verify examples/traces/golden_m1u2.jsonl
+timeout 120 python -m repro fuzz --quick --seed 7
+
 echo "Smoke green."

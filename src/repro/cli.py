@@ -18,7 +18,14 @@ Exposes the library's main entry points for interactive exploration:
   gated on the two modes staying decision-identical;
 * ``chaos``        — soak the runtime under seeded network chaos (loss,
   duplication, reordering, corruption, partitions, crashes) and assert the
-  paper's D.1–D.4 guarantee tiers against the chaos actually injected.
+  paper's D.1–D.4 guarantee tiers against the chaos actually injected;
+* ``verify``       — audit a recorded trace offline: re-derive every
+  fault-free node's vote tree from the recorded deliveries and check vote
+  arithmetic, round structure, absence→V_d accounting and the D.1–D.4 tier;
+* ``fuzz``         — differential fuzzing: sample small instances ×
+  behaviours × chaos seeds, run each over sync / local-bus / tcp ×
+  batched / unbatched, and feed every trace through the verify oracle
+  plus cross-mode decision equivalence.
 
 Every command prints plain text; exit status is 0 on success, 1 when an
 executed check fails (e.g. a violated agreement contract), 2 on usage
@@ -80,6 +87,9 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["lie", "silent", "constant", "two-faced"])
     p.add_argument("--verbose", action="store_true",
                    help="narrate the full execution (messages and ballots)")
+    p.add_argument("--trace", default="",
+                   help="record the execution to this JSONL file "
+                        "(auditable with 'repro verify')")
 
     p = sub.add_parser(
         "net", help="run one agreement over the async runtime (LocalBus/TCP)"
@@ -104,6 +114,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-batch", action="store_true",
                    help="use the legacy one-frame-per-message wire path "
                         "instead of per-link batches")
+    p.add_argument("--trace", default="",
+                   help="record the execution to this JSONL file "
+                        "(auditable with 'repro verify')")
 
     p = sub.add_parser(
         "bench",
@@ -142,6 +155,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--replay", default="",
                    help="replay one trial from a failure's replay token "
                         "(overrides every other option)")
+
+    p = sub.add_parser(
+        "verify", help="audit a recorded trace against the conformance oracle"
+    )
+    p.add_argument("traces", nargs="+", metavar="TRACE",
+                   help="trace files written by 'repro run/net --trace'")
+    p.add_argument("--quiet", action="store_true",
+                   help="only print failures")
+
+    p = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing across sync/local/tcp x batched/unbatched",
+    )
+    p.add_argument("--quick", action="store_true",
+                   help="small example budget (the CI gate)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="fuzzing seed; fully determines the sampled cases")
+    p.add_argument("--examples", type=int, default=None,
+                   help="example budget (default 20, or 6 with --quick)")
+    p.add_argument("--transport", default="all",
+                   choices=["local", "tcp", "all"],
+                   help="net transports to fuzz (default: both)")
+    p.add_argument("--no-chaos", action="store_true",
+                   help="sample only chaos-free cases")
+    p.add_argument("--replay", default="",
+                   help="replay one case from a failure's replay token "
+                        "(overrides sampling options)")
 
     p = sub.add_parser("scenarios", help="Theorem 2 triple at and below the bound")
     p.add_argument("-m", type=int, required=True)
@@ -258,7 +298,21 @@ def _cmd_run(args) -> int:
         result = run_degradable_agreement(spec, nodes, "S", args.value, behaviors)
         report = classify(result, faulty, spec)
         return 0 if report.satisfied else 1
-    result = run_degradable_agreement(spec, nodes, "S", args.value, behaviors)
+    if args.trace:
+        from repro.core.protocol import execute_degradable_protocol
+        from repro.verify import record_sync_run
+
+        result, engine = execute_degradable_protocol(
+            spec, nodes, "S", args.value, behaviors
+        )
+        record_sync_run(
+            spec, nodes, "S", args.value, faulty, engine
+        ).save(args.trace)
+        print(f"trace recorded to {args.trace}")
+    else:
+        result = run_degradable_agreement(
+            spec, nodes, "S", args.value, behaviors
+        )
     report = classify(result, faulty, spec)
     print(f"{spec}; f={len(faulty)} ({report.regime} regime)")
     for node in nodes[1:]:
@@ -308,6 +362,14 @@ def _cmd_net(args) -> int:
         )
     )
     result = outcome.result
+    if args.trace:
+        from repro.verify import record_net_outcome
+
+        record_net_outcome(
+            spec, nodes, "S", args.value, faulty, outcome,
+            batched=not args.no_batch,
+        ).save(args.trace)
+        print(f"trace recorded to {args.trace}")
     report = classify(result, faulty, spec)
     print(f"{spec}; f={len(faulty)} ({report.regime} regime) "
           f"over transport '{outcome.metrics.transport}'")
@@ -604,6 +666,52 @@ def _cmd_suite(args) -> int:
     return 0 if not failures else 1
 
 
+def _cmd_verify(args) -> int:
+    from repro.verify import verify_trace_file
+
+    failures = 0
+    for path in args.traces:
+        report = verify_trace_file(path)
+        if report.ok:
+            if not args.quiet:
+                print(f"{path}: OK ({report.render().splitlines()[0]})")
+        else:
+            failures += 1
+            print(f"{path}: FAILED")
+            print(report.render())
+    if failures:
+        print(f"{failures}/{len(args.traces)} trace(s) failed conformance")
+        return 1
+    if not args.quiet:
+        print(f"{len(args.traces)}/{len(args.traces)} trace(s) conformant")
+    return 0
+
+
+def _cmd_fuzz(args) -> int:
+    from repro.verify.fuzz import parse_case_token, run_case, run_fuzz
+
+    transports = (
+        ("local", "tcp") if args.transport == "all" else (args.transport,)
+    )
+    if args.replay:
+        case = parse_case_token(args.replay)
+        outcome = run_case(case, transports=transports)
+        print(outcome.render())
+        return 0 if outcome.ok else 1
+    examples = args.examples
+    if examples is None:
+        examples = 6 if args.quick else 20
+    report = run_fuzz(
+        seed=args.seed,
+        max_examples=examples,
+        transports=transports,
+        allow_chaos=not args.no_chaos,
+        on_case=None if args.quick else (lambda o: print(o.render())),
+    )
+    print(report.render())
+    return 0 if report.ok else 1
+
+
 def _cmd_experiments(args) -> int:
     from repro.analysis.runner import run_experiments, summarize, write_results
 
@@ -623,6 +731,8 @@ _COMMANDS = {
     "net": _cmd_net,
     "bench": _cmd_bench,
     "chaos": _cmd_chaos,
+    "verify": _cmd_verify,
+    "fuzz": _cmd_fuzz,
     "scenarios": _cmd_scenarios,
     "connectivity": _cmd_connectivity,
     "reliability": _cmd_reliability,

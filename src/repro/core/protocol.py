@@ -39,6 +39,7 @@ from repro.sim.faults import behavior_injectors
 from repro.sim.messages import Message, RelayPayload
 from repro.sim.network import Topology
 from repro.sim.node import Process
+from repro.sim.trace import EventKind, EventTrace, TraceEvent
 
 NodeId = Hashable
 
@@ -77,6 +78,13 @@ class AgreementProcess(Process):
         #: is a missed round deadline — either way it lands here, which is
         #: what lets the equivalence tests compare the two paths.
         self.absence_substitutions = 0
+        #: Optional :class:`~repro.sim.trace.EventTrace` this process logs
+        #: its *protocol-level* events into (``defaulted`` substitutions
+        #: and its ``decided`` event).  Transport traffic is the runtime's
+        #: business; these two kinds are only observable inside the state
+        #: machine, so the process must emit them itself for traces to be
+        #: auditable offline.
+        self.trace: Optional[EventTrace] = None
         if not self.is_sender:
             self.tree = EIGTree(node_id, self.all_nodes, depth)
 
@@ -89,6 +97,7 @@ class AgreementProcess(Process):
     def _sender_step(self, round_no: int) -> List[Message]:
         if round_no == 1:
             self.decide(self.value)
+            self._trace_decision(round_no)
             payload = RelayPayload(path=(self.node_id,), value=self.value)
             return [
                 self.send(dest, payload, round_no, tag=self.tag)
@@ -104,6 +113,7 @@ class AgreementProcess(Process):
             outgoing = self._relay_wave(round_no)
         if round_no == self.depth + 1 and not self.decided:
             self.decide(self.tree.resolve(self.sender, self.m, self.resolver))
+            self._trace_decision(round_no)
         return outgoing
 
     def _ingest(self, round_no: int, inbox: Sequence[Message]) -> None:
@@ -134,6 +144,29 @@ class AgreementProcess(Process):
             if not self.tree.has(path):
                 self.tree.store(path, DEFAULT)
                 self.absence_substitutions += 1
+                if self.trace is not None:
+                    self.trace.record(
+                        TraceEvent(
+                            round_no=round_no,
+                            kind=EventKind.DEFAULTED,
+                            source=self.node_id,
+                            destination=None,
+                            payload=path,
+                            note="absent relay resolved to V_d",
+                        )
+                    )
+
+    def _trace_decision(self, round_no: int) -> None:
+        if self.trace is not None:
+            self.trace.record(
+                TraceEvent(
+                    round_no=round_no,
+                    kind=EventKind.DECIDED,
+                    source=self.node_id,
+                    destination=None,
+                    payload=self.decision,
+                )
+            )
 
     def _relay_wave(self, round_no: int) -> List[Message]:
         """Forward every value of the previous wave, tagged with our id."""
@@ -199,6 +232,15 @@ class ProtocolSession:
             sender_value,
             make_byz_processes(spec, nodes, sender, sender_value, tag=tag),
         )
+
+    def attach_trace(self, trace: Optional[EventTrace]) -> None:
+        """Point every process's protocol-level event log at *trace*.
+
+        Runtimes call this with the same trace they record transport events
+        into, producing one merged, chronologically ordered stream.
+        """
+        for process in self.processes:
+            process.trace = trace
 
     @property
     def total_rounds(self) -> int:
@@ -361,6 +403,7 @@ def execute_degradable_protocol(
     engine = SynchronousEngine(
         topology, session.processes, injectors, record_trace=record_trace
     )
+    session.attach_trace(engine.trace)
     rounds = engine.run(session.total_rounds)
     result = session.collect_result(
         messages=_count_messages(engine), rounds=rounds

@@ -60,3 +60,22 @@ class RoutingError(SimulationError):
 
 class AnalysisError(ReproError):
     """An analysis routine was invoked with out-of-domain arguments."""
+
+
+class TraceFormatError(ReproError):
+    """A serialized execution trace could not be parsed.
+
+    Raised by :meth:`repro.sim.trace.EventTrace.from_jsonl` and the
+    :mod:`repro.verify` loaders on malformed JSONL, unknown event kinds or
+    a missing/invalid run header.
+    """
+
+
+class VerificationError(ReproError):
+    """The conformance oracle was driven incorrectly.
+
+    This is *not* how trace violations are reported — those are data
+    (:class:`repro.verify.Violation`); this error marks misuse of the
+    verifier itself (e.g. a record whose header names a sender outside its
+    node set).
+    """

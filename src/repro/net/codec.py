@@ -24,15 +24,34 @@ from __future__ import annotations
 import json
 import struct
 from dataclasses import dataclass, field
-from typing import Any, Hashable, List, Optional, Tuple
+from typing import Hashable, List, Optional, Tuple
 
-from repro.core.values import DEFAULT, Value
 from repro.exceptions import TransportError
-from repro.sim.messages import Message, RelayPayload
+from repro.sim.jsonable import (
+    TAG,
+    from_jsonable,
+    message_from_jsonable,
+    message_to_jsonable,
+    to_jsonable,
+)
+from repro.sim.messages import Message
+
+__all__ = [
+    "BATCH",
+    "DATA",
+    "Frame",
+    "FrameDecoder",
+    "MARK",
+    "MAX_FRAME_BYTES",
+    "TAG",
+    "decode_frame",
+    "encode_frame",
+    "from_jsonable",
+    "pack_frame",
+    "to_jsonable",
+]
 
 NodeId = Hashable
-
-TAG = "__repro__"
 
 #: Frame kinds: protocol payload, end-of-round marker, or a per-link batch
 #: coalescing both.
@@ -83,76 +102,14 @@ class Frame:
 
 
 # ----------------------------------------------------------------------
-# Value (de)serialization
-# ----------------------------------------------------------------------
-def to_jsonable(value: Any) -> Any:
-    """Reduce *value* to JSON-representable primitives, tagging the rest."""
-    if value is DEFAULT:
-        return {TAG: "vd"}
-    if isinstance(value, RelayPayload):
-        return {
-            TAG: "relay",
-            "path": [to_jsonable(hop) for hop in value.path],
-            "value": to_jsonable(value.value),
-        }
-    if isinstance(value, tuple):
-        return {TAG: "tuple", "items": [to_jsonable(v) for v in value]}
-    if isinstance(value, dict):
-        return {
-            TAG: "dict",
-            "items": [[to_jsonable(k), to_jsonable(v)] for k, v in value.items()],
-        }
-    if isinstance(value, list):
-        return [to_jsonable(v) for v in value]
-    if isinstance(value, (str, int, float, bool)) or value is None:
-        return value
-    raise TransportError(
-        f"value of type {type(value).__name__} is not wire-encodable: {value!r}"
-    )
-
-
-def from_jsonable(obj: Any) -> Any:
-    """Inverse of :func:`to_jsonable`."""
-    if isinstance(obj, dict):
-        tag = obj.get(TAG)
-        if tag == "vd":
-            return DEFAULT
-        if tag == "relay":
-            return RelayPayload(
-                path=tuple(from_jsonable(hop) for hop in obj["path"]),
-                value=from_jsonable(obj["value"]),
-            )
-        if tag == "tuple":
-            return tuple(from_jsonable(v) for v in obj["items"])
-        if tag == "dict":
-            return {from_jsonable(k): from_jsonable(v) for k, v in obj["items"]}
-        raise TransportError(f"unknown wire tag {tag!r}")
-    if isinstance(obj, list):
-        return [from_jsonable(v) for v in obj]
-    return obj
-
-
-# ----------------------------------------------------------------------
 # Frame (de)serialization
 # ----------------------------------------------------------------------
-def _message_to_jsonable(message: Message) -> dict:
-    return {
-        "source": to_jsonable(message.source),
-        "destination": to_jsonable(message.destination),
-        "payload": to_jsonable(message.payload),
-        "round_sent": message.round_sent,
-        "tag": message.tag,
-    }
-
-
-def _message_from_jsonable(raw: dict) -> Message:
-    return Message(
-        source=from_jsonable(raw["source"]),
-        destination=from_jsonable(raw["destination"]),
-        payload=from_jsonable(raw["payload"]),
-        round_sent=raw["round_sent"],
-        tag=raw["tag"],
-    )
+# The value codec itself (to_jsonable / from_jsonable / the message
+# helpers) lives in repro.sim.jsonable so execution traces can share the
+# exact tagging scheme without importing the wire layer; this module
+# re-exports it unchanged for compatibility.
+_message_to_jsonable = message_to_jsonable
+_message_from_jsonable = message_from_jsonable
 
 
 def encode_frame(frame: Frame) -> bytes:

@@ -69,6 +69,12 @@ class RoundMetrics:
     chaos_corruptions: int = 0
     #: One-way delivery latencies (seconds) of data frames this round.
     latencies: List[float] = field(default_factory=list)
+    #: Per-node structural wait-sets: the sources each node's round can,
+    #: by the protocol's round schedule, receive data from.  Published so
+    #: offline checkers can tell structural silence from losses.
+    expected_sources: Dict[NodeId, Tuple[NodeId, ...]] = field(
+        default_factory=dict
+    )
 
 
 class NetMetrics:
@@ -127,6 +133,11 @@ class NetMetrics:
 
     def record_timeout(self, round_no: int, receiver: NodeId, peer: NodeId) -> None:
         self.round(round_no).timeouts += 1
+
+    def record_expected(
+        self, round_no: int, node: NodeId, sources: Tuple[NodeId, ...]
+    ) -> None:
+        self.round(round_no).expected_sources[node] = tuple(sources)
 
     def record_late(self, round_no: int) -> None:
         self.round(round_no).late_frames += 1
@@ -258,6 +269,9 @@ class NetMetrics:
             out[prefix + "chaos_reorders"] = entry.chaos_reorders
             out[prefix + "chaos_corruptions"] = entry.chaos_corruptions
             out[prefix + "delivered"] = len(entry.latencies)
+            out[prefix + "expected_links"] = sum(
+                len(sources) for sources in entry.expected_sources.values()
+            )
         return out
 
     def latency_percentiles(self) -> Dict[str, float]:

@@ -63,6 +63,7 @@ from repro.net.metrics import NetMetrics
 from repro.net.transport import LocalBus, Transport
 from repro.sim.engine import FaultInjector
 from repro.sim.messages import Message
+from repro.sim.trace import EventKind, EventTrace, TraceEvent
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.net.chaos.accounting import ChaosLog
@@ -107,6 +108,10 @@ class NetRunOutcome:
     #: Chaos event log, present when the run was executed under a
     #: :class:`~repro.net.chaos.policy.ChaosPolicy` (None otherwise).
     chaos: Optional["ChaosLog"] = None
+    #: Canonical execution trace (protocol + wire events), present unless
+    #: the run was started with ``record_trace=False``.  Feed it to
+    #: :mod:`repro.verify` for offline conformance checking.
+    trace: Optional[EventTrace] = None
 
     @property
     def decisions(self) -> Dict[NodeId, Value]:
@@ -125,6 +130,7 @@ class AsyncRoundRunner:
         retry: Optional[RetryPolicy] = None,
         metrics: Optional[NetMetrics] = None,
         batching: bool = True,
+        record_trace: bool = True,
     ) -> None:
         if round_timeout <= 0:
             raise ValueError(f"round_timeout must be > 0, got {round_timeout}")
@@ -140,6 +146,12 @@ class AsyncRoundRunner:
         # Let the transport stack record what only it can see (decode
         # errors, injected chaos) into the same recorder.
         self.transport.attach_metrics(self.metrics)
+        #: Canonical execution trace: protocol events are logged by the
+        #: processes themselves (via :meth:`ProtocolSession.attach_trace`),
+        #: wire events by this runner.  Same schema as the synchronous
+        #: engine's trace, extended with the wire-level kinds.
+        self.trace: Optional[EventTrace] = EventTrace() if record_trace else None
+        session.attach_trace(self.trace)
         # Same deterministic stepping order as the synchronous engine.
         self._order: List[NodeId] = sorted(session.nodes, key=lambda n: str(n))
 
@@ -159,6 +171,7 @@ class AsyncRoundRunner:
                 if session.all_decided() and not any(inboxes.values()):
                     break
                 self.metrics.round(round_no)
+                self._record_expected(round_no)
                 outgoing = self._step_processes(round_no, inboxes)
                 emitted_total += len(outgoing)
                 survivors = self._apply_adapters(round_no, outgoing)
@@ -203,6 +216,32 @@ class AsyncRoundRunner:
     # ------------------------------------------------------------------
     # Round phases
     # ------------------------------------------------------------------
+    def _record_expected(self, round_no: int) -> None:
+        """Publish each node's structural wait-set for this round.
+
+        This is the oracle's seam for telling *structural* silence (a link
+        the round schedule leaves empty) apart from *losses* (chaos drops,
+        deadline misses): anything a node expected here but never filed is
+        an absence that must show up as a ``defaulted`` substitution.
+        """
+        for node in self._order:
+            sources = tuple(
+                sorted(self.session.expected_sources(round_no, node), key=str)
+            )
+            if not sources:
+                continue
+            self.metrics.record_expected(round_no, node, sources)
+            if self.trace is not None:
+                self.trace.record(
+                    TraceEvent(
+                        round_no=round_no,
+                        kind=EventKind.EXPECTED,
+                        source=node,
+                        destination=None,
+                        payload=sources,
+                    )
+                )
+
     def _step_processes(
         self, round_no: int, inboxes: Dict[NodeId, List[Message]]
     ) -> List[Message]:
@@ -213,6 +252,14 @@ class AsyncRoundRunner:
                 inboxes[node],
                 key=lambda m: (str(m.destination), str(m.source), str(m.payload)),
             )
+            if self.trace is not None:
+                # Delivery is logged at the round that *consumes* the
+                # message — the synchronous engine's convention — so the
+                # two runtimes produce comparable protocol-level traces.
+                for message in inbox:
+                    self.trace.record_message(
+                        round_no, EventKind.DELIVERED, message
+                    )
             for message in process.step(round_no, inbox):
                 if message.source != node:
                     raise SimulationError(
@@ -235,6 +282,8 @@ class AsyncRoundRunner:
     ) -> List[Message]:
         all_survivors: List[Message] = []
         for original in outgoing:
+            if self.trace is not None:
+                self.trace.record_message(round_no, EventKind.SENT, original)
             survivors = [original]
             for adapter in self.adapters:
                 next_wave: List[Message] = []
@@ -246,10 +295,24 @@ class AsyncRoundRunner:
                                 f"to forge source {replacement.source!r} on a "
                                 f"message from {original.source!r}"
                             )
+                        if (
+                            replacement.payload != message.payload
+                            and self.trace is not None
+                        ):
+                            self.trace.record_message(
+                                round_no,
+                                EventKind.CORRUPTED,
+                                replacement,
+                                note=f"by {type(adapter).__name__}",
+                            )
                         next_wave.append(replacement)
                 survivors = next_wave
             if not survivors:
                 self.metrics.record_drop(round_no)
+                if self.trace is not None:
+                    self.trace.record_message(
+                        round_no, EventKind.DROPPED, original
+                    )
             all_survivors.extend(survivors)
         return all_survivors
 
@@ -292,17 +355,30 @@ class AsyncRoundRunner:
                 messages = groups.get((source, destination), ())
                 if not messages and (muted or source not in expected[destination]):
                     continue
-                frames.append(
-                    Frame(
-                        kind=BATCH,
-                        round_no=round_no,
-                        source=source,
-                        destination=destination,
-                        messages=tuple(messages),
-                        mark=not muted,
-                        sent_at=loop.time(),
-                    )
+                frame = Frame(
+                    kind=BATCH,
+                    round_no=round_no,
+                    source=source,
+                    destination=destination,
+                    messages=tuple(messages),
+                    mark=not muted,
+                    sent_at=loop.time(),
                 )
+                frames.append(frame)
+                if self.trace is not None:
+                    self.trace.record(
+                        TraceEvent(
+                            round_no=round_no,
+                            kind=EventKind.COALESCED,
+                            source=source,
+                            destination=destination,
+                            payload=None,
+                            meta={
+                                "messages": len(frame.messages),
+                                "mark": frame.mark,
+                            },
+                        )
+                    )
         if self.transport.ordered_sends:
             for frame in frames:
                 await self._send_with_retry(frame, round_no, deadline)
@@ -373,9 +449,38 @@ class AsyncRoundRunner:
                     nbytes,
                     self._batch_savings(frame, nbytes),
                 )
+            self._trace_frame(EventKind.FRAME_SENT, round_no, frame)
             return True
         self.metrics.record_send_failure(round_no)
         return False
+
+    def _trace_frame(
+        self,
+        kind: EventKind,
+        round_no: int,
+        frame: Frame,
+        note: str = "",
+        extra_meta: Optional[dict] = None,
+    ) -> None:
+        if self.trace is None:
+            return
+        meta: dict = {"frame": frame.kind}
+        if frame.kind == BATCH:
+            meta["messages"] = len(frame.messages)
+            meta["mark"] = frame.mark
+        if extra_meta:
+            meta.update(extra_meta)
+        self.trace.record(
+            TraceEvent(
+                round_no=round_no,
+                kind=kind,
+                source=frame.source,
+                destination=frame.destination,
+                payload=None,
+                note=note,
+                meta=meta,
+            )
+        )
 
     @staticmethod
     def _batch_savings(frame: Frame, nbytes: int) -> int:
@@ -451,7 +556,14 @@ class AsyncRoundRunner:
                 break
             if frame.round_no != round_no:
                 self.metrics.record_late(round_no)
+                self._trace_frame(
+                    EventKind.LATE_FRAME,
+                    round_no,
+                    frame,
+                    extra_meta={"frame_round": frame.round_no},
+                )
                 continue
+            self._trace_frame(EventKind.FRAME_RECV, round_no, frame)
             if frame.kind == MARK:
                 pending.discard(frame.source)
             elif frame.kind == BATCH:
@@ -468,8 +580,19 @@ class AsyncRoundRunner:
                 )
             else:
                 self.metrics.record_late(round_no)
-        for peer in pending:
+        for peer in sorted(pending, key=str):
             self.metrics.record_timeout(round_no, node, peer)
+            if self.trace is not None:
+                self.trace.record(
+                    TraceEvent(
+                        round_no=round_no,
+                        kind=EventKind.TIMEOUT,
+                        source=peer,
+                        destination=node,
+                        payload=None,
+                        note="peer unresolved at round deadline",
+                    )
+                )
         return inbox
 
 
@@ -490,6 +613,7 @@ async def run_agreement_async(
     chaos: Optional["ChaosPolicy"] = None,
     chaos_rng: Optional[random.Random] = None,
     batching: bool = True,
+    record_trace: bool = True,
 ) -> NetRunOutcome:
     """Run one m/u-degradable agreement over an async transport.
 
@@ -531,6 +655,12 @@ async def run_agreement_async(
         round_timeout=round_timeout,
         retry=retry,
         batching=batching,
+        record_trace=record_trace,
     )
     result = await runner.run()
-    return NetRunOutcome(result=result, metrics=runner.metrics, chaos=chaos_log)
+    return NetRunOutcome(
+        result=result,
+        metrics=runner.metrics,
+        chaos=chaos_log,
+        trace=runner.trace,
+    )

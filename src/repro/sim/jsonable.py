@@ -1,0 +1,135 @@
+"""Lossless JSON reduction for the protocol value domain.
+
+Everything the agreement protocols exchange — and everything execution
+traces record — is reduced to JSON with a small tagging scheme so the
+value domain survives a round trip *exactly*:
+
+* the default value ``V_d`` (a process-local singleton) becomes
+  ``{"__repro__": "vd"}`` and decodes back to the *same* singleton, so
+  identity checks (``value is DEFAULT``) keep working after decoding;
+* tuples — relay paths are tuples of node ids — are tagged so they do not
+  collapse into lists;
+* dicts are encoded as tagged item lists, which keeps non-string keys legal
+  and makes the tag namespace collision-free (a user dict that happens to
+  contain the key ``"__repro__"`` is *data*, never a tag);
+* :class:`~repro.sim.messages.RelayPayload` gets its own tag so a decoded
+  message is structurally identical to the sent one.
+
+Two layers build on this module: the wire codec
+(:mod:`repro.net.codec`), which is *strict* — a value that cannot be
+encoded is a :class:`~repro.exceptions.TransportError` — and the trace
+serialization (:mod:`repro.sim.trace`), which falls back to an explicit
+:class:`Opaque` wrapper for exotic payloads so a trace can always be
+written and read back stably.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.values import DEFAULT
+from repro.exceptions import TransportError
+from repro.sim.messages import Message, RelayPayload
+
+TAG = "__repro__"
+
+
+@dataclass(frozen=True)
+class Opaque:
+    """A value that could not be encoded structurally, kept as its ``repr``.
+
+    Appears only in deserialized *traces* (never on the wire): once a
+    payload has been reduced to an :class:`Opaque`, re-encoding it yields
+    the identical JSON, so trace round-trips are stable after the first
+    conversion.
+    """
+
+    text: str
+
+
+def to_jsonable(value: Any) -> Any:
+    """Reduce *value* to JSON-representable primitives, tagging the rest."""
+    if value is DEFAULT:
+        return {TAG: "vd"}
+    if isinstance(value, Opaque):
+        return {TAG: "opaque", "text": value.text}
+    if isinstance(value, RelayPayload):
+        return {
+            TAG: "relay",
+            "path": [to_jsonable(hop) for hop in value.path],
+            "value": to_jsonable(value.value),
+        }
+    if isinstance(value, tuple):
+        return {TAG: "tuple", "items": [to_jsonable(v) for v in value]}
+    if isinstance(value, dict):
+        return {
+            TAG: "dict",
+            "items": [[to_jsonable(k), to_jsonable(v)] for k, v in value.items()],
+        }
+    if isinstance(value, list):
+        return [to_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise TransportError(
+        f"value of type {type(value).__name__} is not wire-encodable: {value!r}"
+    )
+
+
+def from_jsonable(obj: Any) -> Any:
+    """Inverse of :func:`to_jsonable`."""
+    if isinstance(obj, dict):
+        tag = obj.get(TAG)
+        if tag == "vd":
+            return DEFAULT
+        if tag == "opaque":
+            return Opaque(obj["text"])
+        if tag == "relay":
+            return RelayPayload(
+                path=tuple(from_jsonable(hop) for hop in obj["path"]),
+                value=from_jsonable(obj["value"]),
+            )
+        if tag == "tuple":
+            return tuple(from_jsonable(v) for v in obj["items"])
+        if tag == "dict":
+            return {from_jsonable(k): from_jsonable(v) for k, v in obj["items"]}
+        raise TransportError(f"unknown wire tag {tag!r}")
+    if isinstance(obj, list):
+        return [from_jsonable(v) for v in obj]
+    return obj
+
+
+def to_jsonable_lossy(value: Any) -> Any:
+    """Like :func:`to_jsonable`, but never fails.
+
+    Values outside the wire-encodable domain are wrapped as
+    :class:`Opaque` (their ``repr``).  Used by trace serialization, where
+    "the trace can always be written" beats strictness; the wire codec
+    keeps raising so protocol bugs stay loud.
+    """
+    try:
+        return to_jsonable(value)
+    except TransportError:
+        return {TAG: "opaque", "text": repr(value)}
+
+
+def message_to_jsonable(message: Message) -> dict:
+    """Structural (tag-free at top level) JSON form of one message."""
+    return {
+        "source": to_jsonable(message.source),
+        "destination": to_jsonable(message.destination),
+        "payload": to_jsonable(message.payload),
+        "round_sent": message.round_sent,
+        "tag": message.tag,
+    }
+
+
+def message_from_jsonable(raw: dict) -> Message:
+    """Inverse of :func:`message_to_jsonable`."""
+    return Message(
+        source=from_jsonable(raw["source"]),
+        destination=from_jsonable(raw["destination"]),
+        payload=from_jsonable(raw["payload"]),
+        round_sent=raw["round_sent"],
+        tag=raw["tag"],
+    )

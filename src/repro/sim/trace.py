@@ -1,32 +1,80 @@
 """Execution traces.
 
-The engine records every delivery (and every drop) into an
-:class:`EventTrace`.  Traces serve three purposes:
+Every runtime in this package — the synchronous engine, the functional
+experiments and the :mod:`repro.net` async runner — records what happened
+into an :class:`EventTrace`.  Traces serve four purposes:
 
 * debugging protocol implementations;
 * the Theorem 2 experiments, which must demonstrate that two different
   global scenarios present *identical local views* to a particular
   fault-free node (indistinguishability is checked on traces);
-* statistics for the complexity experiments (message counts per round).
+* statistics for the complexity experiments (message counts per round);
+* offline conformance checking: :mod:`repro.verify` replays a trace and
+  independently re-derives every fault-free node's vote tree, so a trace
+  must round-trip through JSONL **losslessly** (tagged value encoding, no
+  ``repr`` lossiness) and must carry the wire-level story too.
+
+Event vocabulary (:class:`EventKind`):
+
+=================  ====================================================
+protocol level     ``sent``, ``delivered``, ``dropped``, ``corrupted``,
+                   ``decided``, ``defaulted`` (an expected-but-absent
+                   relay path resolved to ``V_d`` — assumption (b))
+wire level         ``frame-sent``, ``frame-recv``, ``coalesced`` (a
+                   round's link traffic folded into one BATCH frame),
+                   ``late-frame`` (arrived after its round closed),
+                   ``timeout`` (a peer's end-of-round signal missed the
+                   deadline), ``expected`` (the sources a node's round
+                   structurally waits on)
+=================  ====================================================
+
+Synchronous executions emit only the protocol-level kinds (the lock-step
+engine has no wire); the async runner emits both.  The conformance oracle
+treats the wire kinds as optional corroborating evidence and the protocol
+kinds as the ground truth it re-derives decisions from.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+import json
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
 
+from repro.exceptions import TraceFormatError
+from repro.sim.jsonable import from_jsonable, to_jsonable_lossy
 from repro.sim.messages import Message
 
 NodeId = Hashable
 
 
 class EventKind(enum.Enum):
+    # Protocol-level events (every runtime).
     SENT = "sent"
     DELIVERED = "delivered"
     DROPPED = "dropped"
     CORRUPTED = "corrupted"
     DECIDED = "decided"
+    #: An expected-but-absent relay path resolved to ``V_d`` by its
+    #: receiver — the paper's assumption (b).  ``source`` is the receiver
+    #: performing the substitution, ``payload`` the missing path.
+    DEFAULTED = "defaulted"
+    # Wire-level events (async runtime only).
+    FRAME_SENT = "frame-sent"
+    FRAME_RECV = "frame-recv"
+    #: A directed link's round coalesced into one BATCH frame
+    #: (``meta={"messages": n, "mark": bool}``).
+    COALESCED = "coalesced"
+    #: A frame from another round arrived after its round closed
+    #: (``meta={"frame_round": r}``).
+    LATE_FRAME = "late-frame"
+    #: ``source`` (the peer) never resolved for ``destination`` before the
+    #: round deadline — the timeout realization of assumption (b).
+    TIMEOUT = "timeout"
+    #: The sources ``source``'s round structurally waits on
+    #: (``payload`` = sorted tuple).  Lets the oracle distinguish
+    #: structural silence from losses.
+    EXPECTED = "expected"
 
 
 @dataclass(frozen=True)
@@ -37,10 +85,13 @@ class TraceEvent:
     destination: Optional[NodeId]
     payload: Any
     note: str = ""
+    #: Optional structured annotations (message tag, frame kind, batch
+    #: size, ...).  Keys are strings; values must be jsonable.
+    meta: Optional[Dict[str, Any]] = field(default=None)
 
 
 class EventTrace:
-    """Ordered log of simulation events with query helpers."""
+    """Ordered log of execution events with query helpers."""
 
     def __init__(self) -> None:
         self._events: List[TraceEvent] = []
@@ -48,7 +99,9 @@ class EventTrace:
     def record(self, event: TraceEvent) -> None:
         self._events.append(event)
 
-    def record_message(self, round_no: int, kind: EventKind, message: Message, note: str = "") -> None:
+    def record_message(
+        self, round_no: int, kind: EventKind, message: Message, note: str = ""
+    ) -> None:
         self.record(
             TraceEvent(
                 round_no=round_no,
@@ -57,6 +110,7 @@ class EventTrace:
                 destination=message.destination,
                 payload=message.payload,
                 note=note,
+                meta={"tag": message.tag} if message.tag else None,
             )
         )
 
@@ -69,6 +123,9 @@ class EventTrace:
 
     def filter(self, predicate: Callable[[TraceEvent], bool]) -> List[TraceEvent]:
         return [e for e in self._events if predicate(e)]
+
+    def of_kind(self, kind: EventKind) -> List[TraceEvent]:
+        return [e for e in self._events if e.kind is kind]
 
     def deliveries_to(self, node: NodeId) -> List[TraceEvent]:
         """Everything *node* received, in order — its local message view."""
@@ -101,39 +158,87 @@ class EventTrace:
         return len(self._events)
 
     # ------------------------------------------------------------------
-    # Export
+    # Export / import (canonical JSONL, lossless round trip)
     # ------------------------------------------------------------------
     def to_jsonl(self) -> str:
         """Serialize the trace as JSON Lines (one event per line).
 
-        Payloads are rendered through ``repr`` — traces are for humans and
-        external diffing tools, not for replay (scenarios handle replay).
+        Every field goes through the tagged value encoding of
+        :mod:`repro.sim.jsonable`, so node ids, relay payloads, tuples and
+        the ``V_d`` singleton all survive :meth:`from_jsonl` exactly.
+        Values outside the encodable domain are wrapped as
+        :class:`~repro.sim.jsonable.Opaque` (stable after the first
+        conversion) rather than failing the export.
         """
-        import json
+        return "\n".join(event_to_json(event) for event in self._events)
 
-        lines = []
-        for event in self._events:
-            lines.append(
-                json.dumps(
-                    {
-                        "round": event.round_no,
-                        "kind": event.kind.value,
-                        "source": str(event.source),
-                        "destination": (
-                            None
-                            if event.destination is None
-                            else str(event.destination)
-                        ),
-                        "payload": repr(event.payload),
-                        "note": event.note,
-                    }
-                )
-            )
-        return "\n".join(lines)
+    @classmethod
+    def from_jsonl(cls, text: str) -> "EventTrace":
+        """Inverse of :meth:`to_jsonl`; blank lines are skipped.
+
+        Raises :class:`~repro.exceptions.TraceFormatError` on malformed
+        JSON, missing fields or unknown event kinds.
+        """
+        trace = cls()
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            if not line.strip():
+                continue
+            trace.record(event_from_json(line, where=f"line {lineno}"))
+        return trace
 
     def dump(self, path: str) -> None:
         """Write the JSONL rendering to *path*."""
-        with open(path, "w") as handle:
+        with open(path, "w", encoding="utf-8") as handle:
             handle.write(self.to_jsonl())
             if self._events:
                 handle.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "EventTrace":
+        """Read a trace previously written by :meth:`dump`."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_jsonl(handle.read())
+
+
+# ----------------------------------------------------------------------
+# Single-event (de)serialization
+# ----------------------------------------------------------------------
+def event_to_json(event: TraceEvent) -> str:
+    """One canonical JSON line for *event* (sorted keys, no whitespace)."""
+    return json.dumps(
+        {
+            "round": event.round_no,
+            "kind": event.kind.value,
+            "source": to_jsonable_lossy(event.source),
+            "destination": to_jsonable_lossy(event.destination),
+            "payload": to_jsonable_lossy(event.payload),
+            "note": event.note,
+            "meta": to_jsonable_lossy(event.meta),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
+def event_from_json(line: str, where: str = "") -> TraceEvent:
+    """Inverse of :func:`event_to_json`."""
+    label = f" ({where})" if where else ""
+    try:
+        raw = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise TraceFormatError(f"malformed trace line{label}: {exc}") from exc
+    if not isinstance(raw, dict):
+        raise TraceFormatError(f"trace line{label} is not a JSON object")
+    try:
+        kind = EventKind(raw["kind"])
+        return TraceEvent(
+            round_no=int(raw["round"]),
+            kind=kind,
+            source=from_jsonable(raw["source"]),
+            destination=from_jsonable(raw["destination"]),
+            payload=from_jsonable(raw["payload"]),
+            note=raw.get("note", ""),
+            meta=from_jsonable(raw.get("meta")),
+        )
+    except (KeyError, ValueError, TypeError) as exc:
+        raise TraceFormatError(f"malformed trace event{label}: {exc}") from exc

@@ -1,0 +1,38 @@
+"""Offline conformance checking for agreement executions.
+
+The paper's guarantees are *checkable*: conditions D.1–D.4 plus the
+``VOTE(n-1-m, n-1)`` arithmetic of algorithm BYZ are all functions of what
+was delivered to whom.  This package audits finished runs after the fact:
+
+* :mod:`repro.verify.record` — a :class:`RunRecord` bundles one execution's
+  canonical trace with the header needed to judge it (spec, node set,
+  sender, fault placement, wire mode) and round-trips through JSONL;
+* :mod:`repro.verify.oracle` — the conformance checker: re-derives every
+  fault-free node's vote tree from the recorded deliveries with an
+  *independent* implementation of the vote fold, and cross-checks decisions,
+  round structure, absence→``V_d`` accounting and the D.1–D.4 tier;
+* :mod:`repro.verify.fuzz` — a Hypothesis-driven differential fuzzer that
+  samples small instances × behaviours × chaos seeds, runs them over
+  sync / local-bus / tcp × batched / unbatched, and feeds every trace
+  through the oracle plus cross-mode decision equivalence.
+
+CLI: ``repro verify <trace.jsonl>`` and ``repro fuzz [--quick --seed S]``.
+"""
+
+from repro.verify.oracle import ConformanceReport, Violation, verify_record, verify_trace_file
+from repro.verify.record import RunRecord, record_net_outcome, record_sync_run
+from repro.verify.fuzz import FuzzCase, FuzzReport, run_case, run_fuzz
+
+__all__ = [
+    "ConformanceReport",
+    "FuzzCase",
+    "FuzzReport",
+    "RunRecord",
+    "Violation",
+    "record_net_outcome",
+    "record_sync_run",
+    "run_case",
+    "run_fuzz",
+    "verify_record",
+    "verify_trace_file",
+]

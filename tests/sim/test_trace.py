@@ -71,7 +71,7 @@ class TestQueries:
 
 
 class TestExport:
-    def test_jsonl_round_count(self):
+    def test_jsonl_is_canonical_and_lossless(self):
         import json
 
         trace = EventTrace()
@@ -85,9 +85,46 @@ class TestExport:
             "kind": "delivered",
             "source": "a",
             "destination": "b",
-            "payload": "'x'",
+            "payload": "x",
             "note": "",
+            "meta": None,
         }
+        assert EventTrace.from_jsonl(trace.to_jsonl()).events == trace.events
+
+    def test_round_trip_preserves_value_domain(self):
+        from repro.core.values import DEFAULT
+        from repro.sim.messages import RelayPayload
+
+        trace = EventTrace()
+        trace.record(
+            delivered(2, "a", "b", RelayPayload(path=("s", "a"), value=DEFAULT))
+        )
+        trace.record(
+            TraceEvent(
+                round_no=2,
+                kind=EventKind.DEFAULTED,
+                source="b",
+                destination=None,
+                payload=("s", "c"),
+                note="absent relay resolved to V_d",
+            )
+        )
+        back = EventTrace.from_jsonl(trace.to_jsonl())
+        assert back.events == trace.events
+        assert back.events[0].payload.value is DEFAULT
+        assert isinstance(back.events[1].payload, tuple)
+
+    def test_from_jsonl_rejects_garbage(self):
+        import pytest
+
+        from repro.exceptions import TraceFormatError
+
+        with pytest.raises(TraceFormatError):
+            EventTrace.from_jsonl("not json")
+        with pytest.raises(TraceFormatError):
+            EventTrace.from_jsonl('{"round": 1, "kind": "no-such-kind"}')
+        with pytest.raises(TraceFormatError):
+            EventTrace.from_jsonl('{"kind": "sent"}')
 
     def test_dump_to_file(self, tmp_path):
         trace = EventTrace()
@@ -96,7 +133,8 @@ class TestExport:
         trace.dump(str(path))
         content = path.read_text()
         assert content.endswith("\n")
-        assert '"round": 1' in content
+        assert '"round":1' in content
+        assert EventTrace.load(str(path)).events == trace.events
 
     def test_empty_trace(self, tmp_path):
         trace = EventTrace()
@@ -104,6 +142,7 @@ class TestExport:
         path = tmp_path / "empty.jsonl"
         trace.dump(str(path))
         assert path.read_text() == ""
+        assert len(EventTrace.load(str(path))) == 0
 
 
 class TestViewComparison:

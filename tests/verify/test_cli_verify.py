@@ -1,0 +1,103 @@
+"""CLI verbs: ``repro run/net --trace``, ``repro verify``, ``repro fuzz``."""
+
+import json
+
+from repro.cli import main
+from repro.verify.record import SCHEMA
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestTraceDump:
+    def test_run_records_a_verifiable_trace(self, capsys, tmp_path):
+        path = tmp_path / "run.jsonl"
+        code, out, _ = run_cli(
+            capsys, "run", "-m", "1", "-u", "2",
+            "--faulty", "p1", "--trace", str(path),
+        )
+        assert code == 0
+        assert "trace recorded" in out
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["schema"] == SCHEMA
+        assert header["mode"] == "sync"
+        code, out, _ = run_cli(capsys, "verify", str(path))
+        assert code == 0
+        assert "conformant" in out
+
+    def test_net_records_a_verifiable_trace(self, capsys, tmp_path):
+        path = tmp_path / "net.jsonl"
+        code, out, _ = run_cli(
+            capsys, "net", "-m", "1", "-u", "2",
+            "--faulty", "p2", "--adversary", "silent",
+            "--trace", str(path),
+        )
+        assert code == 0
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["mode"] == "net"
+        assert header["batched"] is True
+        code, out, _ = run_cli(capsys, "verify", str(path))
+        assert code == 0
+
+
+class TestVerifyVerb:
+    def test_tampered_trace_fails_with_exit_1(self, capsys, tmp_path):
+        path = tmp_path / "run.jsonl"
+        run_cli(capsys, "run", "-m", "1", "-u", "2", "--trace", str(path))
+        lines = path.read_text().splitlines()
+        # drop the last receiver decision from the trace
+        victims = [
+            i for i, line in enumerate(lines)
+            if '"kind":"decided"' in line and '"source":"p4"' in line
+        ]
+        assert victims
+        del lines[victims[-1]]
+        path.write_text("\n".join(lines) + "\n")
+        code, out, _ = run_cli(capsys, "verify", str(path))
+        assert code == 1
+        assert "MISSING_DECISION" in out
+
+    def test_missing_file_is_a_usage_error(self, capsys):
+        code, _, err = run_cli(capsys, "verify", "/no/such/trace.jsonl")
+        assert code == 2
+        assert "error" in err
+
+    def test_garbage_file_is_a_usage_error(self, capsys, tmp_path):
+        path = tmp_path / "junk.jsonl"
+        path.write_text("not a trace\n")
+        code, _, err = run_cli(capsys, "verify", str(path))
+        assert code == 2
+        assert "error" in err
+
+    def test_quiet_mode_prints_nothing_on_success(self, capsys, tmp_path):
+        path = tmp_path / "run.jsonl"
+        run_cli(capsys, "run", "-m", "1", "-u", "2", "--trace", str(path))
+        code, out, _ = run_cli(capsys, "verify", "--quiet", str(path))
+        assert code == 0
+        assert out == ""
+
+
+class TestFuzzVerb:
+    def test_quick_fuzz_exits_zero(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "fuzz", "--quick", "--seed", "7",
+            "--examples", "3", "--transport", "local",
+        )
+        assert code == 0
+        assert "PASSED" in out
+
+    def test_replay_token_round_trips_through_cli(self, capsys):
+        token = "m=1,u=2,n=5,value=beta,faults=p1:lie,chaos=-,timeout=2.0"
+        code, out, _ = run_cli(
+            capsys, "fuzz", "--replay", token, "--transport", "local",
+        )
+        assert code == 0
+        assert token in out
+
+    def test_bad_replay_token_is_usage_error(self, capsys):
+        code, _, err = run_cli(capsys, "fuzz", "--replay", "m=banana")
+        assert code == 2
+        assert "error" in err

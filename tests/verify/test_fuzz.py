@@ -1,0 +1,140 @@
+"""Differential fuzz harness: tokens, determinism, and the quick gate.
+
+The full fuzz budget is marked ``slow`` and excluded from tier-1
+(``pytest -m slow`` runs it; ``scripts/ci.sh`` does).  Tier-1 keeps a
+small deterministic slice: token round-trips, the chaos-replay
+fingerprint guarantee (satellite d), and a handful of sampled cases.
+"""
+
+import pytest
+
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.verify.fuzz import (
+    FAULT_KINDS,
+    FuzzCase,
+    case_strategy,
+    parse_case_token,
+    replay_fingerprints,
+    run_case,
+    run_fuzz,
+)
+
+
+class TestReplayTokens:
+    def test_token_round_trip_explicit(self):
+        case = FuzzCase(
+            m=1,
+            u=2,
+            n_nodes=5,
+            sender_value="beta",
+            faults=(("p1", "lie"), ("p3", "two-faced")),
+            chaos_severity="heavy",
+            chaos_seed=991,
+            timeout=0.25,
+        )
+        assert parse_case_token(case.token) == case
+
+    def test_token_without_faults_or_chaos(self):
+        case = FuzzCase(m=0, u=1, n_nodes=2)
+        assert "faults=-" in case.token
+        assert "chaos=-" in case.token
+        assert parse_case_token(case.token) == case
+
+    @settings(max_examples=60, deadline=None)
+    @given(case_strategy())
+    def test_token_round_trip_property(self, case):
+        assert parse_case_token(case.token) == case
+
+    def test_malformed_tokens_rejected(self):
+        for token in ("", "m=1", "m=1,u=2,n=x", "m=1,u=2,n=5,faults=p1"):
+            with pytest.raises(ConfigurationError):
+                parse_case_token(token)
+
+    def test_unknown_fault_kind_rejected(self):
+        case = parse_case_token("m=1,u=2,n=5,faults=p1:gremlin")
+        with pytest.raises(ConfigurationError):
+            case.behaviors()
+        assert "gremlin" not in FAULT_KINDS
+
+
+class TestRunCase:
+    def test_clean_case_all_modes_agree(self):
+        outcome = run_case(
+            FuzzCase(m=1, u=2, n_nodes=5, faults=(("p1", "constant"),)),
+            transports=("local",),
+        )
+        assert outcome.ok, outcome.render()
+        assert set(outcome.reports) == {"sync", "local", "local-unbatched"}
+        assert all(r.ok for r in outcome.reports.values())
+
+    def test_chaos_case_verifies_per_mode(self):
+        outcome = run_case(
+            FuzzCase(
+                m=1,
+                u=2,
+                n_nodes=5,
+                chaos_severity="light",
+                chaos_seed=42,
+                timeout=0.25,
+            ),
+            transports=("local",),
+        )
+        assert outcome.ok, outcome.render()
+        # chaos draws are per-mode: no cross-mode comparison is recorded
+        assert outcome.divergences == []
+
+    def test_replay_fingerprints_deterministic(self):
+        """Satellite (d): one token → one trace, batched and unbatched."""
+        case = parse_case_token(
+            "m=1,u=2,n=5,value=beta,faults=p2:silent,"
+            "chaos=heavy:991,timeout=0.25"
+        )
+        first = replay_fingerprints(case, transports=("local",))
+        second = replay_fingerprints(case, transports=("local",))
+        assert set(first) == {"sync", "local", "local-unbatched"}
+        assert first == second
+        # batched and unbatched traces legitimately differ at the wire
+        # layer (frames vs batches), each deterministically
+        assert first["local"] != first["local-unbatched"]
+
+
+class TestQuickFuzz:
+    def test_quick_budget_is_clean(self):
+        report = run_fuzz(seed=7, max_examples=4, transports=("local",))
+        assert report.ok, report.render()
+        assert report.examples >= 1
+
+    def test_failure_surfaces_replay_token(self, monkeypatch):
+        # sabotage the oracle so every case fails: the report must carry
+        # the failing case and its token
+        from repro.verify import fuzz as fuzz_mod
+
+        real = fuzz_mod.run_case
+
+        def sabotaged(case, transports=("local",)):
+            outcome = real(case, transports=transports)
+            outcome.divergences.append("synthetic divergence (test)")
+            return outcome
+
+        monkeypatch.setattr(fuzz_mod, "run_case", sabotaged)
+        report = fuzz_mod.run_fuzz(
+            seed=0, max_examples=3, transports=("local",)
+        )
+        assert not report.ok
+        assert report.failure is not None
+        token = report.failure.case.token
+        assert parse_case_token(token) == report.failure.case
+        assert "replay" in report.failure.render()
+
+
+@pytest.mark.slow
+class TestFullBudget:
+    def test_full_fuzz_local_and_tcp(self):
+        report = run_fuzz(seed=0, max_examples=20, transports=("local", "tcp"))
+        assert report.ok, report.render()
+
+    def test_second_seed_sweep(self):
+        report = run_fuzz(seed=1234, max_examples=20, transports=("local",))
+        assert report.ok, report.render()

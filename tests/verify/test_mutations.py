@@ -1,0 +1,148 @@
+"""Satellite (c): seeded mutations each fail verification distinctly.
+
+Three deliberate defects — a weakened vote threshold, a forged DATA
+delivery, and a suppressed deadline-default — must each be caught by
+``repro verify`` with a *specific, distinct* violation code.  This is the
+oracle's own mutation-coverage gate: a checker that waves any of these
+through is not checking the paper's arithmetic.
+"""
+
+from dataclasses import replace
+
+from repro.core.behavior import LieAboutSender
+from repro.core.eig import vote
+from repro.core.protocol import execute_degradable_protocol
+from repro.core.values import DEFAULT
+from repro.sim.faults import OmissionInjector
+from repro.sim.messages import RelayPayload
+from repro.sim.trace import EventKind, EventTrace, TraceEvent
+from repro.verify import record_sync_run, verify_record
+from repro.verify.oracle import (
+    ABSENCE_UNRECORDED,
+    FORGED_RELAY,
+    UNSENT_DELIVERY,
+    VOTE_MISMATCH,
+)
+from tests.conftest import node_names
+
+
+def run_and_record(spec, behaviors, faulty, extra_injectors=None):
+    nodes = node_names(spec.n_nodes)
+    _, engine = execute_degradable_protocol(
+        spec, nodes, "S", "alpha", behaviors, extra_injectors=extra_injectors
+    )
+    return record_sync_run(
+        spec, nodes, "S", "alpha", frozenset(faulty), engine
+    )
+
+
+class TestVoteThresholdMutation:
+    """Flip VOTE(n-1-m, ...) to VOTE(1, ...): decisions drift off the fold."""
+
+    def test_caught_as_vote_mismatch(self, spec_1_2, monkeypatch):
+        monkeypatch.setattr(
+            "repro.core.protocol.byz_resolver",
+            lambda threshold, ballots: vote(1, ballots),
+        )
+        record = run_and_record(
+            spec_1_2, {"p1": LieAboutSender("forged", "S")}, {"p1"}
+        )
+        report = verify_record(record)
+        assert not report.ok
+        assert VOTE_MISMATCH in report.codes
+
+    def test_unmutated_run_is_clean(self, spec_1_2):
+        record = run_and_record(
+            spec_1_2, {"p1": LieAboutSender("forged", "S")}, {"p1"}
+        )
+        assert verify_record(record).ok
+
+
+class TestForgedFrameMutation:
+    """Plant one DATA delivery the fault-free source never emitted."""
+
+    def forge(self, record, event):
+        doctored = EventTrace()
+        for original in record.trace.events:
+            doctored.record(original)
+        doctored.record(event)
+        return replace(record, trace=doctored)
+
+    def test_unsent_delivery_caught(self, spec_1_2):
+        record = run_and_record(spec_1_2, {}, set())
+        forged = self.forge(
+            record,
+            TraceEvent(
+                round_no=2,
+                kind=EventKind.DELIVERED,
+                source="S",
+                destination="p3",
+                payload=RelayPayload(path=("S",), value="planted"),
+                meta={"tag": "byz"},
+            ),
+        )
+        report = verify_record(forged)
+        assert not report.ok
+        assert UNSENT_DELIVERY in report.codes
+
+    def test_malformed_path_caught_as_forged_relay(self, spec_1_2):
+        record = run_and_record(spec_1_2, {}, set())
+        forged = self.forge(
+            record,
+            TraceEvent(
+                round_no=3,
+                kind=EventKind.DELIVERED,
+                source="p2",
+                # path claims to end at p4 but the wire source is p2
+                destination="p3",
+                payload=RelayPayload(path=("S", "p4"), value="planted"),
+                meta={"tag": "byz"},
+            ),
+        )
+        report = verify_record(forged)
+        assert not report.ok
+        assert FORGED_RELAY in report.codes
+
+
+class TestSuppressedDefaultMutation:
+    """Drop one absence→V_d substitution event from an omission run."""
+
+    def test_caught_as_absence_unrecorded(self, spec_1_2):
+        record = run_and_record(
+            spec_1_2,
+            {},
+            {"p1"},
+            extra_injectors=[OmissionInjector.from_sources({"p1"})],
+        )
+        defaulted = [
+            e for e in record.trace.events if e.kind is EventKind.DEFAULTED
+        ]
+        assert defaulted, "omission run must produce V_d substitutions"
+        victim = defaulted[0]
+        doctored = EventTrace()
+        removed = False
+        for event in record.trace.events:
+            if not removed and event is victim:
+                removed = True
+                continue
+            doctored.record(event)
+        report = verify_record(replace(record, trace=doctored))
+        assert not report.ok
+        assert ABSENCE_UNRECORDED in report.codes
+
+    def test_omission_run_with_all_defaults_is_clean(self, spec_1_2):
+        record = run_and_record(
+            spec_1_2,
+            {},
+            {"p1"},
+            extra_injectors=[OmissionInjector.from_sources({"p1"})],
+        )
+        assert verify_record(record).ok
+
+
+class TestCodesAreDistinct:
+    """The three mutations map to three different violation codes."""
+
+    def test_distinct(self):
+        assert len({VOTE_MISMATCH, UNSENT_DELIVERY, ABSENCE_UNRECORDED}) == 3
+        assert DEFAULT is DEFAULT  # sentinel sanity for the V_d paths

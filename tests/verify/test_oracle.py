@@ -1,0 +1,189 @@
+"""Conformance oracle: clean traces pass, records round-trip, seams hold."""
+
+import asyncio
+from dataclasses import replace
+
+import pytest
+
+from repro.core.behavior import LieAboutSender, SilentBehavior
+from repro.core.protocol import ProtocolSession, execute_degradable_protocol
+from repro.core.spec import DegradableSpec
+from repro.exceptions import TraceFormatError, VerificationError
+from repro.sim.trace import EventKind, EventTrace
+from repro.verify import (
+    RunRecord,
+    record_net_outcome,
+    record_sync_run,
+    verify_record,
+    verify_trace_file,
+)
+from tests.conftest import node_names
+
+
+def rebuild(trace, transform=lambda events: events):
+    """New EventTrace whose events are ``transform(original events)``."""
+    out = EventTrace()
+    for event in transform(list(trace.events)):
+        out.record(event)
+    return out
+
+
+def sync_record(spec, behaviors, faulty, value="alpha"):
+    nodes = node_names(spec.n_nodes)
+    _, engine = execute_degradable_protocol(spec, nodes, "S", value, behaviors)
+    return record_sync_run(spec, nodes, "S", value, frozenset(faulty), engine)
+
+
+def net_record(spec, behaviors, faulty, value="alpha", batched=True):
+    from repro.net import LocalBus, run_agreement_async
+
+    nodes = node_names(spec.n_nodes)
+    outcome = asyncio.run(
+        run_agreement_async(
+            spec, nodes, "S", value,
+            behaviors=behaviors,
+            transport=LocalBus(),
+            round_timeout=2.0,
+            batching=batched,
+        )
+    )
+    return (
+        record_net_outcome(
+            spec, nodes, "S", value, frozenset(faulty), outcome,
+            batched=batched,
+        ),
+        outcome,
+    )
+
+
+class TestCleanTraces:
+    def test_fault_free_sync_run_passes(self, spec_1_2):
+        report = verify_record(sync_record(spec_1_2, {}, set()))
+        assert report.ok
+        assert report.tier == "byzantine"
+
+    def test_lying_relay_sync_run_passes(self, spec_1_2):
+        record = sync_record(
+            spec_1_2, {"p1": LieAboutSender("forged", "S")}, {"p1"}
+        )
+        report = verify_record(record)
+        assert report.ok
+
+    def test_degraded_tier_sync_run_passes(self, spec_1_2):
+        behaviors = {
+            "p1": LieAboutSender("forged", "S"),
+            "p2": SilentBehavior(),
+        }
+        report = verify_record(sync_record(spec_1_2, behaviors, {"p1", "p2"}))
+        assert report.ok
+        assert report.tier == "degraded"
+
+    def test_deep_recursion_sync_run_passes(self, spec_2_3):
+        record = sync_record(
+            spec_2_3, {"p1": LieAboutSender("forged", "S")}, {"p1"}
+        )
+        assert verify_record(record).ok
+
+    @pytest.mark.parametrize("batched", [True, False])
+    def test_net_run_passes(self, spec_1_2, batched):
+        record, _ = net_record(
+            spec_1_2, {"p1": SilentBehavior()}, {"p1"}, batched=batched
+        )
+        report = verify_record(record)
+        assert report.ok
+        assert record.transport == "local"
+        assert record.batched is batched
+
+
+class TestRecordRoundTrip:
+    def test_jsonl_round_trip_preserves_fingerprint(self, spec_1_2, tmp_path):
+        record = sync_record(
+            spec_1_2, {"p1": LieAboutSender("forged", "S")}, {"p1"}
+        )
+        path = tmp_path / "run.jsonl"
+        record.save(str(path))
+        loaded = RunRecord.load(str(path))
+        assert loaded.fingerprint() == record.fingerprint()
+        assert loaded.spec == record.spec
+        assert loaded.faulty == record.faulty
+        assert loaded.trace.events == record.trace.events
+        assert verify_trace_file(str(path)).ok
+
+    def test_fingerprint_ignores_event_order(self, spec_1_2):
+        record = sync_record(spec_1_2, {}, set())
+        shuffled = rebuild(record.trace, lambda events: events[::-1])
+        assert shuffled.events != record.trace.events
+        assert (
+            replace(record, trace=shuffled).fingerprint()
+            == record.fingerprint()
+        )
+
+    def test_fingerprint_sensitive_to_payload(self, spec_1_2):
+        a = sync_record(spec_1_2, {}, set(), value="alpha")
+        b = sync_record(spec_1_2, {}, set(), value="beta")
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_rejects_non_record_file(self, tmp_path):
+        path = tmp_path / "junk.jsonl"
+        path.write_text('{"round":1,"kind":"sent"}\n')
+        with pytest.raises(TraceFormatError):
+            RunRecord.load(str(path))
+
+
+class TestHeaderValidation:
+    def test_unknown_faulty_node_rejected(self, spec_1_2):
+        record = sync_record(spec_1_2, {}, set())
+        with pytest.raises(VerificationError):
+            verify_record(replace(record, faulty=frozenset({"ghost"})))
+
+    def test_node_count_mismatch_rejected(self, spec_1_2):
+        record = sync_record(spec_1_2, {}, set())
+        with pytest.raises(VerificationError):
+            verify_record(replace(record, nodes=record.nodes[:-1]))
+
+
+class TestExpectedSourcesSeam:
+    """Satellite (b): the runner exposes per-round expected sources."""
+
+    def test_session_expected_sources(self, spec_1_2):
+        nodes = node_names(spec_1_2.n_nodes)
+        session = ProtocolSession.byz(spec_1_2, nodes, "S", "alpha")
+        assert session.expected_sources(1, "p1") == frozenset({"S"})
+        assert session.expected_sources(1, "S") == frozenset()
+        assert session.expected_sources(2, "p1") == frozenset(
+            {"p2", "p3", "p4"}
+        )
+        assert session.expected_sources(2, "S") == frozenset()
+
+    def test_net_metrics_and_trace_carry_expectations(self, spec_1_2):
+        record, outcome = net_record(spec_1_2, {}, set())
+        per_round = outcome.metrics.rounds
+        assert per_round[1].expected_sources["p1"] == ("S",)
+        assert per_round[2].expected_sources["p1"] == ("p2", "p3", "p4")
+        assert outcome.metrics.counters()["r1.expected_links"] == 4
+        expected_events = [
+            e for e in record.trace.events if e.kind is EventKind.EXPECTED
+        ]
+        assert any(
+            e.round_no == 1 and e.source == "p1" and e.payload == ("S",)
+            for e in expected_events
+        )
+
+    def test_oracle_checks_recorded_expectations(self, spec_1_2):
+        from repro.verify.oracle import EXPECTED_MISMATCH
+
+        record, _ = net_record(spec_1_2, {}, set())
+        doctored = EventTrace()
+        tampered = False
+        for event in record.trace.events:
+            if (
+                not tampered
+                and event.kind is EventKind.EXPECTED
+                and event.round_no == 2
+            ):
+                event = replace(event, payload=("p2",))
+                tampered = True
+            doctored.record(event)
+        assert tampered
+        report = verify_record(replace(record, trace=doctored))
+        assert EXPECTED_MISMATCH in report.codes

@@ -1,0 +1,90 @@
+"""Property pin: canonical trace JSONL is lossless over the value domain.
+
+Satellite (a) of the verification PR: ``EventTrace.to_jsonl`` /
+``from_jsonl`` must round-trip every payload the runtimes actually put in
+traces — protocol values (including the ``V_d`` sentinel), relay payloads,
+paths, and nested containers — with object identity for the sentinel and
+type fidelity for tuples.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.values import DEFAULT
+from repro.sim.messages import RelayPayload
+from repro.sim.trace import EventKind, EventTrace, TraceEvent
+
+labels = st.sampled_from(["S", "p1", "p2", "p3", "node-x"])
+
+simple_values = (
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2 ** 40), max_value=2 ** 40)
+    | st.text(max_size=12)
+    | st.just(DEFAULT)
+)
+
+paths = st.lists(labels, min_size=1, max_size=3, unique=True).map(tuple)
+
+relay_payloads = st.builds(RelayPayload, path=paths, value=simple_values)
+
+payloads = st.recursive(
+    simple_values | relay_payloads | paths,
+    lambda children: st.lists(children, max_size=3).map(tuple)
+    | st.lists(children, max_size=3)
+    | st.dictionaries(st.text(max_size=6), children, max_size=3),
+    max_leaves=8,
+)
+
+metas = st.none() | st.dictionaries(
+    st.text(min_size=1, max_size=8), simple_values, max_size=3
+)
+
+events = st.builds(
+    TraceEvent,
+    round_no=st.integers(min_value=1, max_value=9),
+    kind=st.sampled_from(list(EventKind)),
+    source=labels,
+    destination=labels | st.none(),
+    payload=payloads,
+    note=st.text(max_size=20),
+    meta=metas,
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.lists(events, max_size=12))
+def test_jsonl_round_trip_is_lossless(event_list):
+    trace = EventTrace()
+    for event in event_list:
+        trace.record(event)
+    back = EventTrace.from_jsonl(trace.to_jsonl())
+    assert back.events == trace.events
+
+
+@settings(max_examples=100, deadline=None)
+@given(events)
+def test_sentinel_survives_by_identity(event):
+    trace = EventTrace()
+    trace.record(
+        TraceEvent(
+            round_no=event.round_no,
+            kind=event.kind,
+            source=event.source,
+            destination=event.destination,
+            payload=DEFAULT,
+            note=event.note,
+            meta=event.meta,
+        )
+    )
+    back = EventTrace.from_jsonl(trace.to_jsonl())
+    assert back.events[0].payload is DEFAULT
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(events, min_size=1, max_size=8))
+def test_second_round_trip_is_byte_stable(event_list):
+    trace = EventTrace()
+    for event in event_list:
+        trace.record(event)
+    once = trace.to_jsonl()
+    assert EventTrace.from_jsonl(once).to_jsonl() == once
