@@ -37,6 +37,14 @@ echo "== trace conformance (golden trace + differential fuzz) =="
 python -m repro verify examples/traces/golden_m1u2.jsonl
 timeout 300 python -m repro fuzz --quick --seed 7
 
+echo "== agreement service (multiplexed instances + load gate) =="
+# serve cross-checks every decision against the synchronous engine;
+# load fails on any divergence or dropped submit.  Both share one
+# transport pair per link across all instances.
+timeout 300 python -m repro serve --instances 32 --max-inflight 32 --seed 7
+timeout 300 python -m repro serve --instances 8 --chaos light --seed 5 --timeout 0.5
+timeout 300 python -m repro load --instances 64 --seed 7 --out BENCH_serve.json
+
 echo "== slow suite (full fuzz budget) =="
 timeout 600 python -m pytest -q -m slow
 

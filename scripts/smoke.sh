@@ -21,4 +21,9 @@ echo "== trace conformance (golden trace + differential fuzz) =="
 python -m repro verify examples/traces/golden_m1u2.jsonl
 timeout 120 python -m repro fuzz --quick --seed 7
 
+echo "== agreement service (32 concurrent instances, one shared bus) =="
+# Both gates exit nonzero on any sync-engine divergence or dropped submit.
+timeout 120 python -m repro serve --instances 32 --max-inflight 32 --seed 7
+timeout 120 python -m repro load --quick --instances 32 --seed 7 --out BENCH_serve.json
+
 echo "Smoke green."

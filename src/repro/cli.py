@@ -19,9 +19,18 @@ Exposes the library's main entry points for interactive exploration:
 * ``chaos``        — soak the runtime under seeded network chaos (loss,
   duplication, reordering, corruption, partitions, crashes) and assert the
   paper's D.1–D.4 guarantee tiers against the chaos actually injected;
+* ``serve``        — run a multi-instance agreement service: N node
+  daemons over one shared transport pair per link, many concurrent
+  agreement instances multiplexed on it, per-instance verdicts and
+  aggregate wire metrics;
+* ``load``         — drive the service with a seeded open-/closed-loop
+  client load generator; reports latency percentiles and throughput and
+  writes ``BENCH_serve.json``, gated on every decision matching the
+  synchronous reference engine;
 * ``verify``       — audit a recorded trace offline: re-derive every
   fault-free node's vote tree from the recorded deliveries and check vote
-  arithmetic, round structure, absence→V_d accounting and the D.1–D.4 tier;
+  arithmetic, round structure, absence→V_d accounting and the D.1–D.4
+  tier; multi-instance service traces are demultiplexed automatically;
 * ``fuzz``         — differential fuzzing: sample small instances ×
   behaviours × chaos seeds, run each over sync / local-bus / tcp ×
   batched / unbatched, and feed every trace through the verify oracle
@@ -63,6 +72,53 @@ from repro.core.spec import DegradableSpec
 from repro.exceptions import ReproError
 
 
+def _add_spec_arguments(
+    parser, m_default: Optional[int] = None, u_default: Optional[int] = None
+) -> None:
+    """The ``(m, u, N)`` cluster every protocol-executing verb shares.
+
+    With no defaults the pair is required (``repro run``); verbs with a
+    canonical running-example default pass ``m_default``/``u_default``.
+    ``-n`` always defaults to the paper's minimum, ``2m + u + 1``.
+    """
+    required = m_default is None and u_default is None
+    parser.add_argument("-m", type=int, default=m_default, required=required,
+                        help="Byzantine fault bound m")
+    parser.add_argument("-u", type=int, default=u_default, required=required,
+                        help="degraded fault bound u (m <= u)")
+    parser.add_argument("-n", "--nodes", type=int, default=None,
+                        help="node count (default 2m+u+1)")
+
+
+def _add_wire_arguments(
+    parser,
+    timeout: float,
+    transports: bool = True,
+    batch_flag: bool = True,
+) -> None:
+    """The wire-mode cluster shared by net/chaos/bench/serve/load.
+
+    Every verb gets ``--timeout``; *transports* adds the local/tcp choice
+    (bench sweeps both itself) and *batch_flag* the legacy-wire-path
+    switch (chaos always runs the batched path it soaks).
+    """
+    if transports:
+        parser.add_argument(
+            "--transport", default="local", choices=["local", "tcp"],
+            help="in-process asyncio bus or real localhost sockets")
+    parser.add_argument("--timeout", type=float, default=timeout,
+                        help="per-round deadline in seconds")
+    if batch_flag:
+        parser.add_argument(
+            "--no-batch", action="store_true",
+            help="use the legacy one-frame-per-message wire path "
+                 "instead of per-link batches")
+
+
+def _add_seed_argument(parser, default: int, help_text: str) -> None:
+    parser.add_argument("--seed", type=int, default=default, help=help_text)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -76,10 +132,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("nodes", type=int)
 
     p = sub.add_parser("run", help="execute one agreement instance")
-    p.add_argument("-m", type=int, required=True)
-    p.add_argument("-u", type=int, required=True)
-    p.add_argument("-n", "--nodes", type=int, default=None,
-                   help="node count (default 2m+u+1)")
+    _add_spec_arguments(p)
     p.add_argument("--value", default="alpha", help="sender's value")
     p.add_argument("--faulty", default="",
                    help="comma-separated faulty node ids (S, p1, p2, ...)")
@@ -94,12 +147,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "net", help="run one agreement over the async runtime (LocalBus/TCP)"
     )
-    p.add_argument("-m", type=int, default=1)
-    p.add_argument("-u", type=int, default=2)
-    p.add_argument("-n", "--nodes", type=int, default=None,
-                   help="node count (default 2m+u+1)")
-    p.add_argument("--transport", default="local", choices=["local", "tcp"],
-                   help="in-process asyncio bus or real localhost sockets")
+    _add_spec_arguments(p, m_default=1, u_default=2)
+    _add_wire_arguments(p, timeout=2.0)
     p.add_argument("--value", default="alpha", help="sender's value")
     p.add_argument("--faulty", default="",
                    help="comma-separated faulty node ids (S, p1, p2, ...)")
@@ -107,16 +156,63 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["lie", "silent", "constant", "two-faced", "crash"],
                    help="'crash' mutes nodes at the wire level, forcing real "
                         "round-deadline timeouts")
-    p.add_argument("--timeout", type=float, default=2.0,
-                   help="per-round deadline in seconds")
     p.add_argument("--no-verify", action="store_true",
                    help="skip the synchronous-engine cross-check")
-    p.add_argument("--no-batch", action="store_true",
-                   help="use the legacy one-frame-per-message wire path "
-                        "instead of per-link batches")
     p.add_argument("--trace", default="",
                    help="record the execution to this JSONL file "
                         "(auditable with 'repro verify')")
+
+    p = sub.add_parser(
+        "serve",
+        help="run a multi-instance agreement service over one shared "
+             "transport and print per-instance verdicts",
+    )
+    _add_spec_arguments(p, m_default=1, u_default=2)
+    _add_wire_arguments(p, timeout=2.0)
+    _add_seed_argument(p, 0, "seeds the instance value draw")
+    p.add_argument("--instances", type=int, default=8,
+                   help="concurrent agreement instances to submit")
+    p.add_argument("--max-inflight", type=int, default=16,
+                   help="instances allowed to run concurrently")
+    p.add_argument("--queue-limit", type=int, default=64,
+                   help="admitted instances allowed to wait behind them")
+    p.add_argument("--chaos", default="", metavar="SEVERITY",
+                   help="wrap the shared transport in seeded chaos "
+                        "(light/heavy/partition/crash); each instance is "
+                        "judged against its own charged fault set")
+    p.add_argument("--no-verify", action="store_true",
+                   help="skip the synchronous-engine decision cross-check "
+                        "(skipped automatically under chaos)")
+    p.add_argument("--trace", default="",
+                   help="record the whole service run to this JSONL file "
+                        "(repro verify demultiplexes it)")
+
+    p = sub.add_parser(
+        "load",
+        help="drive the agreement service with a seeded client load "
+             "generator and write BENCH_serve.json",
+    )
+    _add_spec_arguments(p, m_default=1, u_default=2)
+    _add_wire_arguments(p, timeout=5.0, batch_flag=True)
+    _add_seed_argument(p, 20260808, "seeds arrivals and value draws")
+    p.add_argument("--instances", type=int, default=64,
+                   help="total agreement instances to push through")
+    p.add_argument("--mode", default="closed", choices=["open", "closed"],
+                   help="open loop (exponential arrivals at --rate) or "
+                        "closed loop (--concurrency clients, one "
+                        "outstanding instance each)")
+    p.add_argument("--rate", type=float, default=200.0,
+                   help="open loop: mean arrivals per second")
+    p.add_argument("--concurrency", type=int, default=8,
+                   help="closed loop: synthetic clients")
+    p.add_argument("--max-inflight", type=int, default=16,
+                   help="instances allowed to run concurrently")
+    p.add_argument("--queue-limit", type=int, default=64,
+                   help="admitted instances allowed to wait behind them")
+    p.add_argument("--quick", action="store_true",
+                   help="small workload (the CI gate)")
+    p.add_argument("--out", default="BENCH_serve.json",
+                   help="write the JSON report here ('' to skip)")
 
     p = sub.add_parser(
         "bench",
@@ -132,24 +228,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--baseline", default="",
                    help="compare against a previous BENCH_net.json; a "
                         "batched frame-count increase fails the run")
-    p.add_argument("--timeout", type=float, default=5.0,
-                   help="per-round deadline in seconds")
+    _add_wire_arguments(p, timeout=5.0, transports=False, batch_flag=False)
 
     p = sub.add_parser(
         "chaos",
         help="soak the async runtime under seeded network chaos",
     )
-    p.add_argument("--seed", type=int, default=0,
-                   help="campaign seed; every trial seed derives from it")
+    _add_seed_argument(p, 0, "campaign seed; every trial seed derives from it")
     p.add_argument("--severity", default="light",
                    choices=["light", "heavy", "partition", "crash", "all"],
                    help="chaos preset to sweep ('all' runs every preset)")
     p.add_argument("--trials", type=int, default=10,
                    help="trials per severity preset")
-    p.add_argument("--transport", default="local", choices=["local", "tcp"],
-                   help="in-process asyncio bus or real localhost sockets")
-    p.add_argument("--timeout", type=float, default=0.25,
-                   help="per-round deadline in seconds")
+    _add_wire_arguments(p, timeout=0.25, batch_flag=False)
     p.add_argument("--report", default="",
                    help="write the full JSON campaign report here")
     p.add_argument("--replay", default="",
@@ -170,8 +261,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--quick", action="store_true",
                    help="small example budget (the CI gate)")
-    p.add_argument("--seed", type=int, default=0,
-                   help="fuzzing seed; fully determines the sampled cases")
+    _add_seed_argument(p, 0, "fuzzing seed; fully determines the sampled cases")
     p.add_argument("--examples", type=int, default=None,
                    help="example budget (default 20, or 6 with --quick)")
     p.add_argument("--transport", default="all",
@@ -206,7 +296,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("mission", help="fly the Figure 1(b) channel system")
     p.add_argument("--steps", type=int, default=300)
     p.add_argument("-p", "--fault-probability", type=float, default=0.05)
-    p.add_argument("--seed", type=int, default=0)
+    _add_seed_argument(p, 0, "seeds the transient-fault draw")
 
     p = sub.add_parser(
         "report", help="regenerate every table/figure into one markdown report"
@@ -401,6 +491,152 @@ def _cmd_net(args) -> int:
     print("contract: VIOLATED")
     for violation in report.violations:
         print(f"  !! {violation}")
+    return 1
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+    import random as random_module
+
+    from repro.core.protocol import execute_degradable_protocol
+    from repro.net import LocalBus, TcpTransport
+    from repro.serve import AgreementService, record_service_run
+    from repro.serve.load import VALUES
+
+    if args.timeout <= 0:
+        print(f"error: --timeout must be > 0, got {args.timeout}",
+              file=sys.stderr)
+        return 2
+    if args.instances < 1:
+        print(f"error: --instances must be >= 1, got {args.instances}",
+              file=sys.stderr)
+        return 2
+    n = args.nodes if args.nodes is not None else 2 * args.m + args.u + 1
+    spec = DegradableSpec(m=args.m, u=args.u, n_nodes=n)
+    nodes = ["S"] + [f"p{k}" for k in range(1, n)]
+    chaos = None
+    chaos_rng = None
+    if args.chaos:
+        from repro.net.chaos import make_policy
+
+        chaos_rng = random_module.Random(args.seed)
+        chaos = make_policy(args.chaos, spec, nodes, chaos_rng, seed=args.seed)
+    rng = random_module.Random(args.seed)
+    plan = [
+        (nodes[i % len(nodes)], rng.choice(VALUES))
+        for i in range(args.instances)
+    ]
+
+    async def run_service():
+        service = AgreementService(
+            spec,
+            nodes,
+            transport=TcpTransport() if args.transport == "tcp" else LocalBus(),
+            chaos=chaos,
+            chaos_rng=chaos_rng,
+            max_inflight=args.max_inflight,
+            queue_limit=args.queue_limit,
+            round_timeout=args.timeout,
+            batching=not args.no_batch,
+        )
+        async with service:
+            iids = [
+                service.submit(sender, value) for sender, value in plan
+            ]
+            return service, [await service.decision(iid) for iid in iids]
+
+    service, outcomes = asyncio.run(run_service())
+    print(f"{spec}; {len(outcomes)} instance(s) multiplexed over one "
+          f"'{service.aggregate_metrics.transport}' transport"
+          + (f" under '{args.chaos}' chaos" if args.chaos else ""))
+    for outcome in outcomes:
+        status = "ok " if outcome.ok else "FAIL"
+        print(f"  [{status}] {outcome.instance_id}  sender={outcome.sender} "
+              f"value={outcome.sender_value!r}  tier={outcome.tier} "
+              f"f_eff={len(outcome.afflicted)}  "
+              f"latency={outcome.latency * 1000:.1f}ms")
+    print()
+    print(service.aggregate_metrics.render())
+    ok = all(outcome.ok for outcome in outcomes)
+    if not args.no_verify and chaos is None:
+        mismatches = 0
+        for outcome in outcomes:
+            reference, _ = execute_degradable_protocol(
+                spec, nodes, outcome.sender, outcome.sender_value,
+                record_trace=False,
+            )
+            if reference.decisions != outcome.decisions:
+                mismatches += 1
+                print(f"  !! {outcome.instance_id}: decisions diverge from "
+                      f"the synchronous engine")
+        print()
+        print("synchronous-engine cross-check: "
+              + ("decisions identical" if not mismatches
+                 else f"{mismatches} instance(s) MISMATCH"))
+        ok = ok and not mismatches
+    if args.trace:
+        record_service_run(service).save(args.trace)
+        print(f"service trace recorded to {args.trace}")
+    if ok:
+        print("service: ALL INSTANCES SATISFIED THEIR TIER")
+        return 0
+    print("service: CONTRACT VIOLATED")
+    return 1
+
+
+def _cmd_load(args) -> int:
+    import asyncio
+
+    from repro.serve import LoadConfig, run_load
+
+    if args.timeout <= 0:
+        print(f"error: --timeout must be > 0, got {args.timeout}",
+              file=sys.stderr)
+        return 2
+    instances = args.instances
+    concurrency = args.concurrency
+    if args.quick:
+        instances = min(instances, 32)
+        concurrency = min(concurrency, 8)
+    n = args.nodes if args.nodes is not None else 2 * args.m + args.u + 1
+    config = LoadConfig(
+        m=args.m,
+        u=args.u,
+        n_nodes=n,
+        instances=instances,
+        mode=args.mode,
+        rate=args.rate,
+        concurrency=concurrency,
+        seed=args.seed,
+        transport=args.transport,
+        batching=not args.no_batch,
+        max_inflight=args.max_inflight,
+        queue_limit=args.queue_limit,
+        round_timeout=args.timeout,
+    )
+    print(f"load: {config.mode} loop, {config.instances} instance(s), "
+          f"(m={config.m}, u={config.u}, N={config.n_nodes}) over "
+          f"'{config.transport}', seed={config.seed}")
+    report = asyncio.run(run_load(config))
+    latency = report.latencies
+    print(f"  done={report.instances_done}  "
+          f"throughput={report.throughput:.1f}/s  "
+          f"rejections={report.rejections}  "
+          f"dropped={report.dropped_submits}")
+    print(f"  latency p50={latency['p50'] * 1000:.1f}ms  "
+          f"p95={latency['p95'] * 1000:.1f}ms  "
+          f"p99={latency['p99'] * 1000:.1f}ms  "
+          f"max={latency['max'] * 1000:.1f}ms")
+    if report.divergences:
+        print(f"  !! {len(report.divergences)} instance(s) diverged from "
+              f"the synchronous engine: {report.divergences[:5]}")
+    if args.out:
+        report.save(args.out)
+        print(f"  report written to {args.out}")
+    if report.ok:
+        print("load: PASSED (all decisions match the synchronous engine)")
+        return 0
+    print("load: FAILED")
     return 1
 
 
@@ -667,20 +903,31 @@ def _cmd_suite(args) -> int:
 
 
 def _cmd_verify(args) -> int:
-    from repro.verify import verify_trace_file
+    from repro.verify import RunRecord, demux_record, verify_record
 
     failures = 0
     for path in args.traces:
-        report = verify_trace_file(path)
-        if report.ok:
-            if not args.quiet:
-                print(f"{path}: OK ({report.render().splitlines()[0]})")
-        else:
-            failures += 1
-            print(f"{path}: FAILED")
-            print(report.render())
+        record = RunRecord.load(path)
+        # A multi-instance service record is split into one auditable
+        # record per agreement instance; single-instance records (stamped
+        # or legacy) pass through unchanged.
+        sub_records = demux_record(record)
+        for instance_id, sub in sorted(
+            sub_records.items(), key=lambda kv: str(kv[0])
+        ):
+            label = path if instance_id is None else f"{path}[{instance_id}]"
+            report = verify_record(sub)
+            if report.ok:
+                if not args.quiet:
+                    print(f"{label}: OK ({report.render().splitlines()[0]})")
+            else:
+                failures += 1
+                print(f"{label}: FAILED")
+                print(report.render())
+        if len(sub_records) > 1 and not args.quiet:
+            print(f"{path}: demultiplexed {len(sub_records)} instance(s)")
     if failures:
-        print(f"{failures}/{len(args.traces)} trace(s) failed conformance")
+        print(f"{failures} trace(s)/instance(s) failed conformance")
         return 1
     if not args.quiet:
         print(f"{len(args.traces)}/{len(args.traces)} trace(s) conformant")
@@ -729,6 +976,8 @@ _COMMANDS = {
     "tradeoff": _cmd_tradeoff,
     "run": _cmd_run,
     "net": _cmd_net,
+    "serve": _cmd_serve,
+    "load": _cmd_load,
     "bench": _cmd_bench,
     "chaos": _cmd_chaos,
     "verify": _cmd_verify,

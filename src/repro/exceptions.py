@@ -50,6 +50,20 @@ class TransportError(ReproError):
     """
 
 
+class AdmissionError(ReproError):
+    """A service refused to admit a new agreement instance.
+
+    Raised by :class:`repro.serve.AgreementService` when its bounded
+    admission queue is full — backpressure, not failure.  ``retry_after``
+    is the service's hint (in seconds, derived from observed instance
+    latencies) for when a resubmission is likely to be admitted.
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
 class RoutingError(SimulationError):
     """A virtual link could not be established over the physical topology.
 

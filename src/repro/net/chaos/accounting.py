@@ -53,22 +53,35 @@ class ChaosEvent:
     destination: NodeId
     #: Nodes this event charges for fault accounting (empty when benign).
     afflicted: FrozenSet[NodeId] = frozenset()
+    #: Protocol instance the perturbed frame belonged to (``None`` for
+    #: single-agreement runs).  When many instances multiplex one chaotic
+    #: transport (:mod:`repro.serve`), per-instance attribution is what
+    #: lets each instance assert its *own* D.1–D.4 tier.
+    instance: Hashable = None
 
 
 class ChaosLog:
     """Append-only record of everything one ChaosTransport did.
 
     Maintains the running union of afflicted nodes so campaigns can read
-    ``f_eff`` in O(1) after a run.
+    ``f_eff`` in O(1) after a run, plus per-instance unions so multiplexed
+    service runs can judge each agreement instance against the tier *its
+    own* chaos selects (a drop on instance A's frames charges A's fault
+    budget, not B's).
     """
 
     def __init__(self) -> None:
         self.events: List[ChaosEvent] = []
         self._afflicted: set = set()
+        self._by_instance: Dict[Hashable, set] = {}
 
     def record(self, event: ChaosEvent) -> None:
         self.events.append(event)
         self._afflicted.update(event.afflicted)
+        if event.afflicted:
+            self._by_instance.setdefault(event.instance, set()).update(
+                event.afflicted
+            )
 
     @property
     def afflicted(self) -> FrozenSet[NodeId]:
@@ -79,6 +92,22 @@ class ChaosLog:
     def f_eff(self) -> int:
         """The effective fault count: ``|afflicted|``."""
         return len(self._afflicted)
+
+    def afflicted_for(self, instance: Hashable) -> FrozenSet[NodeId]:
+        """Nodes charged with a fault on *instance*'s frames.
+
+        Events recorded without an instance id (legacy single-agreement
+        runs, or scheduled faults hitting an unversioned frame) charge
+        every instance — conservative, hence sound.
+        """
+        charged = set(self._by_instance.get(instance, ()))
+        if instance is not None:
+            charged.update(self._by_instance.get(None, ()))
+        return frozenset(charged)
+
+    def f_eff_for(self, instance: Hashable) -> int:
+        """Effective fault count as seen by one protocol instance."""
+        return len(self.afflicted_for(instance))
 
     def counts(self) -> Dict[str, int]:
         """Events per kind — stable keys, zero-filled, for reports."""

@@ -248,6 +248,7 @@ class ChaosTransport(Transport):
                 source=frame.source,
                 destination=frame.destination,
                 afflicted=afflicted,
+                instance=frame.instance,
             )
         )
         if self.metrics is None:

@@ -17,6 +17,14 @@ a small tagging scheme so the value domain survives a round trip exactly:
 Frames are ``4-byte big-endian length + JSON bytes``.  JSON is emitted with
 sorted keys and no whitespace, making encodings canonical — byte-identical
 for equal frames — which the cross-runtime equivalence tests rely on.
+
+Envelope versioning: a frame that belongs to a multiplexed protocol
+instance (:mod:`repro.serve`) carries ``"v": 2`` and its ``instance_id``
+under ``"iid"``.  Single-instance frames omit both keys and are therefore
+*byte-identical* to the pre-versioning wire format — version 1 is simply
+the absence of the ``"v"`` key, so every legacy peer and every archived
+byte stream still decodes (``Frame.instance is None``).  Unknown future
+versions are rejected loudly rather than misparsed.
 """
 
 from __future__ import annotations
@@ -39,6 +47,7 @@ from repro.sim.messages import Message
 __all__ = [
     "BATCH",
     "DATA",
+    "ENVELOPE_VERSIONS",
     "Frame",
     "FrameDecoder",
     "MARK",
@@ -58,6 +67,11 @@ NodeId = Hashable
 DATA = "data"
 MARK = "mark"
 BATCH = "batch"
+
+#: Envelope versions this codec understands.  Version 1 is the legacy
+#: unversioned format (no ``"v"`` key, no instance id); version 2 adds the
+#: ``instance_id`` multiplexing field used by :mod:`repro.serve`.
+ENVELOPE_VERSIONS = (1, 2)
 
 _LENGTH = struct.Struct(">I")
 
@@ -89,6 +103,12 @@ class Frame:
     ``sent_at`` is the sender's monotonic timestamp, stamped by the runner
     and used for latency percentiles (all endpoints share one clock since
     the runtime hosts every node in one process).
+
+    ``instance`` identifies the protocol instance a frame belongs to when
+    many agreement instances share one transport pair per link
+    (:mod:`repro.serve`).  ``None`` — the default — means "the sole
+    instance of a single-agreement run" and selects the legacy version-1
+    envelope on the wire.
     """
 
     kind: str
@@ -99,6 +119,7 @@ class Frame:
     sent_at: float = 0.0
     messages: Tuple[Message, ...] = field(default=())
     mark: bool = False
+    instance: Optional[Hashable] = None
 
 
 # ----------------------------------------------------------------------
@@ -128,6 +149,12 @@ def encode_frame(frame: Frame) -> bytes:
     elif frame.kind == BATCH:
         body["msgs"] = [_message_to_jsonable(m) for m in frame.messages]
         body["mark"] = frame.mark
+    if frame.instance is not None:
+        # Version 2 envelope: only multiplexed frames pay for the extra
+        # keys, keeping single-instance encodings byte-identical to the
+        # legacy (version 1) wire format.
+        body["v"] = 2
+        body["iid"] = to_jsonable(frame.instance)
     try:
         return json.dumps(body, sort_keys=True, separators=(",", ":")).encode("utf-8")
     except (TypeError, ValueError) as exc:
@@ -140,6 +167,12 @@ def decode_frame(data: bytes) -> Frame:
         body = json.loads(data.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise TransportError(f"malformed frame: {exc}") from exc
+    version = body.get("v", 1)
+    if version not in ENVELOPE_VERSIONS:
+        raise TransportError(
+            f"unsupported frame envelope version {version!r} "
+            f"(this codec understands {ENVELOPE_VERSIONS})"
+        )
     message = None
     messages: Tuple[Message, ...] = ()
     mark = False
@@ -157,6 +190,7 @@ def decode_frame(data: bytes) -> Frame:
         sent_at=body["at"],
         messages=messages,
         mark=mark,
+        instance=from_jsonable(body["iid"]) if "iid" in body else None,
     )
 
 

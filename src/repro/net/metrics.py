@@ -91,6 +91,14 @@ class NetMetrics:
         self.partition_rounds = 0
         #: Node crash onsets the chaos layer executed.
         self.crash_events = 0
+        #: Per-instance counter snapshots for multiplexed service runs
+        #: (:mod:`repro.serve`): instance id → the *instance's own*
+        #: flattened counters, folded in by :meth:`record_instance` when
+        #: the instance decides.  Single-agreement runs leave this empty.
+        self.instances: Dict[str, Dict[str, int]] = {}
+        #: Frames the service demux routed to a retired (already decided
+        #: and garbage-collected) or never-registered instance.
+        self.stray_frames = 0
 
     # ------------------------------------------------------------------
     # Recording
@@ -159,6 +167,23 @@ class NetMetrics:
 
     def record_decode_error(self) -> None:
         self.decode_errors += 1
+
+    def record_stray_frame(self) -> None:
+        self.stray_frames += 1
+
+    def record_instance(
+        self, instance_id: Hashable, counters: Dict[str, int]
+    ) -> None:
+        """Fold one decided instance's counter fingerprint into this run.
+
+        Called by the service gateway when an instance completes; the key
+        is stringified so arbitrary hashable instance ids serialize
+        stably.  Because :meth:`counters` emits these sub-counters sorted
+        by key, the aggregate fingerprint is insensitive to instance
+        *completion order* — two same-seed service runs fingerprint
+        identically even though the event loop interleaves them freely.
+        """
+        self.instances[str(instance_id)] = dict(counters)
 
     def record_partition_round(self) -> None:
         self.partition_rounds += 1
@@ -252,7 +277,11 @@ class NetMetrics:
             "decode_errors": self.decode_errors,
             "partition_rounds": self.partition_rounds,
             "crash_events": self.crash_events,
+            "stray_frames": self.stray_frames,
         }
+        for instance_id in sorted(self.instances):
+            for key, value in sorted(self.instances[instance_id].items()):
+                out[f"inst.{instance_id}.{key}"] = value
         for round_no in sorted(self.rounds):
             entry = self.rounds[round_no]
             prefix = f"r{round_no}."
@@ -329,6 +358,21 @@ class NetMetrics:
             lines.append(
                 f"batching: {self.total_frames_batched} batch frame(s), "
                 f"{self.total_batch_bytes_saved} envelope byte(s) saved"
+            )
+        if self.instances:
+            inst_frames = sum(
+                sum(v for k, v in c.items() if k.endswith(".frames_sent"))
+                for c in self.instances.values()
+            )
+            inst_messages = sum(
+                sum(v for k, v in c.items() if k.endswith(".messages_sent"))
+                for c in self.instances.values()
+            )
+            lines.append(
+                f"multiplexing: {len(self.instances)} instance(s) folded in  "
+                f"frames={inst_frames}  messages={inst_messages}"
+                + (f"  stray_frames={self.stray_frames}"
+                   if self.stray_frames else "")
             )
         if self.total_chaos_events or self.partition_rounds or self.decode_errors:
             lines.append(

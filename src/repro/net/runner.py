@@ -131,6 +131,7 @@ class AsyncRoundRunner:
         metrics: Optional[NetMetrics] = None,
         batching: bool = True,
         record_trace: bool = True,
+        instance_id: Optional[Hashable] = None,
     ) -> None:
         if round_timeout <= 0:
             raise ValueError(f"round_timeout must be > 0, got {round_timeout}")
@@ -140,6 +141,12 @@ class AsyncRoundRunner:
         self.round_timeout = round_timeout
         self.retry = retry or RetryPolicy()
         self.batching = batching
+        #: Multiplexing identity: set when this runner drives one instance
+        #: of a :mod:`repro.serve` service.  Every outgoing frame carries it
+        #: (version-2 envelope) and every trace event is stamped with it so
+        #: service traces can be demultiplexed offline.  ``None`` keeps the
+        #: legacy single-instance wire format and trace shape.
+        self.instance_id = instance_id
         self.metrics = metrics or NetMetrics(transport=self.transport.name)
         if not self.metrics.transport:
             self.metrics.transport = self.transport.name
@@ -150,7 +157,9 @@ class AsyncRoundRunner:
         #: processes themselves (via :meth:`ProtocolSession.attach_trace`),
         #: wire events by this runner.  Same schema as the synchronous
         #: engine's trace, extended with the wire-level kinds.
-        self.trace: Optional[EventTrace] = EventTrace() if record_trace else None
+        self.trace: Optional[EventTrace] = (
+            EventTrace(instance=instance_id) if record_trace else None
+        )
         session.attach_trace(self.trace)
         # Same deterministic stepping order as the synchronous engine.
         self._order: List[NodeId] = sorted(session.nodes, key=lambda n: str(n))
@@ -190,6 +199,7 @@ class AsyncRoundRunner:
                             destination=message.destination,
                             message=message,
                             sent_at=loop.time(),
+                            instance=self.instance_id,
                         )
                         await self._send_with_retry(frame, round_no, deadline)
                     await self._send_markers(round_no, deadline)
@@ -363,6 +373,7 @@ class AsyncRoundRunner:
                     messages=tuple(messages),
                     mark=not muted,
                     sent_at=loop.time(),
+                    instance=self.instance_id,
                 )
                 frames.append(frame)
                 if self.trace is not None:
@@ -405,6 +416,7 @@ class AsyncRoundRunner:
                     source=source,
                     destination=destination,
                     sent_at=loop.time(),
+                    instance=self.instance_id,
                 )
                 await self._send_with_retry(frame, round_no, deadline)
 
@@ -502,6 +514,7 @@ class AsyncRoundRunner:
                         destination=frame.destination,
                         message=message,
                         sent_at=frame.sent_at,
+                        instance=frame.instance,
                     )
                 )
             )
@@ -516,6 +529,7 @@ class AsyncRoundRunner:
                         source=frame.source,
                         destination=frame.destination,
                         sent_at=frame.sent_at,
+                        instance=frame.instance,
                     )
                 )
             )

@@ -1,0 +1,310 @@
+"""Seeded client load generator for the agreement service.
+
+Drives an :class:`~repro.serve.gateway.AgreementService` with a stream of
+agreement instances and reports what a service operator would want to
+know: submit-to-decision latency percentiles, sustained throughput, how
+often admission control pushed back — and, because this repo is a paper
+reproduction first, whether every single service decision matches the
+synchronous reference engine bit for bit (the generator's *divergence
+gate*; a benchmark that silently computes wrong answers measures
+nothing).
+
+Two arrival models, both pure functions of ``seed``:
+
+* **open loop** — submissions arrive on an exponential inter-arrival
+  clock at ``rate`` per second, regardless of completions (the service's
+  backpressure is part of what is being measured: a rejected submit is
+  retried after the service's ``retry_after`` hint and counted);
+* **closed loop** — ``concurrency`` synthetic clients each keep exactly
+  one instance outstanding, submitting the next the moment the previous
+  decides (latency under a fixed multiprogramming level).
+
+Senders cycle round-robin through the node set and values are drawn from
+a small seeded vocabulary, so one ``(config, seed)`` pair names one exact
+workload.  The report serializes to ``BENCH_serve.json``
+(schema ``repro.bench.serve/v1``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.core.protocol import execute_degradable_protocol
+from repro.core.spec import DegradableSpec
+from repro.exceptions import AdmissionError, ConfigurationError
+from repro.net.runner import RetryPolicy
+from repro.net.transport import LocalBus, Transport
+from repro.serve.gateway import AgreementService, InstanceOutcome
+
+NodeId = Hashable
+
+SCHEMA = "repro.bench.serve/v1"
+
+#: Seeded value vocabulary the generator draws sender values from.
+VALUES: Tuple[str, ...] = ("attack", "retreat", "hold", "regroup")
+
+
+@dataclass(frozen=True)
+class LoadConfig:
+    """One exact workload: every field feeds the seeded generator."""
+
+    m: int = 1
+    u: int = 2
+    n_nodes: int = 5
+    instances: int = 64
+    mode: str = "closed"  # "open" | "closed"
+    #: Open loop: mean arrivals per second (exponential inter-arrivals).
+    rate: float = 200.0
+    #: Closed loop: synthetic clients with one outstanding instance each.
+    concurrency: int = 8
+    seed: int = 20260808
+    transport: str = "local"  # "local" | "tcp"
+    batching: bool = True
+    max_inflight: int = 16
+    queue_limit: int = 64
+    round_timeout: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("open", "closed"):
+            raise ConfigurationError(
+                f"unknown load mode {self.mode!r}; choose 'open' or 'closed'"
+            )
+        if self.transport not in ("local", "tcp"):
+            raise ConfigurationError(
+                f"unknown transport {self.transport!r}; "
+                f"choose 'local' or 'tcp'"
+            )
+        if self.instances < 1:
+            raise ConfigurationError(
+                f"instances must be >= 1, got {self.instances}"
+            )
+        if self.mode == "open" and self.rate <= 0:
+            raise ConfigurationError(f"rate must be > 0, got {self.rate}")
+        if self.mode == "closed" and self.concurrency < 1:
+            raise ConfigurationError(
+                f"concurrency must be >= 1, got {self.concurrency}"
+            )
+
+    @property
+    def spec(self) -> DegradableSpec:
+        return DegradableSpec(m=self.m, u=self.u, n_nodes=self.n_nodes)
+
+
+@dataclass
+class LoadReport:
+    """What one load run measured, JSON-serializable."""
+
+    config: LoadConfig
+    instances_done: int
+    duration: float
+    rejections: int
+    latencies: Dict[str, float]
+    #: Instance ids whose service decisions differ from the synchronous
+    #: reference engine's (must be empty for the run to pass).
+    divergences: List[str] = field(default_factory=list)
+    dropped_submits: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences and self.dropped_submits == 0
+
+    @property
+    def throughput(self) -> float:
+        if self.duration <= 0:
+            return 0.0
+        return self.instances_done / self.duration
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": SCHEMA,
+            "config": {
+                "m": self.config.m,
+                "u": self.config.u,
+                "n_nodes": self.config.n_nodes,
+                "instances": self.config.instances,
+                "mode": self.config.mode,
+                "rate": self.config.rate,
+                "concurrency": self.config.concurrency,
+                "seed": self.config.seed,
+                "transport": self.config.transport,
+                "batching": self.config.batching,
+                "max_inflight": self.config.max_inflight,
+                "queue_limit": self.config.queue_limit,
+                "round_timeout": self.config.round_timeout,
+            },
+            "instances_done": self.instances_done,
+            "duration_s": round(self.duration, 6),
+            "throughput_per_s": round(self.throughput, 3),
+            "rejections": self.rejections,
+            "dropped_submits": self.dropped_submits,
+            "latency_s": self.latencies,
+            "divergences": self.divergences,
+            "ok": self.ok,
+        }
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+
+def percentile(samples: List[float], q: float) -> float:
+    """Nearest-rank percentile (no interpolation, no numpy)."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def latency_summary(samples: List[float]) -> Dict[str, float]:
+    if not samples:
+        return {"p50": 0.0, "p95": 0.0, "p99": 0.0, "mean": 0.0, "max": 0.0}
+    return {
+        "p50": round(percentile(samples, 0.50), 6),
+        "p95": round(percentile(samples, 0.95), 6),
+        "p99": round(percentile(samples, 0.99), 6),
+        "mean": round(sum(samples) / len(samples), 6),
+        "max": round(max(samples), 6),
+    }
+
+
+def plan_workload(config: LoadConfig) -> List[Tuple[NodeId, object]]:
+    """The seeded (sender, value) stream — round-robin senders, drawn values."""
+    rng = random.Random(config.seed)
+    nodes = [f"n{i}" for i in range(config.n_nodes)]
+    return [
+        (nodes[i % len(nodes)], rng.choice(VALUES))
+        for i in range(config.instances)
+    ]
+
+
+async def run_load(
+    config: LoadConfig, transport: Optional[Transport] = None
+) -> LoadReport:
+    """Run one seeded workload against a fresh service; return the report.
+
+    *transport* overrides the config's transport choice (tests inject a
+    prepared TcpTransport); by default ``"local"`` builds a LocalBus and
+    ``"tcp"`` a TcpTransport.
+    """
+    nodes = [f"n{i}" for i in range(config.n_nodes)]
+    workload = plan_workload(config)
+    if transport is None:
+        if config.transport == "tcp":
+            from repro.net.tcp import TcpTransport
+
+            transport = TcpTransport()
+        else:
+            transport = LocalBus()
+    service = AgreementService(
+        config.spec,
+        nodes,
+        transport=transport,
+        max_inflight=config.max_inflight,
+        queue_limit=config.queue_limit,
+        round_timeout=config.round_timeout,
+        # Service benches lean on retries only for real transport blips;
+        # keep the default policy.
+        retry=RetryPolicy(),
+        batching=config.batching,
+        record_trace=False,
+    )
+    loop = asyncio.get_running_loop()
+    rejections = 0
+    dropped = 0
+    outcomes: Dict[str, InstanceOutcome] = {}
+
+    async def submit_with_backpressure(index: int) -> Optional[str]:
+        """Submit one planned instance, honouring retry-after hints."""
+        nonlocal rejections, dropped
+        sender, value = workload[index]
+        iid = f"load{index:04d}"
+        for _ in range(8):
+            try:
+                return service.submit(sender, value, instance_id=iid)
+            except AdmissionError as exc:
+                rejections += 1
+                await asyncio.sleep(max(0.001, exc.retry_after))
+        dropped += 1
+        return None
+
+    started = loop.time()
+    async with service:
+        if config.mode == "open":
+            arrival_rng = random.Random(config.seed + 1)
+            submitted: List[str] = []
+            for index in range(config.instances):
+                iid = await submit_with_backpressure(index)
+                if iid is not None:
+                    submitted.append(iid)
+                await asyncio.sleep(arrival_rng.expovariate(config.rate))
+            for iid in submitted:
+                outcomes[iid] = await service.decision(iid)
+        else:
+            next_index = 0
+            index_lock = asyncio.Lock()
+
+            async def client() -> None:
+                nonlocal next_index
+                while True:
+                    async with index_lock:
+                        index = next_index
+                        if index >= config.instances:
+                            return
+                        next_index += 1
+                    iid = await submit_with_backpressure(index)
+                    if iid is None:
+                        continue
+                    outcomes[iid] = await service.decision(iid)
+
+            await asyncio.gather(
+                *(client() for _ in range(config.concurrency))
+            )
+    duration = loop.time() - started
+
+    divergences = check_divergence(config, workload, outcomes)
+    return LoadReport(
+        config=config,
+        instances_done=len(outcomes),
+        duration=duration,
+        rejections=rejections,
+        latencies=latency_summary([o.latency for o in outcomes.values()]),
+        divergences=divergences,
+        dropped_submits=dropped,
+    )
+
+
+def check_divergence(
+    config: LoadConfig,
+    workload: List[Tuple[NodeId, object]],
+    outcomes: Dict[str, InstanceOutcome],
+) -> List[str]:
+    """Compare every service decision to the synchronous reference engine.
+
+    The sync engine is the repo's ground truth for the protocol; any
+    mismatch means the service path (mux, shared transport, admission,
+    concurrent scheduling) changed a decision — a correctness failure the
+    benchmark must fail loudly on, whatever the latency numbers say.
+    """
+    nodes = [f"n{i}" for i in range(config.n_nodes)]
+    divergences: List[str] = []
+    expected_cache: Dict[Tuple[NodeId, object], dict] = {}
+    for iid, outcome in sorted(outcomes.items()):
+        key = (outcome.sender, outcome.sender_value)
+        if key not in expected_cache:
+            reference, _ = execute_degradable_protocol(
+                config.spec,
+                nodes,
+                outcome.sender,
+                outcome.sender_value,
+                record_trace=False,
+            )
+            expected_cache[key] = reference.decisions
+        if outcome.decisions != expected_cache[key]:
+            divergences.append(iid)
+    return divergences

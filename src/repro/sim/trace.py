@@ -38,7 +38,7 @@ from __future__ import annotations
 
 import enum
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
 
 from repro.exceptions import TraceFormatError
@@ -91,12 +91,26 @@ class TraceEvent:
 
 
 class EventTrace:
-    """Ordered log of execution events with query helpers."""
+    """Ordered log of execution events with query helpers.
 
-    def __init__(self) -> None:
+    *instance*, when set, stamps every recorded event's ``meta`` with
+    ``{"instance": <id>}`` — the multiplexing key :mod:`repro.serve` uses
+    to interleave many concurrent agreement instances into one service
+    trace, and that :func:`repro.verify.demux_record` later splits on.
+    Single-instance runtimes leave it ``None`` and produce traces
+    byte-identical to the pre-service format.
+    """
+
+    def __init__(self, instance: Optional[Hashable] = None) -> None:
+        self.instance = instance
         self._events: List[TraceEvent] = []
 
     def record(self, event: TraceEvent) -> None:
+        if self.instance is not None:
+            meta = dict(event.meta) if event.meta else {}
+            if "instance" not in meta:
+                meta["instance"] = self.instance
+                event = replace(event, meta=meta)
         self._events.append(event)
 
     def record_message(
@@ -146,6 +160,20 @@ class EventTrace:
 
     def count(self, kind: EventKind) -> int:
         return sum(1 for e in self._events if e.kind is kind)
+
+    def instance_ids(self) -> Tuple[Hashable, ...]:
+        """Distinct instance ids stamped on events, in first-seen order.
+
+        Events without an ``instance`` meta key (every pre-service trace)
+        contribute nothing; a legacy single-agreement trace therefore
+        returns ``()``.
+        """
+        seen: List[Hashable] = []
+        for event in self._events:
+            instance = (event.meta or {}).get("instance")
+            if instance is not None and instance not in seen:
+                seen.append(instance)
+        return tuple(seen)
 
     def messages_per_round(self) -> Dict[int, int]:
         out: Dict[int, int] = {}

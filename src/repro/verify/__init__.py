@@ -11,6 +11,9 @@ was delivered to whom.  This package audits finished runs after the fact:
   fault-free node's vote tree from the recorded deliveries with an
   *independent* implementation of the vote fold, and cross-checks decisions,
   round structure, absence→``V_d`` accounting and the D.1–D.4 tier;
+* :mod:`repro.verify.demux` — splits a multi-instance ``mode="serve"``
+  record (:mod:`repro.serve`) into one auditable per-instance record per
+  agreement, keyed by each event's ``meta["instance"]`` stamp;
 * :mod:`repro.verify.fuzz` — a Hypothesis-driven differential fuzzer that
   samples small instances × behaviours × chaos seeds, runs them over
   sync / local-bus / tcp × batched / unbatched, and feeds every trace
@@ -19,6 +22,7 @@ was delivered to whom.  This package audits finished runs after the fact:
 CLI: ``repro verify <trace.jsonl>`` and ``repro fuzz [--quick --seed S]``.
 """
 
+from repro.verify.demux import demux_record
 from repro.verify.oracle import ConformanceReport, Violation, verify_record, verify_trace_file
 from repro.verify.record import RunRecord, record_net_outcome, record_sync_run
 from repro.verify.fuzz import FuzzCase, FuzzReport, run_case, run_fuzz
@@ -29,6 +33,7 @@ __all__ = [
     "FuzzReport",
     "RunRecord",
     "Violation",
+    "demux_record",
     "record_net_outcome",
     "record_sync_run",
     "run_case",

@@ -1,0 +1,110 @@
+"""Demultiplexing service records into per-instance auditable records.
+
+A ``mode="serve"`` :class:`~repro.verify.record.RunRecord` interleaves the
+stamped traces of many concurrent agreement instances
+(:mod:`repro.serve`); the conformance oracle audits exactly one instance
+at a time.  :func:`demux_record` splits the service record on each
+event's ``meta["instance"]`` stamp and rebuilds one self-contained
+per-instance record from the header's ``meta["instances"]`` listing
+(sender, value, fault set and message tag per instance), so every
+instance of a service run is auditable with the unchanged
+single-instance oracle::
+
+    for instance_id, sub in demux_record(record).items():
+        report = verify_record(sub)
+
+``repro verify`` calls this automatically for multi-instance traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Hashable, List
+
+from repro.exceptions import TraceFormatError
+from repro.sim.trace import EventTrace
+from repro.verify.record import RunRecord
+
+InstanceId = Hashable
+
+__all__ = ["demux_record"]
+
+
+def demux_record(record: RunRecord) -> Dict[InstanceId, RunRecord]:
+    """Split a multi-instance service record into per-instance records.
+
+    Events are grouped by their ``meta["instance"]`` stamp (relative order
+    within each instance is preserved); each group becomes a
+    ``mode="serve"`` record whose sender / value / fault set come from the
+    service header's ``meta["instances"]`` entry for that id, falling back
+    to the header's own fields when the listing is absent (a
+    single-instance record demuxes to itself).
+
+    Raises :class:`~repro.exceptions.TraceFormatError` when the trace
+    carries unstamped events alongside stamped ones (such a trace cannot
+    be split soundly) or when a stamped instance has no metadata to
+    rebuild a header from.
+    """
+    per_instance: Dict[InstanceId, EventTrace] = {}
+    unstamped = 0
+    for event in record.trace.events:
+        instance_id = (event.meta or {}).get("instance")
+        if instance_id is None:
+            unstamped += 1
+            continue
+        per_instance.setdefault(instance_id, EventTrace()).record(event)
+
+    if not per_instance:
+        # Nothing stamped: a legacy single-instance trace *is* its own
+        # demultiplexing.
+        return {None: record}
+    if unstamped:
+        raise TraceFormatError(
+            f"cannot demux: {unstamped} event(s) carry no instance stamp "
+            f"alongside {len(per_instance)} stamped instance(s)"
+        )
+
+    info_by_id = _instance_info(record)
+    out: Dict[InstanceId, RunRecord] = {}
+    for instance_id, trace in per_instance.items():
+        info = info_by_id.get(instance_id)
+        if info is None:
+            if len(per_instance) == 1:
+                # A lone stamped instance can borrow the header wholesale —
+                # except the tag: service messages are tagged per instance
+                # (``byz:<id>``), not with the header's aggregate tag, so
+                # leave it to the per-instance default below.
+                info = {
+                    "sender": record.sender,
+                    "sender_value": record.sender_value,
+                    "faulty": sorted(record.faulty, key=repr),
+                }
+            else:
+                raise TraceFormatError(
+                    f"instance {instance_id!r} appears in the trace but not "
+                    f"in the header's meta['instances'] listing"
+                )
+        out[instance_id] = replace(
+            record,
+            sender=info["sender"],
+            sender_value=info["sender_value"],
+            faulty=frozenset(info["faulty"]),
+            trace=trace,
+            tag=info.get("tag", f"byz:{instance_id}"),
+            meta={"instance": instance_id},
+        )
+    return out
+
+
+def _instance_info(record: RunRecord) -> Dict[InstanceId, dict]:
+    listing = (record.meta or {}).get("instances")
+    if not isinstance(listing, (list, tuple)):
+        return {}
+    info: Dict[InstanceId, dict] = {}
+    for entry in listing:
+        if not isinstance(entry, dict) or "id" not in entry:
+            raise TraceFormatError(
+                f"malformed meta['instances'] entry: {entry!r}"
+            )
+        info[entry["id"]] = entry
+    return info

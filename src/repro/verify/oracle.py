@@ -226,6 +226,14 @@ def verify_record(record: RunRecord) -> ConformanceReport:
         raise VerificationError(
             f"header marks unknown nodes faulty: {sorted(map(repr, unknown_faulty))}"
         )
+    instance_ids = record.trace.instance_ids()
+    if len(instance_ids) > 1:
+        raise VerificationError(
+            f"trace interleaves {len(instance_ids)} protocol instances; the "
+            f"oracle audits one instance at a time — split the record with "
+            f"repro.verify.demux_record() and verify each sub-record "
+            f"(the `repro verify` CLI does this automatically)"
+        )
 
     depth = spec.rounds
     tier = spec.guarantee_for(len(record.faulty))

@@ -196,3 +196,75 @@ class TestFrameDecoder:
         decoder = FrameDecoder()
         with pytest.raises(TransportError):
             decoder.feed(b"\xff\xff\xff\xff")
+
+
+class TestEnvelopeVersions:
+    """Version-2 (multiplexed) envelope vs. the legacy unversioned wire."""
+
+    def _message(self):
+        return Message(
+            source="p1",
+            destination="p2",
+            payload=RelayPayload(path=("S", "p1"), value="engage"),
+            round_sent=2,
+            tag="byz:i0001",
+        )
+
+    def test_instance_frame_round_trips(self):
+        frame = Frame(
+            kind=DATA, round_no=2, source="p1", destination="p2",
+            message=self._message(), sent_at=1.0, instance="i0001",
+        )
+        decoded = decode_frame(encode_frame(frame))
+        assert decoded == frame
+        assert decoded.instance == "i0001"
+
+    def test_instance_batch_round_trips(self):
+        frame = Frame(
+            kind=BATCH, round_no=1, source="S", destination="p1",
+            messages=(self._message(),), mark=True, instance="i0042",
+        )
+        decoded = decode_frame(encode_frame(frame))
+        assert decoded == frame
+        assert decoded.instance == "i0042"
+
+    def test_v2_envelope_declares_version(self):
+        frame = Frame(
+            kind=MARK, round_no=1, source="S", destination="p1",
+            instance="i0001",
+        )
+        body = encode_frame(frame)
+        assert b'"v":2' in body
+        assert b'"iid":' in body
+
+    def test_legacy_encoding_is_byte_identical(self):
+        # A single-instance frame must encode exactly as it did before the
+        # envelope gained a version: no "v", no "iid", same sorted keys.
+        frame = Frame(kind=MARK, round_no=3, source="S", destination="p4")
+        body = encode_frame(frame)
+        assert b'"v":' not in body
+        assert b'"iid":' not in body
+        assert body == (
+            b'{"at":0.0,"dst":"p4","kind":"mark","round":3,"src":"S"}'
+        )
+
+    def test_legacy_frame_decodes_with_no_instance(self):
+        # Bytes written by a pre-versioning peer (no "v" key at all) must
+        # still decode, and land as the default instance.
+        legacy = b'{"at":0.0,"dst":"p1","kind":"mark","round":1,"src":"S"}'
+        frame = decode_frame(legacy)
+        assert frame.kind == MARK
+        assert frame.instance is None
+
+    def test_unknown_envelope_version_rejected(self):
+        body = b'{"at":0.0,"dst":"p1","kind":"mark","round":1,"src":"S","v":3}'
+        with pytest.raises(TransportError, match="envelope version"):
+            decode_frame(body)
+
+    def test_non_string_instance_id_round_trips(self):
+        frame = Frame(
+            kind=MARK, round_no=1, source="S", destination="p1",
+            instance=("shard", 7),
+        )
+        decoded = decode_frame(encode_frame(frame))
+        assert decoded.instance == ("shard", 7)

@@ -1,0 +1,115 @@
+"""Load generator: seeded workloads, latency summaries, report schema."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.serve import (
+    LoadConfig,
+    latency_summary,
+    percentile,
+    plan_workload,
+    run_load,
+)
+from repro.serve.load import SCHEMA, VALUES
+
+
+class TestConfig:
+    def test_defaults_are_valid(self):
+        config = LoadConfig()
+        assert config.spec.n_nodes == 5
+        assert config.mode == "closed"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"mode": "burst"},
+            {"transport": "carrier-pigeon"},
+            {"instances": 0},
+            {"mode": "open", "rate": 0.0},
+            {"mode": "closed", "concurrency": 0},
+        ],
+    )
+    def test_invalid_config_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            LoadConfig(**kwargs)
+
+
+class TestWorkloadPlan:
+    def test_same_seed_same_plan(self):
+        config = LoadConfig(instances=24, seed=99)
+        assert plan_workload(config) == plan_workload(config)
+
+    def test_different_seed_different_plan(self):
+        a = plan_workload(LoadConfig(instances=24, seed=1))
+        b = plan_workload(LoadConfig(instances=24, seed=2))
+        assert a != b
+
+    def test_plan_covers_all_senders_with_known_values(self):
+        config = LoadConfig(instances=20, seed=5)
+        plan = plan_workload(config)
+        assert len(plan) == 20
+        senders = {sender for sender, _ in plan}
+        assert len(senders) == config.n_nodes  # round-robin hits every node
+        assert all(value in VALUES for _, value in plan)
+
+
+class TestStatistics:
+    def test_percentile_nearest_rank(self):
+        samples = [float(i) for i in range(1, 11)]
+        assert percentile(samples, 0.0) == 1.0
+        # Nearest rank on the 0-indexed sorted list: round(0.5 * 9) = 4.
+        assert percentile(samples, 0.5) == 5.0
+        assert percentile(samples, 1.0) == 10.0
+        assert percentile([], 0.5) == 0.0
+
+    def test_summary_keys(self):
+        summary = latency_summary([0.01, 0.02, 0.03, 0.4])
+        assert set(summary) >= {"p50", "p95", "p99", "mean", "max"}
+        assert summary["max"] == 0.4
+        assert summary["p50"] <= summary["p95"] <= summary["p99"]
+
+
+class TestRunLoad:
+    def test_closed_loop_quick_run_is_clean(self):
+        config = LoadConfig(
+            instances=16, mode="closed", concurrency=4, seed=7,
+            round_timeout=2.0,
+        )
+        report = asyncio.run(run_load(config))
+        assert report.instances_done == 16
+        assert report.dropped_submits == 0
+        assert report.divergences == []
+        assert report.ok
+        assert report.throughput > 0.0
+        assert report.latencies["p50"] > 0.0
+
+    def test_open_loop_backpressure_drops_nothing(self):
+        # A tight admission bound forces AdmissionError rejections; the
+        # generator must retry until every instance lands (0 drops).
+        config = LoadConfig(
+            instances=12, mode="open", rate=500.0, seed=3,
+            max_inflight=2, queue_limit=2, round_timeout=2.0,
+        )
+        report = asyncio.run(run_load(config))
+        assert report.instances_done == 12
+        assert report.dropped_submits == 0
+        assert report.ok
+
+    def test_report_schema_and_save(self, tmp_path):
+        config = LoadConfig(
+            instances=8, mode="closed", concurrency=4, seed=11,
+            round_timeout=2.0,
+        )
+        report = asyncio.run(run_load(config))
+        out = tmp_path / "BENCH_serve.json"
+        report.save(str(out))
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == SCHEMA
+        assert payload["config"]["seed"] == 11
+        assert payload["instances_done"] == 8
+        assert payload["ok"] is True
+        assert set(payload["latency_s"]) >= {"p50", "p95", "p99"}
+        assert payload["throughput_per_s"] > 0

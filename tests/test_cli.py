@@ -325,3 +325,62 @@ class TestReportCommand:
         assert code == 0
         assert path.exists()
         assert "report written" in out
+
+
+class TestServe:
+    def test_local_service_multiplexes_and_cross_checks(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "serve", "--instances", "6", "--timeout", "2.0",
+        )
+        assert code == 0
+        assert "6 instance(s) multiplexed" in out
+        assert "multiplexing: 6 instance(s)" in out
+        assert "synchronous-engine cross-check: decisions identical" in out
+        assert "FAIL" not in out
+
+    def test_chaos_service_runs_seeded(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "serve", "--instances", "4", "--chaos", "light",
+            "--seed", "5", "--timeout", "0.5",
+        )
+        assert code == 0
+        assert "under 'light' chaos" in out
+
+    def test_trace_written_and_verifiable(self, capsys, tmp_path):
+        trace = tmp_path / "serve.jsonl"
+        code, out, _ = run_cli(
+            capsys, "serve", "--instances", "4", "--timeout", "2.0",
+            "--trace", str(trace),
+        )
+        assert code == 0
+        assert trace.exists()
+        code, out, _ = run_cli(capsys, "verify", str(trace))
+        assert code == 0
+        assert "4 instance(s)" in out
+
+    def test_bad_instances_rejected(self, capsys):
+        code, _, err = run_cli(capsys, "serve", "--instances", "0")
+        assert code == 2
+        assert "--instances" in err
+
+
+class TestLoad:
+    def test_quick_load_writes_report(self, capsys, tmp_path):
+        out_path = tmp_path / "BENCH_serve.json"
+        code, out, _ = run_cli(
+            capsys, "load", "--quick", "--instances", "12",
+            "--timeout", "2.0", "--out", str(out_path),
+        )
+        assert code == 0
+        assert out_path.exists()
+        assert "p50" in out
+
+    def test_open_loop_mode(self, capsys, tmp_path):
+        out_path = tmp_path / "BENCH_serve.json"
+        code, out, _ = run_cli(
+            capsys, "load", "--quick", "--instances", "8",
+            "--mode", "open", "--rate", "400", "--timeout", "2.0",
+            "--out", str(out_path),
+        )
+        assert code == 0
+        assert "open" in out

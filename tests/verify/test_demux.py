@@ -1,0 +1,116 @@
+"""Service-record demultiplexing and the oracle's multi-instance guard."""
+
+import asyncio
+from dataclasses import replace
+
+import pytest
+
+from repro.core.protocol import execute_degradable_protocol
+from repro.core.spec import DegradableSpec
+from repro.exceptions import TraceFormatError, VerificationError
+from repro.serve import AgreementService, record_service_run
+from repro.sim.trace import EventTrace
+from repro.verify import demux_record, verify_record
+from repro.verify.record import RunRecord, record_sync_run
+
+SPEC = DegradableSpec(m=1, u=2, n_nodes=5)
+NODES = ("S", "p1", "p2", "p3", "p4")
+
+
+def service_record(plan, round_timeout=2.0):
+    async def scenario():
+        async with AgreementService(
+            SPEC, NODES, round_timeout=round_timeout
+        ) as service:
+            for sender, value in plan:
+                await service.submit_and_wait(sender, value)
+            return record_service_run(service)
+
+    return asyncio.run(scenario())
+
+
+def sync_record():
+    result, engine = execute_degradable_protocol(
+        SPEC, NODES, "S", "attack"
+    )
+    return record_sync_run(
+        SPEC, NODES, "S", "attack", frozenset(), engine, result
+    )
+
+
+class TestOracleGuard:
+    def test_oracle_rejects_interleaved_multi_instance_trace(self):
+        record = service_record([("S", "attack"), ("p1", "retreat")])
+        with pytest.raises(VerificationError) as excinfo:
+            verify_record(record)
+        # The usage error must point the user at the demux helper.
+        message = str(excinfo.value)
+        assert "demux_record" in message
+        assert "2 protocol instances" in message
+
+    def test_oracle_still_accepts_single_instance_traces(self):
+        report = verify_record(sync_record())
+        assert report.ok
+
+
+class TestDemux:
+    def test_service_record_splits_into_verifiable_instances(self):
+        plan = [("S", "attack"), ("p1", "retreat"), ("p3", "hold")]
+        record = service_record(plan)
+        parts = demux_record(record)
+        assert len(parts) == len(plan)
+        expected = {sender: value for sender, value in plan}
+        for instance_id, sub in parts.items():
+            assert sub.sender_value == expected[sub.sender]
+            assert sub.meta == {"instance": instance_id}
+            assert sub.trace.instance_ids() == (instance_id,)
+            report = verify_record(sub)
+            assert report.ok, report.violations
+
+    def test_demux_survives_disk_roundtrip(self, tmp_path):
+        record = service_record([("S", "attack"), ("p2", "regroup")])
+        path = tmp_path / "serve.jsonl"
+        record.save(str(path))
+        loaded = RunRecord.load(str(path))
+        parts = demux_record(loaded)
+        assert len(parts) == 2
+        for sub in parts.values():
+            assert verify_record(sub).ok
+
+    def test_legacy_record_demuxes_to_itself(self):
+        record = sync_record()
+        parts = demux_record(record)
+        assert set(parts) == {None}
+        assert parts[None] is record
+        assert verify_record(parts[None]).ok
+
+    def test_mixed_stamped_and_unstamped_events_rejected(self):
+        stamped = service_record([("S", "attack")])
+        legacy = sync_record()
+        mixed_trace = EventTrace()
+        for event in stamped.trace.events:
+            mixed_trace.record(event)
+        for event in legacy.trace.events:
+            mixed_trace.record(event)
+        mixed = replace(stamped, trace=mixed_trace)
+        with pytest.raises(TraceFormatError, match="no instance stamp"):
+            demux_record(mixed)
+
+    def test_stamped_instance_missing_from_header_listing_rejected(self):
+        record = service_record([("S", "attack"), ("p1", "retreat")])
+        listing = [
+            entry for entry in record.meta["instances"]
+            if entry["sender"] == "S"
+        ]
+        truncated = replace(record, meta={"instances": listing})
+        with pytest.raises(TraceFormatError, match="meta\\['instances'\\]"):
+            demux_record(truncated)
+
+    def test_lone_stamped_instance_borrows_header(self):
+        record = service_record([("p4", "hold")])
+        stripped = replace(record, meta={})
+        parts = demux_record(stripped)
+        (sub,) = parts.values()
+        assert sub.sender == record.sender
+        assert sub.sender_value == record.sender_value
+        assert verify_record(sub).ok
