@@ -33,6 +33,14 @@ timeout 300 python -m repro bench --quick --out BENCH_net.json
 echo "== chaos soak (seeded, replayable) =="
 timeout 300 python -m repro chaos --severity light --trials 5 --seed 7
 
+echo "== self-healing soak (reconnect + crash-restart under chaos) =="
+# Hard-resets every TCP connection at relay-round onsets and
+# crash-restarts one node's endpoint mid-run, under the reconnecting
+# supervisor; runs the campaign twice with the same seed and fails
+# unless decisions and wire fingerprints (reconnect counters included)
+# are identical.
+timeout 300 python -m repro chaos --kill-links --severity light --trials 4 --seed 7 --transport tcp --timeout 0.5
+
 echo "== trace conformance (golden trace + differential fuzz) =="
 python -m repro verify examples/traces/golden_m1u2.jsonl
 timeout 300 python -m repro fuzz --quick --seed 7

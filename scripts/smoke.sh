@@ -14,6 +14,9 @@ python -m repro net --transport local
 echo "== chaos smoke =="
 timeout 120 python -m repro chaos --severity light --trials 2 --seed 7
 
+echo "== self-healing smoke (reconnect under kill-links chaos) =="
+timeout 120 python -m repro chaos --kill-links --severity light --trials 2 --seed 7 --transport tcp --timeout 0.5
+
 echo "== wire-path bench (archives BENCH_net.json) =="
 timeout 180 python -m repro bench --quick --repeats 1 --out BENCH_net.json
 

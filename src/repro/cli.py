@@ -243,6 +243,13 @@ def build_parser() -> argparse.ArgumentParser:
     _add_wire_arguments(p, timeout=0.25, batch_flag=False)
     p.add_argument("--report", default="",
                    help="write the full JSON campaign report here")
+    p.add_argument("--kill-links", action="store_true",
+                   help="soak the self-healing layer: hard-reset every TCP "
+                        "connection at each relay round and crash-restart "
+                        "one node's endpoint mid-run, under a reconnecting "
+                        "supervisor; the campaign runs twice with the same "
+                        "seed and the wire fingerprints (reconnect counters "
+                        "included) must be identical")
     p.add_argument("--replay", default="",
                    help="replay one trial from a failure's replay token "
                         "(overrides every other option)")
@@ -734,7 +741,8 @@ def _cmd_chaos(args) -> int:
               f"tier={result.tier} f_eff={result.f_eff}")
 
     print(f"chaos campaign: seed={args.seed} transport={args.transport} "
-          f"severities={','.join(severities)} trials/severity={args.trials}")
+          f"severities={','.join(severities)} trials/severity={args.trials}"
+          + (" kill-links soak" if args.kill_links else ""))
     report = run_campaign_sync(
         args.seed,
         severities,
@@ -742,8 +750,50 @@ def _cmd_chaos(args) -> int:
         transport=args.transport,
         timeout=args.timeout,
         progress=progress,
+        kill_links=args.kill_links,
     )
     print()
+    if args.kill_links:
+        # The soak gate's determinism half: the same seeded campaign,
+        # re-run, must reproduce every trial's decisions and its full wire
+        # fingerprint — reconnect and restart counters included — or the
+        # self-healing layer leaked wall-clock state into the run.
+        reconnects = sum(t.reconnects for t in report.trials)
+        restarts = sum(t.endpoint_restarts for t in report.trials)
+        print(f"  self-healing: {reconnects} reconnect(s), "
+              f"{restarts} endpoint restart(s) across "
+              f"{len(report.trials)} trial(s)")
+        rerun = run_campaign_sync(
+            args.seed,
+            severities,
+            args.trials,
+            transport=args.transport,
+            timeout=args.timeout,
+            kill_links=True,
+        )
+        mismatches = []
+        for first, second in zip(report.trials, rerun.trials):
+            if first.decisions != second.decisions:
+                mismatches.append(
+                    f"{first.config.replay_token}: decisions diverged"
+                )
+            elif first.fingerprint != second.fingerprint:
+                diff = sorted(
+                    set(first.fingerprint.items())
+                    ^ set(second.fingerprint.items())
+                )
+                mismatches.append(
+                    f"{first.config.replay_token}: fingerprint diverged "
+                    f"({diff[:6]})"
+                )
+        if mismatches:
+            print("  !! same-seed re-run NOT reproducible:")
+            for line in mismatches:
+                print(f"     {line}")
+            print("campaign FAILED (kill-links determinism)")
+            return 1
+        print(f"  same-seed re-run: all {len(report.trials)} trial "
+              f"fingerprint(s) and decisions identical")
     for tier, entry in report.tier_summary().items():
         if tier == "none":
             print(f"  tier {tier:<9}: {entry['trials']} trial(s) recorded "

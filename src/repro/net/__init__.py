@@ -21,6 +21,14 @@ real deadlines:
   exercised for real;
 * :class:`NetMetrics` — per-round message/byte counts, latency
   percentiles, retries, timeout substitutions, chaos counters;
+* :class:`SupervisedTransport` — the self-healing layer: per-link
+  reconnect supervision with capped, seeded exponential backoff
+  (:class:`BackoffPolicy`), idempotent frame-stream resume via per-link
+  sequence numbers, and an optional heartbeat failure detector
+  (:class:`HeartbeatPolicy`) driving each directed link through an
+  ``alive``/``suspect``/``dead`` state machine with a circuit breaker —
+  sends on a dead link fast-fail into metered losses (absence → ``V_d``)
+  instead of stalling a round;
 * :mod:`repro.net.chaos` — a seeded network-chaos layer
   (:class:`ChaosTransport` around any transport: loss, duplication,
   reordering, corruption, partitions, crashes) plus soak campaigns that
@@ -56,6 +64,8 @@ from repro.net.codec import (
     BATCH,
     DATA,
     MARK,
+    PING,
+    PONG,
     Frame,
     FrameDecoder,
     decode_frame,
@@ -70,6 +80,15 @@ from repro.net.runner import (
     NetRunOutcome,
     RetryPolicy,
     run_agreement_async,
+)
+from repro.net.supervision import (
+    ALIVE,
+    DEAD,
+    LINK_STATES,
+    SUSPECT,
+    BackoffPolicy,
+    HeartbeatPolicy,
+    SupervisedTransport,
 )
 from repro.net.tcp import TcpTransport
 from repro.net.transport import FlakyTransport, LocalBus, Transport
@@ -87,26 +106,35 @@ from repro.net.chaos import (
 )
 
 __all__ = [
+    "ALIVE",
     "AsyncFaultAdapter",
     "AsyncRoundRunner",
     "BATCH",
+    "BackoffPolicy",
     "ChaosLog",
     "ChaosPolicy",
     "ChaosTransport",
     "Crash",
     "DATA",
+    "DEAD",
     "FlakyTransport",
     "Frame",
     "FrameDecoder",
+    "HeartbeatPolicy",
     "InjectorAdapter",
+    "LINK_STATES",
     "LocalBus",
     "MARK",
     "MuteAdapter",
     "NetMetrics",
     "NetRunOutcome",
+    "PING",
+    "PONG",
     "Partition",
     "RetryPolicy",
     "RoundMetrics",
+    "SUSPECT",
+    "SupervisedTransport",
     "TcpTransport",
     "Transport",
     "behavior_adapters",

@@ -62,6 +62,7 @@ from repro.net.chaos.policy import (
     SEVERITIES,
     ChaosPolicy,
     Crash,
+    EndpointRestart,
     Partition,
     make_policy,
 )
@@ -77,6 +78,7 @@ __all__ = [
     "ChaosTransport",
     "Crash",
     "DEFAULT_GRID",
+    "EndpointRestart",
     "Partition",
     "SEVERITIES",
     "TrialConfig",

@@ -37,10 +37,16 @@ from repro.sim.faults import OmissionInjector
 
 NodeId = Hashable
 
-#: Event kinds that induce absence (and therefore charge nodes).
-ABSENCE_KINDS = ("drop", "corrupt", "partition", "crash")
-#: Event kinds that perturb without creating absence (charge nobody).
-BENIGN_KINDS = ("dup", "reorder", "delay")
+#: Event kinds that induce absence (and therefore charge nodes).  A
+#: ``restart`` (real endpoint crash-restart) conservatively charges the
+#: restarted node: anything its endpoint lost while down is explainable as
+#: that one node's omission faults.
+ABSENCE_KINDS = ("drop", "corrupt", "partition", "crash", "restart")
+#: Event kinds that perturb without creating absence (charge nobody).  A
+#: ``reset`` (hard connection reset between rounds) is benign when a
+#: reconnecting supervisor heals it before any frame is lost — if healing
+#: fails, the resulting drop/outage is charged separately.
+BENIGN_KINDS = ("dup", "reorder", "delay", "reset")
 
 
 @dataclass(frozen=True)

@@ -29,13 +29,14 @@ import asyncio
 import json
 import random
 from dataclasses import dataclass, field
+from dataclasses import replace as dc_replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.conditions import classify
 from repro.core.spec import DegradableSpec
 from repro.exceptions import ConfigurationError
 from repro.net.chaos.accounting import tier_for, tier_is_asserted
-from repro.net.chaos.policy import SEVERITIES, make_policy
+from repro.net.chaos.policy import SEVERITIES, EndpointRestart, make_policy
 from repro.net.chaos.transport import ChaosTransport
 from repro.net.runner import run_agreement_async
 from repro.net.tcp import TcpTransport
@@ -66,6 +67,10 @@ class TrialConfig:
     transport: str
     seed: int
     timeout: float = 0.25
+    #: Kill-links mode: schedule a hard reset of every pooled connection
+    #: plus one node's endpoint crash-restart mid-run, and run the trial
+    #: under a reconnecting :class:`~repro.net.supervision.SupervisedTransport`.
+    kill_links: bool = False
 
     def __post_init__(self) -> None:
         if self.severity not in SEVERITIES:
@@ -83,11 +88,16 @@ class TrialConfig:
 
     @property
     def replay_token(self) -> str:
-        return (
+        token = (
             f"m={self.m},u={self.u},n={self.n_nodes},"
             f"severity={self.severity},transport={self.transport},"
             f"seed={self.seed},timeout={self.timeout}"
         )
+        if self.kill_links:
+            # Appended only when set, so pre-existing tokens keep parsing
+            # (and old tokens replay the same trials they always named).
+            token += ",kill_links=1"
+        return token
 
 
 def parse_replay(token: str) -> TrialConfig:
@@ -110,6 +120,7 @@ def parse_replay(token: str) -> TrialConfig:
             transport=fields.pop("transport"),
             seed=int(fields.pop("seed")),
             timeout=float(fields.pop("timeout", "0.25")),
+            kill_links=bool(int(fields.pop("kill_links", "0"))),
         )
     except KeyError as exc:
         raise ConfigurationError(f"replay token missing field {exc}") from exc
@@ -135,6 +146,14 @@ class TrialResult:
     chaos_counts: Dict[str, int]
     substitutions: int
     timeouts: int
+    #: Connection re-dials the transport healed (kill-links mode).
+    reconnects: int = 0
+    #: Endpoint crash-restarts the chaos layer executed.
+    endpoint_restarts: int = 0
+    #: Full NetMetrics counter fingerprint — compared across same-seed
+    #: re-runs by the ``--kill-links`` determinism gate (kept out of the
+    #: JSON report; the replay token reproduces it on demand).
+    fingerprint: Dict[str, int] = field(default_factory=dict)
 
     @property
     def failed(self) -> bool:
@@ -154,6 +173,8 @@ class TrialResult:
             "chaos_counts": self.chaos_counts,
             "substitutions": self.substitutions,
             "timeouts": self.timeouts,
+            "reconnects": self.reconnects,
+            "endpoint_restarts": self.endpoint_restarts,
         }
 
 
@@ -169,6 +190,23 @@ async def run_trial(config: TrialConfig) -> TrialResult:
     # every per-frame draw in the transport.
     rng = random.Random(config.seed)
     policy = make_policy(config.severity, spec, nodes, rng, seed=config.seed)
+    if config.kill_links:
+        # Hard-reset every pooled connection at the onset of every relay
+        # round, and crash-restart one seeded victim's endpoint at round 2
+        # — the supervisor must re-dial through both.  Relay-round resets
+        # are what produce real *reconnects*: a directed link is reused
+        # across rounds only when the recursion is deep enough (m >= 2),
+        # so the deeper grid entries exercise the re-dial path while the
+        # shallow ones still exercise reset/restart healing.  Victim
+        # choice draws from the trial RNG, so the whole schedule replays
+        # from the seed.
+        receivers = [n for n in nodes if n != "S"]
+        victim = receivers[rng.randrange(len(receivers))]
+        policy = dc_replace(
+            policy,
+            link_resets=tuple(range(2, spec.rounds + 1)),
+            restarts=(EndpointRestart(node=victim, at_round=2),),
+        )
     chaos = ChaosTransport(_make_transport(config.transport), policy, rng=rng)
     outcome = await run_agreement_async(
         spec,
@@ -177,6 +215,10 @@ async def run_trial(config: TrialConfig) -> TrialResult:
         SENDER_VALUE,
         transport=chaos,
         round_timeout=config.timeout,
+        supervise=config.kill_links,
+        supervision_rng=(
+            random.Random(config.seed) if config.kill_links else None
+        ),
     )
     afflicted = chaos.log.afflicted
     tier = tier_for(spec, len(afflicted))
@@ -200,6 +242,9 @@ async def run_trial(config: TrialConfig) -> TrialResult:
         chaos_counts=chaos.log.counts(),
         substitutions=outcome.result.stats.substitutions,
         timeouts=outcome.metrics.total_timeouts,
+        reconnects=outcome.metrics.total_reconnects,
+        endpoint_restarts=outcome.metrics.endpoint_restarts,
+        fingerprint=outcome.metrics.counters(),
     )
 
 
@@ -297,6 +342,7 @@ def campaign_configs(
     transport: str,
     timeout: float = 0.25,
     grid: Sequence[Tuple[int, int, int]] = DEFAULT_GRID,
+    kill_links: bool = False,
 ) -> List[TrialConfig]:
     """The full deterministic trial list for one campaign."""
     configs: List[TrialConfig] = []
@@ -312,6 +358,7 @@ def campaign_configs(
                     transport=transport,
                     seed=trial_seed(base_seed, severity, index),
                     timeout=timeout,
+                    kill_links=kill_links,
                 )
             )
     return configs
@@ -325,6 +372,7 @@ async def run_campaign(
     timeout: float = 0.25,
     grid: Sequence[Tuple[int, int, int]] = DEFAULT_GRID,
     progress=None,
+    kill_links: bool = False,
 ) -> CampaignReport:
     """Run the sweep; *progress* (if given) is called with each result."""
     report = CampaignReport(
@@ -335,7 +383,13 @@ async def run_campaign(
         timeout=timeout,
     )
     for config in campaign_configs(
-        base_seed, severities, trials_per_severity, transport, timeout, grid
+        base_seed,
+        severities,
+        trials_per_severity,
+        transport,
+        timeout,
+        grid,
+        kill_links=kill_links,
     ):
         result = await run_trial(config)
         report.trials.append(result)

@@ -138,6 +138,28 @@ class Crash:
 
 
 @dataclass(frozen=True)
+class EndpointRestart:
+    """A node's *transport endpoint* is killed and restarted at a round.
+
+    Unlike :class:`Crash` (a chaos-layer fiction: frames are severed but
+    the socket machinery never notices), an endpoint restart is executed
+    against the real transport — the listening socket dies, pooled
+    connections touching the node are severed, queued-but-unconsumed
+    frames are lost, and the node returns on a fresh port.  It exercises
+    the reconnect path of :mod:`repro.net.supervision` for real.
+    """
+
+    node: NodeId
+    at_round: int
+
+    def __post_init__(self) -> None:
+        if self.at_round < 1:
+            raise ConfigurationError(
+                f"restart round must be >= 1, got {self.at_round}"
+            )
+
+
+@dataclass(frozen=True)
 class ChaosPolicy:
     """Per-link misbehaviour probabilities plus scheduled faults.
 
@@ -147,6 +169,13 @@ class ChaosPolicy:
     paper fault).  ``latency`` is a uniform ``(min, max)`` range in
     seconds, applied with probability ``latency_probability`` — keep it
     well under the round deadline or honest frames start missing rounds.
+
+    ``link_resets`` lists engine rounds at whose *onset* (first frame of
+    the round) every pooled transport connection is hard-reset;
+    ``restarts`` schedules real endpoint crash-restarts
+    (:class:`EndpointRestart`).  Both execute against the wrapped
+    transport's fault seams and are what ``repro chaos --kill-links``
+    drives.
     """
 
     drop_probability: float = 0.0
@@ -157,6 +186,8 @@ class ChaosPolicy:
     latency: Tuple[float, float] = (0.0, 0.0)
     partitions: Tuple[Partition, ...] = ()
     crashes: Tuple[Crash, ...] = ()
+    link_resets: Tuple[int, ...] = ()
+    restarts: Tuple[EndpointRestart, ...] = ()
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -180,6 +211,11 @@ class ChaosPolicy:
         crashed = [c.node for c in self.crashes]
         if len(crashed) != len(set(crashed)):
             raise ConfigurationError(f"duplicate crash nodes: {crashed}")
+        for round_no in self.link_resets:
+            if round_no < 1:
+                raise ConfigurationError(
+                    f"link reset round must be >= 1, got {round_no}"
+                )
 
     # ------------------------------------------------------------------
     # Queries (used by ChaosTransport on every frame)
@@ -214,6 +250,8 @@ class ChaosPolicy:
             and self.latency_probability == 0.0
             and not self.partitions
             and not self.crashes
+            and not self.link_resets
+            and not self.restarts
         )
 
 

@@ -49,7 +49,7 @@ from typing import Dict, Hashable, Optional, Sequence, Tuple
 
 from repro.net.chaos.accounting import ChaosEvent, ChaosLog
 from repro.net.chaos.policy import ChaosPolicy
-from repro.net.codec import BATCH, DATA, Frame
+from repro.net.codec import BATCH, DATA, PING, PONG, Frame
 from repro.net.metrics import NetMetrics
 from repro.net.transport import Transport
 
@@ -106,6 +106,12 @@ class ChaosTransport(Transport):
         self._held = {}
         await self.inner.close()
 
+    def reset_connections(self, node: Optional[NodeId] = None) -> int:
+        return self.inner.reset_connections(node)
+
+    async def restart_endpoint(self, node: NodeId) -> None:
+        await self.inner.restart_endpoint(node)
+
     # ------------------------------------------------------------------
     # Traffic
     # ------------------------------------------------------------------
@@ -113,6 +119,24 @@ class ChaosTransport(Transport):
         return await self.inner.recv(node)
 
     async def send(self, frame: Frame) -> int:
+        if frame.kind in (PING, PONG):
+            # Heartbeats belong to the supervision layer above, not to any
+            # protocol round: they consume no RNG draws and are never
+            # recorded (their cadence is wall-clock-driven, so recording
+            # them would poison the determinism fingerprint).  Scheduled
+            # faults still silence them — a crashed or partitioned node
+            # must look dead to the failure detector too.
+            round_now = max(1, self._round_seen)
+            if self.policy.severed_by(
+                round_now, frame.source, frame.destination
+            ) is not None:
+                return 0
+            if self.policy.crashed(round_now, frame.source) is not None or (
+                self.policy.crashed(round_now, frame.destination) is not None
+            ):
+                return 0
+            return await self.inner.send(frame)
+
         await self._advance_round(frame.round_no)
         link = (frame.source, frame.destination)
 
@@ -233,6 +257,37 @@ class ChaosTransport(Transport):
             for crash in self.policy.crashes:
                 if crash.at_round == r and self.metrics is not None:
                     self.metrics.record_crash_event()
+            # Scheduled transport faults execute at round onset, *between*
+            # the previous round's collection and this round's first send
+            # — awaited inline under ordered_sends, so the healing path
+            # (re-dial, fresh endpoint) runs to completion before the next
+            # frame and the reconnect count is seed-deterministic.
+            if r in self.policy.link_resets:
+                self.inner.reset_connections()
+                if self.metrics is not None:
+                    self.metrics.record_link_reset()
+                self.log.record(
+                    ChaosEvent(
+                        kind="reset",
+                        round_no=r,
+                        source=None,
+                        destination=None,
+                    )
+                )
+            for restart in self.policy.restarts:
+                if restart.at_round == r:
+                    await self.inner.restart_endpoint(restart.node)
+                    if self.metrics is not None:
+                        self.metrics.record_endpoint_restart()
+                    self.log.record(
+                        ChaosEvent(
+                            kind="restart",
+                            round_no=r,
+                            source=restart.node,
+                            destination=None,
+                            afflicted=frozenset({restart.node}),
+                        )
+                    )
         self._round_seen = round_no
 
     # ------------------------------------------------------------------

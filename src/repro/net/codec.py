@@ -52,6 +52,8 @@ __all__ = [
     "FrameDecoder",
     "MARK",
     "MAX_FRAME_BYTES",
+    "PING",
+    "PONG",
     "TAG",
     "decode_frame",
     "encode_frame",
@@ -67,6 +69,13 @@ NodeId = Hashable
 DATA = "data"
 MARK = "mark"
 BATCH = "batch"
+
+#: Link-supervision kinds (:mod:`repro.net.supervision`): a heartbeat probe
+#: and its echo.  They carry no protocol payload and no sequence number —
+#: they belong to the *link*, not to any agreement round — so the chaos
+#: layer and the dedup window both ignore them.
+PING = "ping"
+PONG = "pong"
 
 #: Envelope versions this codec understands.  Version 1 is the legacy
 #: unversioned format (no ``"v"`` key, no instance id); version 2 adds the
@@ -109,6 +118,13 @@ class Frame:
     (:mod:`repro.serve`).  ``None`` — the default — means "the sole
     instance of a single-agreement run" and selects the legacy version-1
     envelope on the wire.
+
+    ``seq`` is the per-directed-link sequence number stamped by
+    :class:`~repro.net.supervision.SupervisedTransport` so a frame replayed
+    across a reconnect is *deduplicated* at the receiver instead of
+    double-delivered.  ``None`` — the default — means the link is
+    unsupervised; the key is omitted from the encoding, keeping
+    unsupervised frames byte-identical to the legacy wire format.
     """
 
     kind: str
@@ -120,6 +136,7 @@ class Frame:
     messages: Tuple[Message, ...] = field(default=())
     mark: bool = False
     instance: Optional[Hashable] = None
+    seq: Optional[int] = None
 
 
 # ----------------------------------------------------------------------
@@ -155,6 +172,10 @@ def encode_frame(frame: Frame) -> bytes:
         # legacy (version 1) wire format.
         body["v"] = 2
         body["iid"] = to_jsonable(frame.instance)
+    if frame.seq is not None:
+        # Orthogonal to the envelope version: only supervised links pay
+        # for the key, so unsupervised encodings stay byte-identical.
+        body["seq"] = frame.seq
     try:
         return json.dumps(body, sort_keys=True, separators=(",", ":")).encode("utf-8")
     except (TypeError, ValueError) as exc:
@@ -191,6 +212,7 @@ def decode_frame(data: bytes) -> Frame:
         messages=messages,
         mark=mark,
         instance=from_jsonable(body["iid"]) if "iid" in body else None,
+        seq=body.get("seq"),
     )
 
 

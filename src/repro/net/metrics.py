@@ -28,6 +28,45 @@ from typing import Dict, Hashable, List, Tuple
 
 NodeId = Hashable
 
+Link = Tuple[str, str]
+
+
+@dataclass
+class LinkMetrics:
+    """Per-directed-link supervision counters (:mod:`repro.net.supervision`).
+
+    A link entry exists only once something happened on the link — lazily
+    created by the first recorded event — so clean runs carry no link
+    noise.  Wall-clock-dependent fields (outage seconds, heartbeat RTTs)
+    are kept for operators but excluded from the determinism fingerprint;
+    only event *counts* whose triggers are seeded (reconnects, dedups) are
+    fingerprinted.
+    """
+
+    #: Times the link's connection was re-established after it had already
+    #: carried traffic (first-ever dials are not reconnects).
+    reconnects: int = 0
+    #: Inbound frames dropped as replays of an already-seen sequence number.
+    deduped: int = 0
+    #: Send attempts the transport failed with a connection-level error.
+    errors: int = 0
+    #: Outage windows the supervisor rode out (healed or abandoned).
+    outages: int = 0
+    #: Total wall-clock seconds spent inside those outage windows.
+    outage_seconds: float = 0.0
+    #: Sends short-circuited to a metered loss because the circuit was open.
+    fast_fails: int = 0
+    #: Heartbeat probes sent on the link while it sat idle.
+    heartbeats: int = 0
+    #: Heartbeat echoes received (samples in :attr:`heartbeat_rtts`).
+    pongs: int = 0
+    #: Current failure-detector verdict: ``alive`` / ``suspect`` / ``dead``.
+    state: str = "alive"
+    #: Number of state-machine transitions the detector performed.
+    state_changes: int = 0
+    #: Round-trip times of answered heartbeats (seconds).
+    heartbeat_rtts: List[float] = field(default_factory=list)
+
 
 @dataclass
 class RoundMetrics:
@@ -99,6 +138,17 @@ class NetMetrics:
         #: Frames the service demux routed to a retired (already decided
         #: and garbage-collected) or never-registered instance.
         self.stray_frames = 0
+        #: Per-directed-link supervision counters, lazily created by the
+        #: first recorded link event (:mod:`repro.net.supervision`).
+        self.links: Dict[Link, LinkMetrics] = {}
+        #: Service instances the gateway watchdog cancelled for exceeding
+        #: their round-deadline envelope.
+        self.watchdog_cancellations = 0
+        #: Node endpoints that were killed and restarted mid-run.
+        self.endpoint_restarts = 0
+        #: Scheduled hard-resets of pooled connections the chaos layer
+        #: (or an operator) executed.
+        self.link_resets = 0
 
     # ------------------------------------------------------------------
     # Recording
@@ -192,6 +242,62 @@ class NetMetrics:
         self.crash_events += 1
 
     # ------------------------------------------------------------------
+    # Link supervision (repro.net.supervision)
+    # ------------------------------------------------------------------
+    def link(self, source: NodeId, destination: NodeId) -> LinkMetrics:
+        """The (lazily created) counter entry for one directed link."""
+        key = (str(source), str(destination))
+        if key not in self.links:
+            self.links[key] = LinkMetrics()
+        return self.links[key]
+
+    def record_reconnect(self, source: NodeId, destination: NodeId) -> None:
+        self.link(source, destination).reconnects += 1
+
+    def record_dedup(self, source: NodeId, destination: NodeId) -> None:
+        self.link(source, destination).deduped += 1
+
+    def record_link_error(self, source: NodeId, destination: NodeId) -> None:
+        self.link(source, destination).errors += 1
+
+    def record_outage(
+        self, source: NodeId, destination: NodeId, seconds: float
+    ) -> None:
+        entry = self.link(source, destination)
+        entry.outages += 1
+        entry.outage_seconds += max(0.0, seconds)
+
+    def record_fast_fail(self, source: NodeId, destination: NodeId) -> None:
+        self.link(source, destination).fast_fails += 1
+
+    def record_heartbeat(self, source: NodeId, destination: NodeId) -> None:
+        self.link(source, destination).heartbeats += 1
+
+    def record_heartbeat_rtt(
+        self, source: NodeId, destination: NodeId, seconds: float
+    ) -> None:
+        entry = self.link(source, destination)
+        entry.pongs += 1
+        entry.heartbeat_rtts.append(max(0.0, seconds))
+
+    def record_link_state(
+        self, source: NodeId, destination: NodeId, state: str
+    ) -> None:
+        entry = self.link(source, destination)
+        if entry.state != state:
+            entry.state = state
+            entry.state_changes += 1
+
+    def record_watchdog_cancellation(self) -> None:
+        self.watchdog_cancellations += 1
+
+    def record_endpoint_restart(self) -> None:
+        self.endpoint_restarts += 1
+
+    def record_link_reset(self) -> None:
+        self.link_resets += 1
+
+    # ------------------------------------------------------------------
     # Aggregates
     # ------------------------------------------------------------------
     @property
@@ -252,6 +358,32 @@ class NetMetrics:
         return sum(r.chaos_corruptions for r in self.rounds.values())
 
     @property
+    def total_reconnects(self) -> int:
+        return sum(link.reconnects for link in self.links.values())
+
+    @property
+    def total_deduped(self) -> int:
+        return sum(link.deduped for link in self.links.values())
+
+    @property
+    def total_outages(self) -> int:
+        return sum(link.outages for link in self.links.values())
+
+    @property
+    def total_fast_fails(self) -> int:
+        return sum(link.fast_fails for link in self.links.values())
+
+    @property
+    def total_heartbeats(self) -> int:
+        return sum(link.heartbeats for link in self.links.values())
+
+    def dead_links(self) -> List[Link]:
+        """Directed links currently judged dead by the failure detector."""
+        return sorted(
+            key for key, link in self.links.items() if link.state == "dead"
+        )
+
+    @property
     def total_chaos_events(self) -> int:
         """Every chaos perturbation this run: frame-level plus crashes."""
         return (
@@ -278,7 +410,21 @@ class NetMetrics:
             "partition_rounds": self.partition_rounds,
             "crash_events": self.crash_events,
             "stray_frames": self.stray_frames,
+            "watchdog_cancellations": self.watchdog_cancellations,
+            "endpoint_restarts": self.endpoint_restarts,
+            "link_resets": self.link_resets,
         }
+        # Link counters: only seeded-deterministic event counts, and only
+        # for links where those events happened — a heartbeat-created entry
+        # with zero reconnects/dedups must not perturb the fingerprint
+        # (heartbeat cadence is wall-clock-driven).
+        for (source, destination) in sorted(self.links):
+            entry = self.links[(source, destination)]
+            prefix = f"link.{source}.{destination}."
+            if entry.reconnects:
+                out[prefix + "reconnects"] = entry.reconnects
+            if entry.deduped:
+                out[prefix + "deduped"] = entry.deduped
         for instance_id in sorted(self.instances):
             for key, value in sorted(self.instances[instance_id].items()):
                 out[f"inst.{instance_id}.{key}"] = value
@@ -373,6 +519,28 @@ class NetMetrics:
                 f"frames={inst_frames}  messages={inst_messages}"
                 + (f"  stray_frames={self.stray_frames}"
                    if self.stray_frames else "")
+            )
+        if self.links or self.endpoint_restarts or self.link_resets:
+            dead = self.dead_links()
+            lines.append(
+                f"supervision: reconnects={self.total_reconnects}  "
+                f"deduped={self.total_deduped}  "
+                f"outages={self.total_outages}  "
+                f"fast_fails={self.total_fast_fails}  "
+                f"heartbeats={self.total_heartbeats}  "
+                f"link_resets={self.link_resets}  "
+                f"endpoint_restarts={self.endpoint_restarts}"
+                + (
+                    "  dead="
+                    + ",".join(f"{s}->{d}" for s, d in dead)
+                    if dead
+                    else ""
+                )
+            )
+        if self.watchdog_cancellations:
+            lines.append(
+                f"watchdog: {self.watchdog_cancellations} instance(s) "
+                f"cancelled past their round-deadline envelope"
             )
         if self.total_chaos_events or self.partition_rounds or self.decode_errors:
             lines.append(

@@ -68,6 +68,7 @@ from repro.sim.trace import EventKind, EventTrace, TraceEvent
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.net.chaos.accounting import ChaosLog
     from repro.net.chaos.policy import ChaosPolicy
+    from repro.net.supervision import HeartbeatPolicy
 
 NodeId = Hashable
 
@@ -628,6 +629,9 @@ async def run_agreement_async(
     chaos_rng: Optional[random.Random] = None,
     batching: bool = True,
     record_trace: bool = True,
+    supervise: bool = False,
+    heartbeat: Optional["HeartbeatPolicy"] = None,
+    supervision_rng: Optional[random.Random] = None,
 ) -> NetRunOutcome:
     """Run one m/u-degradable agreement over an async transport.
 
@@ -645,6 +649,13 @@ async def run_agreement_async(
     policy; every draw comes from *chaos_rng* (default:
     ``random.Random(chaos.seed)``) and the outcome carries the full
     :class:`~repro.net.chaos.accounting.ChaosLog` for fault accounting.
+
+    With ``supervise=True`` the stack is additionally wrapped in a
+    :class:`~repro.net.supervision.SupervisedTransport` *above* chaos, so
+    injected connection resets and endpoint restarts are healed by real
+    re-dials while unhealable outages degrade into metered absences.
+    Passing a :class:`~repro.net.supervision.HeartbeatPolicy` as
+    *heartbeat* also arms the PING/PONG failure detector.
     """
     stack: List[AsyncFaultAdapter] = []
     if behaviors:
@@ -661,6 +672,19 @@ async def run_agreement_async(
 
         base_transport = ChaosTransport(base_transport, chaos, rng=chaos_rng)
         chaos_log = base_transport.log
+    if supervise or heartbeat is not None:
+        from repro.net.supervision import SupervisedTransport
+
+        seed = chaos.seed if chaos is not None else 0
+        base_transport = SupervisedTransport(
+            base_transport,
+            heartbeat=heartbeat,
+            rng=(
+                supervision_rng
+                if supervision_rng is not None
+                else random.Random(seed)
+            ),
+        )
     session = ProtocolSession.byz(spec, nodes, sender, sender_value)
     runner = AsyncRoundRunner(
         session,

@@ -64,6 +64,9 @@ class TcpTransport(Transport):
         self._writers: Dict[Tuple[NodeId, NodeId], asyncio.StreamWriter] = {}
         self._retired: List[asyncio.StreamWriter] = []
         self._reader_tasks: List[asyncio.Task] = []
+        #: Links that have successfully carried at least one frame; a
+        #: re-dial on such a link is a *reconnect* (first dials are not).
+        self._ever_connected: set = set()
 
     def attach_metrics(self, metrics: NetMetrics) -> None:
         self.metrics = metrics
@@ -105,7 +108,11 @@ class TcpTransport(Transport):
                         if self.metrics is not None:
                             self.metrics.record_decode_error()
                         break
-            except (ConnectionError, asyncio.CancelledError):
+            except asyncio.CancelledError:
+                pass
+            except (ConnectionError, OSError):
+                # A peer that resets mid-read costs this connection only;
+                # the endpoint keeps serving, the sender re-dials.
                 pass
             finally:
                 writer.close()
@@ -151,6 +158,54 @@ class TcpTransport(Transport):
         self._retired.append(writer)
 
     # ------------------------------------------------------------------
+    # Fault surface (chaos / operators)
+    # ------------------------------------------------------------------
+    def reset_connections(self, node: Optional[NodeId] = None) -> int:
+        """Hard-reset pooled connections; returns how many were severed.
+
+        Aborts (no FIN handshake, no flush — the closest asyncio gets to a
+        peer yanking the cable) every pooled writer touching *node*, or
+        every pooled writer when *node* is ``None``.  The endpoints stay
+        up: the next frame on each severed link re-dials, which is exactly
+        the reconnect path the supervision layer must heal.
+        """
+        links = [
+            link
+            for link in list(self._writers)
+            if node is None or node in link
+        ]
+        for link in links:
+            writer = self._writers.pop(link)
+            transport = writer.transport
+            if transport is not None:
+                transport.abort()
+            self._retired.append(writer)
+        return len(links)
+
+    async def restart_endpoint(self, node: NodeId) -> None:
+        """Crash-restart *node*'s endpoint: new server, new port, empty inbox.
+
+        Models a process restart: the listening socket dies (in-flight
+        connections with it), queued-but-unconsumed frames are lost, and
+        the node comes back on a *fresh* ephemeral port.  Senders resolve
+        the address per-send, so their next frame dials the new endpoint.
+        """
+        server = self._servers.pop(node, None)
+        if server is None:
+            raise TransportError(f"no endpoint for node {node!r}")
+        server.close()
+        await server.wait_closed()
+        for link in [l for l in list(self._writers) if node in l]:
+            self._retire(self._writers.pop(link))
+        self._inboxes[node] = asyncio.Queue()
+        replacement = await asyncio.start_server(
+            self._make_handler(node), host=self.host, port=0
+        )
+        self._servers[node] = replacement
+        sockname = replacement.sockets[0].getsockname()
+        self._addresses[node] = (sockname[0], sockname[1])
+
+    # ------------------------------------------------------------------
     # Traffic
     # ------------------------------------------------------------------
     def address_of(self, node: NodeId) -> Tuple[str, int]:
@@ -169,12 +224,22 @@ class TcpTransport(Transport):
             if writer is None or writer.is_closing():
                 _, writer = await asyncio.open_connection(*address)
                 self._writers[link] = writer
+                if link in self._ever_connected and self.metrics is not None:
+                    self.metrics.record_reconnect(*link)
             writer.write(payload)
             await writer.drain()
+            self._ever_connected.add(link)
         except (ConnectionError, OSError) as exc:
+            # A reset connection costs this link one frame, never the
+            # runner: the stale socket is evicted, the error is metered as
+            # a link loss, and the caller (runner retry or supervisor
+            # re-dial) decides whether to heal or let the receiver resolve
+            # the absence to V_d at the round deadline — assumption (b).
             stale = self._writers.pop(link, None)
             if stale is not None:
                 self._retire(stale)
+            if self.metrics is not None:
+                self.metrics.record_link_error(*link)
             raise TransportError(
                 f"send {link[0]!r} -> {link[1]!r} failed: {exc}"
             ) from exc

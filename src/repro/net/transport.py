@@ -86,6 +86,30 @@ class Transport(ABC):
         """
         return 0
 
+    def reset_connections(self, node: Optional[NodeId] = None) -> int:
+        """Hard-reset any pooled connections touching *node* (all if None).
+
+        Fault seam for the chaos layer's ``--kill-links`` mode.  Returns
+        the number of connections severed.  Transports without connection
+        state (object-passing buses) have nothing to sever — the default
+        returns 0 — while socket transports override this to abort pooled
+        writers so the next send on each link must re-dial.
+        """
+        return 0
+
+    async def restart_endpoint(self, node: NodeId) -> None:
+        """Crash-restart *node*'s endpoint (fault seam, optional).
+
+        Models a process restart: queued-but-unconsumed inbound frames are
+        lost and the endpoint comes back fresh (socket transports also
+        move to a new port).  Transports that cannot express a restart
+        raise :class:`~repro.exceptions.TransportError`; wrappers forward
+        down their stack.
+        """
+        raise TransportError(
+            f"{self.name} transport cannot restart endpoint {node!r}"
+        )
+
     async def __aenter__(self) -> "Transport":
         return self
 
@@ -126,6 +150,12 @@ class LocalBus(Transport):
         if inbox is None:
             raise TransportError(f"no endpoint for node {node!r}")
         return await inbox.get()
+
+    async def restart_endpoint(self, node: NodeId) -> None:
+        """Crash-restart: queued-but-undelivered frames for *node* are lost."""
+        if node not in self._inboxes:
+            raise TransportError(f"no endpoint for node {node!r}")
+        self._inboxes[node] = asyncio.Queue()
 
     async def close(self) -> None:
         self._inboxes = {}
@@ -212,6 +242,12 @@ class FlakyTransport(Transport):
 
     async def recv(self, node: NodeId) -> Frame:
         return await self.inner.recv(node)
+
+    def reset_connections(self, node: Optional[NodeId] = None) -> int:
+        return self.inner.reset_connections(node)
+
+    async def restart_endpoint(self, node: NodeId) -> None:
+        await self.inner.restart_endpoint(node)
 
     async def close(self) -> None:
         await self.inner.close()

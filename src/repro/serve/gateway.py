@@ -18,6 +18,19 @@ at most ``max_inflight`` instances run concurrently, at most
 derived from observed instance latencies — backpressure a load generator
 can act on, not silent unboundedness.
 
+Robustness: a per-instance *watchdog* bounds how long any instance may
+hold a worker slot.  An instance that exceeds its round-deadline envelope
+(``instance_envelope``, default ``(rounds + 2) * round_timeout``) is
+cancelled, its slot freed, and its client handed a degraded verdict —
+every receiver decided ``V_d``, ``satisfied=False`` with a watchdog
+violation note — instead of hanging the admission queue behind it.
+Watchdogged instances contribute neither trace nor per-instance counters
+to the service record: a half-run trace would fail conformance demux, and
+a cancellation-timing-dependent counter fold would break the aggregate
+fingerprint's determinism.  :meth:`AgreementService.restart_node`
+crash-restarts one node's endpoint mid-campaign (the mux re-attaches its
+pump; see :meth:`~repro.serve.mux.InstanceMux.restart_node`).
+
 Every finished instance folds its wire counters into the service's
 aggregate recorder (``NetMetrics.record_instance``, keyed and sorted so
 the aggregate fingerprint is insensitive to completion order) and appends
@@ -48,7 +61,7 @@ from repro.core.byz import AgreementResult
 from repro.core.conditions import OutcomeReport, classify
 from repro.core.protocol import ProtocolSession
 from repro.core.spec import DegradableSpec
-from repro.core.values import Value
+from repro.core.values import DEFAULT, Value
 from repro.exceptions import AdmissionError, ConfigurationError
 from repro.net.adapters import behavior_adapters
 from repro.net.metrics import NetMetrics
@@ -60,6 +73,7 @@ from repro.sim.trace import EventTrace
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.net.chaos.accounting import ChaosLog
     from repro.net.chaos.policy import ChaosPolicy
+    from repro.net.supervision import HeartbeatPolicy
     from repro.verify.record import RunRecord
 
 NodeId = Hashable
@@ -86,6 +100,11 @@ class InstanceOutcome:
     #: Submit-to-decision wall time (monotonic seconds).
     latency: float
     trace: Optional[EventTrace] = None
+    #: True when the gateway watchdog cancelled this instance for
+    #: exceeding its round-deadline envelope.  Watchdogged outcomes carry
+    #: a synthesized all-``V_d`` result and are excluded from the service
+    #: record (no trace, no counter fold).
+    watchdogged: bool = False
 
     @property
     def decisions(self) -> Dict[NodeId, Value]:
@@ -123,6 +142,10 @@ class AgreementService:
         retry: Optional[RetryPolicy] = None,
         batching: bool = True,
         record_trace: bool = True,
+        instance_envelope: Optional[float] = None,
+        supervise: bool = False,
+        heartbeat: Optional["HeartbeatPolicy"] = None,
+        supervision_rng: Optional[random.Random] = None,
     ) -> None:
         if max_inflight < 1:
             raise ConfigurationError(
@@ -131,6 +154,14 @@ class AgreementService:
         if queue_limit < 0:
             raise ConfigurationError(
                 f"queue_limit must be >= 0, got {queue_limit}"
+            )
+        if round_timeout <= 0:
+            raise ConfigurationError(
+                f"round_timeout must be > 0, got {round_timeout}"
+            )
+        if instance_envelope is not None and instance_envelope <= 0:
+            raise ConfigurationError(
+                f"instance_envelope must be > 0, got {instance_envelope}"
             )
         if len(set(nodes)) != spec.n_nodes:
             raise ConfigurationError(
@@ -145,10 +176,36 @@ class AgreementService:
 
             base = ChaosTransport(base, chaos, rng=chaos_rng)
             self.chaos_log = base.log
+        if supervise or heartbeat is not None:
+            # Self-healing layer sits ABOVE chaos (and below the mux): an
+            # injected reset or endpoint restart exercises a real re-dial,
+            # and the supervisor's seq stamps ride inside every instance's
+            # frames so replays dedup across the shared stream.
+            from repro.net.supervision import SupervisedTransport
+
+            seed = chaos.seed if chaos is not None else 0
+            base = SupervisedTransport(
+                base,
+                heartbeat=heartbeat,
+                rng=(
+                    supervision_rng
+                    if supervision_rng is not None
+                    else random.Random(seed)
+                ),
+            )
         self.mux = InstanceMux(base, self.nodes)
         self.max_inflight = max_inflight
         self.queue_limit = queue_limit
         self.round_timeout = round_timeout
+        #: Watchdog budget per instance: a full protocol run is
+        #: ``rounds + 1`` deadline windows (final round is ingest-only),
+        #: so ``rounds + 2`` windows of wall time means the runner is
+        #: wedged, not slow.
+        self.instance_envelope = (
+            instance_envelope
+            if instance_envelope is not None
+            else (spec.rounds + 2) * round_timeout
+        )
         self.retry = retry
         self.batching = batching
         self.record_trace = record_trace
@@ -283,9 +340,29 @@ class AgreementService:
         if self._latencies:
             recent = self._latencies[-32:]
             return max(0.01, sum(recent) / len(recent))
-        # No instance has finished yet: a full protocol run's deadline
-        # budget is the only estimate available.
-        return self.round_timeout
+        # No instance has finished yet, so there is no latency history to
+        # average; clamp the round deadline into [0.01s, 1s] so a service
+        # configured with a generous round_timeout (the 5s default, say)
+        # does not tell its very first rejected client to go away for a
+        # full deadline window, and a degenerate tiny timeout still yields
+        # a non-zero, usable hint.
+        return min(1.0, max(0.01, self.round_timeout))
+
+    async def restart_node(self, node: NodeId) -> None:
+        """Crash-restart one node's endpoint mid-campaign.
+
+        Delegates to :meth:`~repro.serve.mux.InstanceMux.restart_node`:
+        the node's pump is cancelled, its transport endpoint rebuilt (any
+        queued frames are lost — recorded absence, not a hang), and a
+        fresh pump re-attached to the same per-instance channels.
+        In-flight instances ride out the node's silence to their round
+        deadlines and substitute ``V_d``.
+        """
+        if node not in self.nodes:
+            raise ConfigurationError(
+                f"node {node!r} is not in the service node set"
+            )
+        await self.mux.restart_node(node)
 
     # ------------------------------------------------------------------
     # Aggregates
@@ -347,7 +424,29 @@ class AgreementService:
             record_trace=self.record_trace,
             instance_id=job.instance_id,
         )
-        result = await runner.run()
+        watchdogged = False
+        try:
+            result = await asyncio.wait_for(
+                runner.run(), timeout=self.instance_envelope
+            )
+        except asyncio.TimeoutError:
+            # Watchdog fired: the runner blew through every per-round
+            # deadline it was budgeted and is presumed wedged.  wait_for
+            # has already cancelled it (running its ``finally`` and
+            # closing the channel); release again defensively — it is
+            # idempotent — then synthesize the verdict the paper's model
+            # assigns a run nobody heard from: every receiver at ``V_d``.
+            watchdogged = True
+            await channel.close()
+            result = AgreementResult(
+                decisions={
+                    node: DEFAULT
+                    for node in self.nodes
+                    if node != job.sender
+                },
+                sender=job.sender,
+                sender_value=job.sender_value,
+            )
         latency = loop.time() - job.submitted_at
         declared = frozenset(job.behaviors or ())
         afflicted = declared
@@ -357,6 +456,15 @@ class AgreementService:
             )
         tier = self.spec.guarantee_for(len(afflicted))
         report = classify(result, afflicted, self.spec)
+        if watchdogged:
+            # A cancellation is never a satisfied contract, whatever shape
+            # the synthesized all-V_d decisions happen to classify as.
+            report.satisfied = False
+            report.violations.append(
+                f"watchdog: instance exceeded its "
+                f"{self.instance_envelope:.3g}s envelope and was cancelled"
+            )
+            self.aggregate_metrics.record_watchdog_cancellation()
         outcome = InstanceOutcome(
             instance_id=job.instance_id,
             sender=job.sender,
@@ -367,15 +475,21 @@ class AgreementService:
             tier=tier,
             report=report,
             latency=latency,
-            trace=runner.trace,
+            trace=None if watchdogged else runner.trace,
+            watchdogged=watchdogged,
         )
         self._latencies.append(latency)
         self.outcomes[job.instance_id] = outcome
-        self.aggregate_metrics.record_instance(
-            job.instance_id, runner.metrics.counters()
-        )
-        if runner.trace is not None:
-            self._traces.append(runner.trace)
+        if not watchdogged:
+            # A cancelled instance's half-run counters and trace stay out
+            # of the service record: the counter fold would depend on
+            # cancellation timing (breaking the aggregate fingerprint)
+            # and a truncated trace would fail conformance demux.
+            self.aggregate_metrics.record_instance(
+                job.instance_id, runner.metrics.counters()
+            )
+            if runner.trace is not None:
+                self._traces.append(runner.trace)
         return outcome
 
 
@@ -398,7 +512,17 @@ def record_service_run(service: AgreementService) -> "RunRecord":
         raise ConfigurationError(
             "service has no finished instances; nothing to record"
         )
-    outcomes = list(service.outcomes.values())
+    # Watchdog-cancelled instances have no trace in the merged stream, so
+    # listing them in the header's meta would make demux look for records
+    # that cannot exist.  Their verdicts live in ``service.outcomes``.
+    outcomes = [
+        o for o in service.outcomes.values() if not o.watchdogged
+    ]
+    if not outcomes:
+        raise ConfigurationError(
+            "every service instance was watchdog-cancelled; "
+            "no conformant trace to record"
+        )
     instances_meta = [
         {
             "id": outcome.instance_id,

@@ -94,6 +94,32 @@ class InstanceMux:
             await self.transport.close()
             self._started = False
 
+    async def restart_node(self, node: NodeId) -> None:
+        """Crash-restart one node's endpoint mid-campaign.
+
+        Tears the node's runner side down for real — its pump task is
+        cancelled, its transport endpoint is rebuilt
+        (:meth:`~repro.net.transport.Transport.restart_endpoint`, which
+        drops anything queued for it) — then re-attaches: a fresh pump
+        resumes draining the rebuilt endpoint into the same per-instance
+        channel queues, so in-flight instances keep their channels and
+        simply see the restarted node go absent for the frames it lost
+        (assumption (b): recorded absence, ``V_d``, not a hang).
+        """
+        if node not in self.nodes:
+            raise TransportError(
+                f"no endpoint for node {node!r} (mux nodes: {self.nodes!r})"
+            )
+        if not self._started:
+            raise TransportError("mux is not running; nothing to restart")
+        idx = self.nodes.index(node)
+        pump = self._pumps[idx]
+        pump.cancel()
+        await asyncio.gather(pump, return_exceptions=True)
+        await self.transport.restart_endpoint(node)
+        self._pumps[idx] = asyncio.ensure_future(self._pump(node))
+        self.metrics.record_endpoint_restart()
+
     # ------------------------------------------------------------------
     # Instance registry
     # ------------------------------------------------------------------

@@ -1,10 +1,66 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and the per-test wall-clock ceiling.
+
+Every test runs under a timeout so a wedged event loop (the exact
+failure mode the self-healing layer exists to prevent) fails loudly in
+seconds instead of hanging CI.  When the ``pytest-timeout`` plugin is
+installed it owns the job; otherwise a SIGALRM fallback below enforces
+the same ceiling on platforms that have it (main thread, POSIX).  Mark a
+test ``@pytest.mark.timeout(seconds)`` to override its budget.
+"""
 
 from __future__ import annotations
+
+import signal
+import threading
 
 import pytest
 
 from repro.core import DegradableSpec
+
+#: Generous defaults: tier-1 tests finish in milliseconds; these only
+#: exist to convert a hang into a diagnosable failure.
+DEFAULT_TEST_TIMEOUT = 120.0
+SLOW_TEST_TIMEOUT = 600.0
+
+
+def _timeout_budget(item) -> float:
+    marker = item.get_closest_marker("timeout")
+    if marker is not None and marker.args:
+        return float(marker.args[0])
+    if item.get_closest_marker("slow") is not None:
+        return SLOW_TEST_TIMEOUT
+    return DEFAULT_TEST_TIMEOUT
+
+
+def _sigalrm_available(config) -> bool:
+    if config.pluginmanager.hasplugin("timeout"):
+        return False  # pytest-timeout is installed and owns timeouts
+    return hasattr(signal, "SIGALRM") and hasattr(signal, "setitimer")
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    if not _sigalrm_available(item.config) or (
+        threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+    budget = _timeout_budget(item)
+
+    def _expired(signum, frame):
+        pytest.fail(
+            f"test exceeded its {budget:g}s wall-clock ceiling "
+            f"(likely a hung event loop or an unhealed transport)",
+            pytrace=False,
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, budget)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 def node_names(n: int, sender: str = "S") -> list:

@@ -91,7 +91,8 @@ class TestTrialResult:
         assert parse_replay(blob["replay"]) == result.config
         assert blob["tier"] in ("byzantine", "degraded", "none")
         assert set(blob["chaos_counts"]) == {
-            "drop", "corrupt", "partition", "crash", "dup", "reorder", "delay"
+            "drop", "corrupt", "partition", "crash", "restart",
+            "dup", "reorder", "delay", "reset",
         }
         assert json.dumps(blob)  # JSON-serializable through and through
 

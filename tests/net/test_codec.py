@@ -268,3 +268,38 @@ class TestEnvelopeVersions:
         )
         decoded = decode_frame(encode_frame(frame))
         assert decoded.instance == ("shard", 7)
+
+
+class TestSupervisionFrames:
+    """Heartbeat frames and the per-link sequence stamp on the wire."""
+
+    def test_ping_pong_round_trip(self):
+        from repro.net.codec import PING, PONG
+
+        ping = Frame(kind=PING, round_no=0, source="S", destination="p1",
+                     sent_at=2.5)
+        pong = Frame(kind=PONG, round_no=0, source="p1", destination="S",
+                     sent_at=2.5)
+        assert decode_frame(encode_frame(ping)) == ping
+        assert decode_frame(encode_frame(pong)) == pong
+
+    def test_seq_round_trips(self):
+        frame = Frame(kind=MARK, round_no=2, source="S", destination="p1",
+                      seq=41)
+        decoded = decode_frame(encode_frame(frame))
+        assert decoded.seq == 41
+        assert decoded == frame
+
+    def test_unstamped_frame_encoding_unchanged_by_seq_field(self):
+        # seq=None frames (every unsupervised run) must stay byte-identical
+        # to the pre-supervision wire format: no "seq" key at all.
+        frame = Frame(kind=MARK, round_no=3, source="S", destination="p4")
+        body = encode_frame(frame)
+        assert b'"seq":' not in body
+        assert body == (
+            b'{"at":0.0,"dst":"p4","kind":"mark","round":3,"src":"S"}'
+        )
+
+    def test_legacy_frame_decodes_with_no_seq(self):
+        legacy = b'{"at":0.0,"dst":"p1","kind":"mark","round":1,"src":"S"}'
+        assert decode_frame(legacy).seq is None

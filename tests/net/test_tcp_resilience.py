@@ -181,3 +181,71 @@ class TestCloseHygiene:
             await tcp.close()  # idempotent even with retired writers
 
         asyncio.run(asyncio.wait_for(scenario(), timeout=10.0))
+
+
+class TestPeerClosesMidRound:
+    """Regression: a peer yanking the connection mid-round used to escape
+    as a raw ConnectionError from the send path.  It must surface as a
+    metered TransportError (link loss the caller can heal or let resolve
+    to V_d) — and heal transparently under a SupervisedTransport."""
+
+    def test_dead_peer_is_metered_transport_error(self):
+        import pytest
+
+        from repro.exceptions import TransportError
+
+        async def scenario():
+            tcp = TcpTransport()
+            metrics = NetMetrics(transport=tcp.name)
+            tcp.attach_metrics(metrics)
+            await tcp.open(NODES)
+            try:
+                await tcp.send(data_frame())  # pools the S->p1 connection
+                await asyncio.wait_for(tcp.recv("p1"), timeout=5.0)
+                # The peer process dies outright: its listener vanishes and
+                # the pooled connection is severed, so the send's re-dial
+                # is refused.  The error must surface as a metered
+                # TransportError, never a raw ConnectionError.
+                server = tcp._servers.pop("p1")
+                server.close()
+                await server.wait_closed()
+                tcp._writers[("S", "p1")].transport.abort()
+                await asyncio.sleep(0)  # let the abort land
+                with pytest.raises(TransportError):
+                    await tcp.send(data_frame(value="after-reset"))
+            finally:
+                await tcp.close()
+            return metrics
+
+        metrics = asyncio.run(scenario())
+        assert metrics.link("S", "p1").errors >= 1
+
+    def test_supervisor_heals_the_reset_and_counts_the_reconnect(self):
+        import random
+
+        from repro.net.supervision import SupervisedTransport
+
+        async def scenario():
+            tcp = TcpTransport()
+            sup = SupervisedTransport(tcp, rng=random.Random(0))
+            metrics = NetMetrics(transport=sup.name)
+            sup.attach_metrics(metrics)
+            await sup.open(NODES)
+            try:
+                await sup.send(data_frame(value="before"))
+                await asyncio.wait_for(sup.recv("p1"), timeout=5.0)
+                severed = tcp.reset_connections()
+                assert severed >= 1
+                # The supervised send re-dials inside its retry budget and
+                # the frame arrives — no exception, no absence.
+                nbytes = await sup.send(data_frame(value="after"))
+                assert nbytes > 0
+                frame = await asyncio.wait_for(sup.recv("p1"), timeout=5.0)
+                assert frame.message.payload.value == "after"
+            finally:
+                await sup.close()
+            return metrics
+
+        metrics = asyncio.run(scenario())
+        assert metrics.total_reconnects >= 1
+        assert metrics.total_send_failures == 0

@@ -160,8 +160,10 @@ class TestAdmissionControl:
                 return before, after
 
         before, after = run(scenario())
-        # No data yet: the hint falls back to the round deadline budget.
-        assert before == 3.0
+        # No data yet: the hint falls back to the round deadline budget,
+        # clamped into [0.01s, 1s] so a generous deadline does not turn
+        # into a punitive first-client backoff.
+        assert before == 1.0
         # With one observation the hint is that instance's actual latency,
         # far below the worst-case deadline.
         assert 0.0 < after < before

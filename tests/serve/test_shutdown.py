@@ -1,0 +1,266 @@
+"""Shutdown hygiene and recovery: idempotent close, watchdog, restart.
+
+The service must tear down the same way every time — close twice, close
+after a watchdog cancellation, close with a client's future cancelled —
+without leaking tasks or resurrecting retired instance channels, and the
+watchdog/restart machinery must free resources instead of wedging them.
+"""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.core.spec import DegradableSpec
+from repro.core.values import DEFAULT
+from repro.exceptions import ConfigurationError, TransportError
+from repro.net.transport import LocalBus
+from repro.serve import AgreementService, record_service_run
+from repro.serve.mux import InstanceMux
+
+SPEC = DegradableSpec(m=1, u=2, n_nodes=5)
+NODES = ("S", "p1", "p2", "p3", "p4")
+
+
+class WedgeBus(LocalBus):
+    """LocalBus that hangs forever on frames of designated instances."""
+
+    def __init__(self, wedge_instances=()):
+        super().__init__()
+        self.wedge_instances = set(wedge_instances)
+
+    async def send(self, frame):
+        if frame.instance in self.wedge_instances:
+            await asyncio.sleep(3600)
+        return await super().send(frame)
+
+
+def leaked_tasks():
+    current = asyncio.current_task()
+    return [t for t in asyncio.all_tasks() if t is not current and not t.done()]
+
+
+class TestCloseHygiene:
+    def test_close_is_idempotent(self):
+        async def scenario():
+            service = AgreementService(SPEC, NODES, round_timeout=1.0)
+            await service.start()
+            await service.submit_and_wait("S", "v")
+            await service.close()
+            await service.close()  # second close must be a clean no-op
+            await service.close()
+            return leaked_tasks()
+
+        assert asyncio.run(scenario()) == []
+
+    def test_close_before_start_is_safe(self):
+        async def scenario():
+            service = AgreementService(SPEC, NODES)
+            await service.close()
+            return leaked_tasks()
+
+        assert asyncio.run(scenario()) == []
+
+    def test_double_close_after_cancelled_inflight_leaks_nothing(self):
+        async def scenario():
+            service = AgreementService(
+                SPEC, NODES,
+                transport=WedgeBus(wedge_instances={"wedge"}),
+                round_timeout=0.2,
+                instance_envelope=0.4,
+                max_inflight=2,
+            )
+            await service.start()
+            iid = service.submit("S", "v", instance_id="wedge")
+            # The client walks away mid-flight; the worker must not choke
+            # on the cancelled future when the watchdog resolves the job.
+            service._futures[iid].cancel()
+            await service.close()
+            await service.close()
+            return leaked_tasks()
+
+        assert asyncio.run(scenario()) == []
+
+    def test_mux_never_delivers_to_a_retired_channel(self):
+        """GC under cancellation: once a channel is released, frames for
+        its instance are counted stray — never delivered, never able to
+        resurrect the queue set."""
+
+        async def scenario():
+            bus = LocalBus()
+            mux = InstanceMux(bus, NODES)
+            await mux.start()
+            try:
+                channel = mux.channel("i-gone")
+                await channel.open(list(NODES))
+                reader = asyncio.ensure_future(channel.recv("p1"))
+                await asyncio.sleep(0)  # reader parks on the queue
+                reader.cancel()
+                await asyncio.gather(reader, return_exceptions=True)
+                await channel.close()  # GC: instance retired
+
+                from dataclasses import replace as dc_replace
+
+                from repro.net.codec import DATA, Frame
+                from repro.sim.messages import Message, RelayPayload
+
+                frame = Frame(
+                    kind=DATA, round_no=1, source="S", destination="p1",
+                    message=Message(
+                        source="S", destination="p1",
+                        payload=RelayPayload(path=("S",), value="late"),
+                        round_sent=1, tag="byz",
+                    ),
+                    instance="i-gone",
+                )
+                await bus.send(frame)
+                await asyncio.sleep(0.05)  # let the pump route it
+                strays = mux.metrics.stray_frames
+                live = mux.live_instances
+                with pytest.raises(TransportError):
+                    mux.queue_for("i-gone", "p1")
+            finally:
+                await mux.stop()
+            return strays, live
+
+        strays, live = asyncio.run(scenario())
+        assert strays == 1
+        assert live == 0
+
+
+class TestWatchdog:
+    def test_wedged_instance_is_cancelled_with_degraded_verdict(self):
+        async def scenario():
+            async with AgreementService(
+                SPEC, NODES,
+                transport=WedgeBus(wedge_instances={"wedge"}),
+                round_timeout=0.2,
+                instance_envelope=0.5,
+                max_inflight=1,
+            ) as service:
+                wedged = await service.submit_and_wait(
+                    "S", "v", instance_id="wedge"
+                )
+                # The slot was freed: a follow-up instance runs to a real
+                # decision behind the cancelled one.
+                healthy = await service.submit_and_wait("S", "w")
+                return wedged, healthy, service
+
+        wedged, healthy, service = asyncio.run(scenario())
+        assert wedged.watchdogged and not wedged.ok
+        assert set(wedged.decisions.values()) == {DEFAULT}
+        assert any("watchdog" in v for v in wedged.report.violations)
+        assert not healthy.watchdogged and healthy.ok
+        assert service.aggregate_metrics.watchdog_cancellations == 1
+
+    def test_watchdogged_instances_stay_out_of_the_service_record(self):
+        async def scenario():
+            async with AgreementService(
+                SPEC, NODES,
+                transport=WedgeBus(wedge_instances={"wedge"}),
+                round_timeout=0.2,
+                instance_envelope=0.5,
+            ) as service:
+                await service.submit_and_wait("S", "v", instance_id="wedge")
+                await service.submit_and_wait("S", "w", instance_id="fine")
+                return record_service_run(service)
+
+        record = asyncio.run(scenario())
+        listed = [entry["id"] for entry in record.meta["instances"]]
+        assert listed == ["fine"]
+
+    def test_all_watchdogged_record_refused(self):
+        async def scenario():
+            async with AgreementService(
+                SPEC, NODES,
+                transport=WedgeBus(wedge_instances={"wedge"}),
+                round_timeout=0.2,
+                instance_envelope=0.5,
+            ) as service:
+                await service.submit_and_wait("S", "v", instance_id="wedge")
+                with pytest.raises(ConfigurationError):
+                    record_service_run(service)
+
+        asyncio.run(scenario())
+
+    def test_default_envelope_budgets_the_full_run(self):
+        service = AgreementService(SPEC, NODES, round_timeout=0.5)
+        assert service.instance_envelope == pytest.approx(
+            (SPEC.rounds + 2) * 0.5
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AgreementService(SPEC, NODES, round_timeout=0.0)
+        with pytest.raises(ConfigurationError):
+            AgreementService(SPEC, NODES, round_timeout=-1.0)
+        with pytest.raises(ConfigurationError):
+            AgreementService(SPEC, NODES, instance_envelope=0.0)
+
+    def test_cold_start_retry_hint_is_clamped(self):
+        # Regression: with no latency history the hint used to parrot
+        # round_timeout verbatim — a 5s "come back later" from a service
+        # that had simply not finished its first instance yet.
+        generous = AgreementService(SPEC, NODES, round_timeout=5.0)
+        assert generous.retry_after_hint() == 1.0
+        tiny = AgreementService(SPEC, NODES, round_timeout=0.004)
+        assert tiny.retry_after_hint() == 0.01
+        mid = AgreementService(SPEC, NODES, round_timeout=0.25)
+        assert mid.retry_after_hint() == 0.25
+
+
+class TestRestartNode:
+    def test_restart_reattaches_pump_and_instances_complete(self):
+        async def scenario():
+            async with AgreementService(
+                SPEC, NODES, round_timeout=0.3
+            ) as service:
+                before = await service.submit_and_wait("S", "v1")
+                await service.restart_node("p2")
+                after = await service.submit_and_wait("S", "v2")
+                return before, after, service
+
+        before, after, service = asyncio.run(scenario())
+        assert before.ok and after.ok
+        assert after.decisions["p2"] == "v2"  # restarted node still decides
+        assert service.aggregate_metrics.endpoint_restarts == 1
+
+    def test_restart_mid_instance_degrades_not_hangs(self):
+        """Kill a node while an instance is in flight: the run completes
+        within its deadlines and the restarted node's absence is at worst
+        a recorded omission, never a wedge."""
+
+        async def scenario():
+            async with AgreementService(
+                SPEC, NODES, round_timeout=0.3, supervise=True,
+                supervision_rng=random.Random(0),
+            ) as service:
+                iid = service.submit("S", "v")
+                await asyncio.sleep(0)  # let the worker pick it up
+                await service.restart_node("p3")
+                outcome = await asyncio.wait_for(
+                    service.decision(iid), timeout=10.0
+                )
+                return outcome
+
+        outcome = asyncio.run(scenario())
+        assert not outcome.watchdogged
+        assert set(outcome.decisions) == set(NODES) - {"S"}
+        for value in outcome.decisions.values():
+            assert value in ("v", DEFAULT)
+
+    def test_restart_unknown_node_rejected(self):
+        async def scenario():
+            async with AgreementService(SPEC, NODES) as service:
+                with pytest.raises(ConfigurationError):
+                    await service.restart_node("ghost")
+
+        asyncio.run(scenario())
+
+    def test_mux_restart_requires_running_mux(self):
+        async def scenario():
+            mux = InstanceMux(LocalBus(), NODES)
+            with pytest.raises(TransportError):
+                await mux.restart_node("p1")
+
+        asyncio.run(scenario())
