@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""CI gate for the observability endpoint.
+
+Starts ``repro serve --metrics-port 0 --metrics-linger N`` as a
+subprocess, reads the printed ``metrics: http://...`` endpoint line,
+scrapes ``/metrics`` and ``/healthz`` while the service is live, and
+fails on:
+
+* a missing/unparseable endpoint line,
+* a non-200 scrape,
+* any malformed exposition line (validated with the same strict parser
+  the tests use, :func:`repro.obs.prom.parse_exposition`),
+* a ``/healthz`` body that is not ``{"status": "ok", ...}``,
+* the serve subprocess itself exiting nonzero.
+
+Run from the repo root with ``PYTHONPATH=src`` (scripts/ci.sh and
+scripts/smoke.sh do both).
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+from repro.obs.prom import parse_exposition
+
+LINGER = 8.0
+DEADLINE = 60.0
+
+
+def fail(message: str) -> "NoReturn":  # noqa: F821 - py<3.11 typing
+    print(f"obs gate: FAILED — {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def fetch(url: str, timeout: float = 5.0) -> str:
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        if response.status != 200:
+            fail(f"GET {url} returned {response.status}")
+        return response.read().decode("utf-8")
+
+
+def main() -> int:
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--instances", "8", "--timeout", "1",
+            "--metrics-port", "0", "--metrics-linger", str(LINGER),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        assert proc.stdout is not None
+        started = time.monotonic()
+        endpoint = None
+        while time.monotonic() - started < DEADLINE:
+            line = proc.stdout.readline()
+            if not line:
+                break
+            if line.startswith("metrics: "):
+                endpoint = line.split(None, 1)[1].strip()
+                break
+        if endpoint is None:
+            proc.kill()
+            fail("serve never printed its metrics endpoint")
+        base = endpoint.rsplit("/metrics", 1)[0]
+
+        # The linger window keeps the endpoint up after the instances
+        # finish, so these scrapes cannot race the run's natural end.
+        body = fetch(endpoint)
+        try:
+            samples = parse_exposition(body)
+        except ValueError as exc:
+            proc.kill()
+            fail(f"malformed exposition: {exc}")
+        required = (
+            "repro_rounds_total",
+            "repro_gateway_inflight",
+            "repro_obs_events_total",
+        )
+        missing = [
+            name for name in required
+            if not any(key.startswith(name) for key in samples)
+        ]
+        if missing:
+            proc.kill()
+            fail(f"exposition is missing required series: {missing}")
+
+        health = json.loads(fetch(base + "/healthz"))
+        if health.get("status") != "ok":
+            proc.kill()
+            fail(f"/healthz is not ok: {health!r}")
+
+        remaining = DEADLINE - (time.monotonic() - started)
+        try:
+            proc.communicate(timeout=max(1.0, remaining))
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            fail("serve did not exit within the gate deadline")
+        if proc.returncode != 0:
+            fail(f"serve exited {proc.returncode}")
+        print(
+            f"obs gate: ok — {len(samples)} well-formed series from "
+            f"{endpoint}, /healthz ok, serve exited 0"
+        )
+        return 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

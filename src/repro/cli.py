@@ -27,6 +27,11 @@ Exposes the library's main entry points for interactive exploration:
   client load generator; reports latency percentiles and throughput and
   writes ``BENCH_serve.json``, gated on every decision matching the
   synchronous reference engine;
+* ``stats``        — render a one-shot observability snapshot from a
+  recorded artifact (``BENCH_serve.json``, ``BENCH_net.json``, or a
+  trace record); ``--prom`` emits Prometheus text exposition so recorded
+  runs scrape into the same dashboards as live ones
+  (``serve``/``load`` gain ``--metrics-port`` for the live endpoint);
 * ``verify``       — audit a recorded trace offline: re-derive every
   fault-free node's vote tree from the recorded deliveries and check vote
   arithmetic, round structure, absence→V_d accounting and the D.1–D.4
@@ -44,6 +49,7 @@ errors.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -186,6 +192,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace", default="",
                    help="record the whole service run to this JSONL file "
                         "(repro verify demultiplexes it)")
+    p.add_argument("--metrics-port", type=int, default=None,
+                   metavar="PORT",
+                   help="serve /metrics + /healthz + /events on this port "
+                        "for the duration of the run (0 = ephemeral; the "
+                        "bound endpoint is printed on stdout)")
+    p.add_argument("--metrics-linger", type=float, default=0.0,
+                   metavar="SECONDS",
+                   help="keep the metrics endpoint up this long after the "
+                        "instances finish (scrape window for external "
+                        "collectors and the CI gate)")
 
     p = sub.add_parser(
         "load",
@@ -213,6 +229,22 @@ def build_parser() -> argparse.ArgumentParser:
                    help="small workload (the CI gate)")
     p.add_argument("--out", default="BENCH_serve.json",
                    help="write the JSON report here ('' to skip)")
+    p.add_argument("--metrics-port", type=int, default=None,
+                   metavar="PORT",
+                   help="serve /metrics during the run (0 = ephemeral), "
+                        "self-scrape it mid-run, and embed the sample in "
+                        "the report")
+
+    p = sub.add_parser(
+        "stats",
+        help="render a one-shot observability snapshot from a recorded "
+             "artifact (BENCH_serve.json / BENCH_net.json / trace JSONL)",
+    )
+    p.add_argument("artifact", metavar="FILE",
+                   help="artifact to snapshot")
+    p.add_argument("--prom", action="store_true",
+                   help="emit Prometheus text exposition instead of the "
+                        "human-readable table")
 
     p = sub.add_parser(
         "bench",
@@ -534,6 +566,12 @@ def _cmd_serve(args) -> int:
         for i in range(args.instances)
     ]
 
+    events = None
+    if args.metrics_port is not None:
+        from repro.obs import EventBus
+
+        events = EventBus()
+
     async def run_service():
         service = AgreementService(
             spec,
@@ -545,12 +583,40 @@ def _cmd_serve(args) -> int:
             queue_limit=args.queue_limit,
             round_timeout=args.timeout,
             batching=not args.no_batch,
+            events=events,
         )
-        async with service:
-            iids = [
-                service.submit(sender, value) for sender, value in plan
-            ]
-            return service, [await service.decision(iid) for iid in iids]
+        obs_server = None
+        if args.metrics_port is not None:
+            from repro.obs import ObsServer, metrics_registry
+
+            obs_server = ObsServer(
+                lambda: metrics_registry(
+                    service.aggregate_metrics, service=service, bus=events
+                ),
+                health=lambda: {
+                    "instances_done": len(service.outcomes),
+                    "inflight": service.inflight,
+                    "queue_depth": service.queue_depth,
+                },
+                bus=events,
+                port=args.metrics_port,
+            )
+            await obs_server.start()
+            # External scrapers (and the CI gate) parse this line; keep
+            # it first and flushed so they see it before the run ends.
+            print(f"metrics: {obs_server.url}/metrics", flush=True)
+        try:
+            async with service:
+                iids = [
+                    service.submit(sender, value) for sender, value in plan
+                ]
+                decided = [await service.decision(iid) for iid in iids]
+                if obs_server is not None and args.metrics_linger > 0:
+                    await asyncio.sleep(args.metrics_linger)
+            return service, decided
+        finally:
+            if obs_server is not None:
+                await obs_server.close()
 
     service, outcomes = asyncio.run(run_service())
     print(f"{spec}; {len(outcomes)} instance(s) multiplexed over one "
@@ -620,6 +686,7 @@ def _cmd_load(args) -> int:
         max_inflight=args.max_inflight,
         queue_limit=args.queue_limit,
         round_timeout=args.timeout,
+        metrics_port=args.metrics_port,
     )
     print(f"load: {config.mode} loop, {config.instances} instance(s), "
           f"(m={config.m}, u={config.u}, N={config.n_nodes}) over "
@@ -634,6 +701,10 @@ def _cmd_load(args) -> int:
           f"p95={latency['p95'] * 1000:.1f}ms  "
           f"p99={latency['p99'] * 1000:.1f}ms  "
           f"max={latency['max'] * 1000:.1f}ms")
+    if report.metrics_sample:
+        print(f"  metrics: {report.metrics_sample['samples']} sample(s) "
+              f"self-scraped mid-run from "
+              f"{report.metrics_sample['endpoint']}")
     if report.divergences:
         print(f"  !! {len(report.divergences)} instance(s) diverged from "
               f"the synchronous engine: {report.divergences[:5]}")
@@ -645,6 +716,18 @@ def _cmd_load(args) -> int:
         return 0
     print("load: FAILED")
     return 1
+
+
+def _cmd_stats(args) -> int:
+    from repro.obs import render_snapshot
+
+    try:
+        text, ok = render_snapshot(args.artifact, prom=args.prom)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(text)
+    return 0 if ok else 1
 
 
 def _cmd_bench(args) -> int:
@@ -1028,6 +1111,7 @@ _COMMANDS = {
     "net": _cmd_net,
     "serve": _cmd_serve,
     "load": _cmd_load,
+    "stats": _cmd_stats,
     "bench": _cmd_bench,
     "chaos": _cmd_chaos,
     "verify": _cmd_verify,
@@ -1053,6 +1137,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Downstream consumer closed early (e.g. `repro stats --prom | head`);
+        # swap stdout for devnull so the interpreter's flush-at-exit does not
+        # raise a second time.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

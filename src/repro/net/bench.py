@@ -39,6 +39,7 @@ from repro.core.spec import DegradableSpec
 from repro.net.runner import run_agreement_async
 from repro.net.tcp import TcpTransport
 from repro.net.transport import LocalBus, Transport
+from repro.obs.stats import percentile
 
 SCHEMA = "repro.bench.net/v1"
 
@@ -98,12 +99,9 @@ def _fingerprint(result, faulty, spec) -> Dict[str, object]:
     }
 
 
-def _percentile(samples: List[float], q: float) -> float:
-    """Nearest-rank percentile of *samples* (0.0 when empty)."""
-    if not samples:
-        return 0.0
-    ordered = sorted(samples)
-    return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+# The one shared nearest-rank implementation (repro.obs.stats); kept
+# under the historical local name the tests and report code use.
+_percentile = percentile
 
 
 async def _run_case(

@@ -24,7 +24,12 @@ clock, so the numbers are genuine one-way frame latencies.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Tuple
+from typing import TYPE_CHECKING, Dict, Hashable, List, Optional, Tuple
+
+from repro.obs.stats import percentiles
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.events import EventBus
 
 NodeId = Hashable
 
@@ -149,6 +154,29 @@ class NetMetrics:
         #: Scheduled hard-resets of pooled connections the chaos layer
         #: (or an operator) executed.
         self.link_resets = 0
+        #: Optional observability event bus (:mod:`repro.obs.events`).
+        #: Recording methods that mark lifecycle transitions publish to it
+        #: via :meth:`publish`; with no bus attached every publish is a
+        #: no-op, so an unobserved run pays one ``None`` check per event.
+        self.bus: Optional["EventBus"] = None
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def attach_bus(self, bus: Optional["EventBus"]) -> None:
+        """Attach (or detach, with ``None``) an observability event bus.
+
+        Events are operator signal only: publication draws zero RNG and
+        nothing event-derived may enter :meth:`counters` — attaching a
+        bus must never change a same-seed run's fingerprint.
+        """
+        self.bus = bus
+
+    def publish(self, kind: str, **data: object) -> None:
+        """Publish one observability event if a bus is attached."""
+        bus = self.bus
+        if bus is not None:
+            bus.publish(kind, **data)
 
     # ------------------------------------------------------------------
     # Recording
@@ -220,6 +248,7 @@ class NetMetrics:
 
     def record_stray_frame(self) -> None:
         self.stray_frames += 1
+        self.publish("stray_frame", total=self.stray_frames)
 
     def record_instance(
         self, instance_id: Hashable, counters: Dict[str, int]
@@ -253,6 +282,9 @@ class NetMetrics:
 
     def record_reconnect(self, source: NodeId, destination: NodeId) -> None:
         self.link(source, destination).reconnects += 1
+        self.publish(
+            "link_reconnect", source=str(source), destination=str(destination)
+        )
 
     def record_dedup(self, source: NodeId, destination: NodeId) -> None:
         self.link(source, destination).deduped += 1
@@ -285,14 +317,26 @@ class NetMetrics:
     ) -> None:
         entry = self.link(source, destination)
         if entry.state != state:
+            previous = entry.state
             entry.state = state
             entry.state_changes += 1
+            self.publish(
+                "link_state",
+                source=str(source),
+                destination=str(destination),
+                state=state,
+                previous=previous,
+            )
 
     def record_watchdog_cancellation(self) -> None:
         self.watchdog_cancellations += 1
+        self.publish(
+            "watchdog_cancellation", total=self.watchdog_cancellations
+        )
 
     def record_endpoint_restart(self) -> None:
         self.endpoint_restarts += 1
+        self.publish("endpoint_restart", total=self.endpoint_restarts)
 
     def record_link_reset(self) -> None:
         self.link_resets += 1
@@ -403,6 +447,13 @@ class NetMetrics:
         width varies run to run).  Two same-seed runs of a deterministic
         scenario must produce equal dicts; the chaos determinism suite
         pins exactly that.
+
+        Every value is audited to be an ``int`` before the dict is
+        returned: a wall-clock-derived float (``outage_seconds``,
+        heartbeat RTTs, round durations) silently folded in — e.g. via a
+        :meth:`record_instance` sub-counter — would make same-seed
+        fingerprints diverge in a maximally confusing way, so the leak
+        fails loudly at the source instead.
         """
         out: Dict[str, int] = {
             "substitutions": self.substitutions,
@@ -447,20 +498,26 @@ class NetMetrics:
             out[prefix + "expected_links"] = sum(
                 len(sources) for sources in entry.expected_sources.values()
             )
+        for key, value in out.items():
+            if type(value) is not int:
+                raise TypeError(
+                    f"fingerprint counter {key!r} is {value!r} "
+                    f"({type(value).__name__}); only ints may enter the "
+                    f"determinism fingerprint — wall-clock leakage?"
+                )
         return out
 
     def latency_percentiles(self) -> Dict[str, float]:
-        """Pooled one-way latency percentiles, nearest-rank, in seconds."""
+        """Pooled one-way latency percentiles, nearest-rank, in seconds.
+
+        Delegates to :func:`repro.obs.stats.percentiles` — the one
+        canonical nearest-rank implementation shared with the bench
+        harness and the load generator.
+        """
         pooled: List[float] = []
         for entry in self.rounds.values():
             pooled.extend(entry.latencies)
-        if not pooled:
-            return {"p50": 0.0, "p90": 0.0, "p99": 0.0}
-        pooled.sort()
-        return {
-            name: pooled[min(len(pooled) - 1, int(q * len(pooled)))]
-            for name, q in (("p50", 0.50), ("p90", 0.90), ("p99", 0.99))
-        }
+        return percentiles(pooled, {"p50": 0.50, "p90": 0.90, "p99": 0.99})
 
     # ------------------------------------------------------------------
     # Rendering

@@ -69,6 +69,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.net.chaos.accounting import ChaosLog
     from repro.net.chaos.policy import ChaosPolicy
     from repro.net.supervision import HeartbeatPolicy
+    from repro.obs.events import EventBus
 
 NodeId = Hashable
 
@@ -133,6 +134,7 @@ class AsyncRoundRunner:
         batching: bool = True,
         record_trace: bool = True,
         instance_id: Optional[Hashable] = None,
+        events: Optional["EventBus"] = None,
     ) -> None:
         if round_timeout <= 0:
             raise ValueError(f"round_timeout must be > 0, got {round_timeout}")
@@ -151,6 +153,8 @@ class AsyncRoundRunner:
         self.metrics = metrics or NetMetrics(transport=self.transport.name)
         if not self.metrics.transport:
             self.metrics.transport = self.transport.name
+        if events is not None:
+            self.metrics.attach_bus(events)
         # Let the transport stack record what only it can see (decode
         # errors, injected chaos) into the same recorder.
         self.transport.attach_metrics(self.metrics)
@@ -181,6 +185,15 @@ class AsyncRoundRunner:
                 if session.all_decided() and not any(inboxes.values()):
                     break
                 self.metrics.round(round_no)
+                self.metrics.publish(
+                    "round_started",
+                    round=round_no,
+                    instance=(
+                        None
+                        if self.instance_id is None
+                        else str(self.instance_id)
+                    ),
+                )
                 self._record_expected(round_no)
                 outgoing = self._step_processes(round_no, inboxes)
                 emitted_total += len(outgoing)
@@ -217,6 +230,16 @@ class AsyncRoundRunner:
                 inboxes = dict(zip(self._order, collected))
                 self.metrics.record_round_duration(
                     round_no, loop.time() - round_started
+                )
+                self.metrics.publish(
+                    "round_closed",
+                    round=round_no,
+                    messages=len(survivors),
+                    instance=(
+                        None
+                        if self.instance_id is None
+                        else str(self.instance_id)
+                    ),
                 )
                 executed += 1
         finally:
@@ -632,6 +655,7 @@ async def run_agreement_async(
     supervise: bool = False,
     heartbeat: Optional["HeartbeatPolicy"] = None,
     supervision_rng: Optional[random.Random] = None,
+    events: Optional["EventBus"] = None,
 ) -> NetRunOutcome:
     """Run one m/u-degradable agreement over an async transport.
 
@@ -656,6 +680,11 @@ async def run_agreement_async(
     re-dials while unhealable outages degrade into metered absences.
     Passing a :class:`~repro.net.supervision.HeartbeatPolicy` as
     *heartbeat* also arms the PING/PONG failure detector.
+
+    *events* attaches a :class:`~repro.obs.events.EventBus` to the
+    recorder: round/link lifecycle events are published as they happen.
+    Publication draws zero RNG and never enters the determinism
+    fingerprint — same-seed runs are identical with it on or off.
     """
     stack: List[AsyncFaultAdapter] = []
     if behaviors:
@@ -694,6 +723,7 @@ async def run_agreement_async(
         retry=retry,
         batching=batching,
         record_trace=record_trace,
+        events=events,
     )
     result = await runner.run()
     return NetRunOutcome(

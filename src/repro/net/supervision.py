@@ -289,15 +289,29 @@ class SupervisedTransport(Transport):
                 await asyncio.sleep(self.backoff.delay(attempt, self.rng))
                 continue
             if outage_started is not None and self.metrics is not None:
-                self.metrics.record_outage(
-                    *link, loop.time() - outage_started
+                seconds = loop.time() - outage_started
+                self.metrics.record_outage(*link, seconds)
+                self.metrics.publish(
+                    "link_outage",
+                    source=str(link[0]),
+                    destination=str(link[1]),
+                    seconds=seconds,
+                    healed=True,
                 )
             self._note_alive(link, sup)
             return nbytes
         # Retry budget exhausted (or the link died mid-retry): the outage
         # window closes unhealed and the frame is recorded as absent.
         if self.metrics is not None:
-            self.metrics.record_outage(*link, loop.time() - outage_started)
+            seconds = loop.time() - outage_started
+            self.metrics.record_outage(*link, seconds)
+            self.metrics.publish(
+                "link_outage",
+                source=str(link[0]),
+                destination=str(link[1]),
+                seconds=seconds,
+                healed=False,
+            )
             self.metrics.record_send_failure(frame.round_no)
         return 0
 

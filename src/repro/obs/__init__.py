@@ -1,0 +1,59 @@
+"""repro.obs — exportable observability for the degradable-agreement runtime.
+
+The paper's degradation tiers (D.1–D.4) are a *runtime* property: an
+operator has to be able to see which tier a live run is in.  This package
+takes the signal the runtime already records —
+:class:`~repro.net.metrics.NetMetrics` counters, gateway queue state,
+link supervision verdicts — and makes it exportable:
+
+* :mod:`repro.obs.events` — a structured, zero-RNG event bus the
+  runner / supervisor / mux / gateway publish lifecycle events to
+  (rounds, link state transitions, instance admission and verdicts);
+* :mod:`repro.obs.prom` — a dependency-free Prometheus text-exposition
+  registry plus :func:`~repro.obs.prom.metrics_registry`, the stable
+  mapping from a recorder snapshot to the exported metric catalog
+  (``docs/observability.md``), and
+  :func:`~repro.obs.prom.parse_exposition`, the tiny validator the CI
+  gate runs against every scrape;
+* :mod:`repro.obs.http` — an asyncio ``/metrics`` + ``/healthz`` +
+  ``/events`` endpoint (``repro serve --metrics-port``,
+  ``repro load --metrics-port``);
+* :mod:`repro.obs.stats` — the one shared nearest-rank percentile
+  implementation (metrics, bench, and load all call it);
+* :mod:`repro.obs.snapshot` — ``repro stats``: one-shot snapshots from
+  recorded artifacts (bench reports, trace records).
+
+Invariant, pinned by the same-seed suites: observing a run never changes
+it.  Event publication draws zero RNG and nothing wall-clock-derived
+enters the determinism fingerprint, so chaos campaigns produce identical
+decisions and fingerprints with the observability layer on or off.
+"""
+
+from repro.obs.events import EventBus, ObsEvent
+from repro.obs.http import ObsServer, scrape
+from repro.obs.prom import (
+    Counter,
+    Gauge,
+    Histogram,
+    Registry,
+    metrics_registry,
+    parse_exposition,
+)
+from repro.obs.snapshot import render_snapshot
+from repro.obs.stats import percentile, percentiles
+
+__all__ = [
+    "Counter",
+    "EventBus",
+    "Gauge",
+    "Histogram",
+    "ObsEvent",
+    "ObsServer",
+    "Registry",
+    "metrics_registry",
+    "parse_exposition",
+    "percentile",
+    "percentiles",
+    "render_snapshot",
+    "scrape",
+]

@@ -74,6 +74,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.net.chaos.accounting import ChaosLog
     from repro.net.chaos.policy import ChaosPolicy
     from repro.net.supervision import HeartbeatPolicy
+    from repro.obs.events import EventBus
     from repro.verify.record import RunRecord
 
 NodeId = Hashable
@@ -146,6 +147,7 @@ class AgreementService:
         supervise: bool = False,
         heartbeat: Optional["HeartbeatPolicy"] = None,
         supervision_rng: Optional[random.Random] = None,
+        events: Optional["EventBus"] = None,
     ) -> None:
         if max_inflight < 1:
             raise ConfigurationError(
@@ -194,6 +196,13 @@ class AgreementService:
                 ),
             )
         self.mux = InstanceMux(base, self.nodes)
+        #: Observability bus (optional): lifecycle events — admission,
+        #: verdicts, watchdog firings, link state — are published here.
+        #: Publication draws zero RNG and never touches the determinism
+        #: fingerprint; same-seed runs are identical with it on or off.
+        self.events = events
+        if events is not None:
+            self.mux.metrics.attach_bus(events)
         self.max_inflight = max_inflight
         self.queue_limit = queue_limit
         self.round_timeout = round_timeout
@@ -240,6 +249,12 @@ class AgreementService:
             for _ in range(self.max_inflight)
         ]
         self._started = True
+        self.aggregate_metrics.publish(
+            "service_started",
+            nodes=len(self.nodes),
+            max_inflight=self.max_inflight,
+            queue_limit=self.queue_limit,
+        )
 
     async def close(self) -> None:
         """Drain admitted work, then stop workers and the mux."""
@@ -251,6 +266,12 @@ class AgreementService:
             await asyncio.gather(*self._workers, return_exceptions=True)
         self._workers = []
         await self.mux.stop()
+        if self._started:
+            self.aggregate_metrics.publish(
+                "service_stopped",
+                instances=len(self.outcomes),
+                rejected_submits=self.rejected_submits,
+            )
         self._started = False
 
     async def __aenter__(self) -> "AgreementService":
@@ -259,6 +280,24 @@ class AgreementService:
 
     async def __aexit__(self, *exc_info) -> None:
         await self.close()
+
+    # ------------------------------------------------------------------
+    # Queue state (exported via repro.obs.prom.metrics_registry)
+    # ------------------------------------------------------------------
+    @property
+    def admitted(self) -> int:
+        """Submitted-but-unfinished instances (queued + in flight)."""
+        return self._admitted
+
+    @property
+    def queue_depth(self) -> int:
+        """Admitted instances still waiting for a worker slot."""
+        return self._pending.qsize()
+
+    @property
+    def inflight(self) -> int:
+        """Admitted instances currently holding a worker slot."""
+        return max(0, self._admitted - self._pending.qsize())
 
     # ------------------------------------------------------------------
     # Client API
@@ -285,6 +324,11 @@ class AgreementService:
             )
         if self._admitted >= self.max_inflight + self.queue_limit:
             self.rejected_submits += 1
+            self.aggregate_metrics.publish(
+                "instance_rejected",
+                admitted=self._admitted,
+                retry_after=self.retry_after_hint(),
+            )
             raise AdmissionError(
                 f"admission queue full ({self.queue_limit} waiting behind "
                 f"{self.max_inflight} in flight); retry later",
@@ -312,6 +356,12 @@ class AgreementService:
                 submitted_at=loop.time(),
             )
         )
+        self.aggregate_metrics.publish(
+            "instance_admitted",
+            instance=str(instance_id),
+            sender=str(sender),
+            queue_depth=self.queue_depth,
+        )
         return instance_id
 
     async def decision(self, instance_id: InstanceId) -> InstanceOutcome:
@@ -338,8 +388,12 @@ class AgreementService:
     def retry_after_hint(self) -> float:
         """Backpressure hint: roughly one queue-drain's worth of seconds."""
         if self._latencies:
+            # Same [0.01s, 1s] clamp as the cold path below: a run of slow
+            # instances (watchdog-envelope latencies, say) must not tell
+            # rejected clients to go away for tens of seconds — the hint
+            # paces retries, it does not forecast instance runtime.
             recent = self._latencies[-32:]
-            return max(0.01, sum(recent) / len(recent))
+            return min(1.0, max(0.01, sum(recent) / len(recent)))
         # No instance has finished yet, so there is no latency history to
         # average; clamp the round deadline into [0.01s, 1s] so a service
         # configured with a generous round_timeout (the 5s default, say)
@@ -423,6 +477,7 @@ class AgreementService:
             batching=self.batching,
             record_trace=self.record_trace,
             instance_id=job.instance_id,
+            events=self.events,
         )
         watchdogged = False
         try:
@@ -480,6 +535,14 @@ class AgreementService:
         )
         self._latencies.append(latency)
         self.outcomes[job.instance_id] = outcome
+        self.aggregate_metrics.publish(
+            "instance_watchdogged" if watchdogged else "instance_decided",
+            instance=str(job.instance_id),
+            tier=tier,
+            ok=report.satisfied,
+            afflicted=len(afflicted),
+            latency=latency,
+        )
         if not watchdogged:
             # A cancelled instance's half-run counters and trace stay out
             # of the service record: the counter fold would depend on

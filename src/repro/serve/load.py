@@ -38,6 +38,7 @@ from repro.core.spec import DegradableSpec
 from repro.exceptions import AdmissionError, ConfigurationError
 from repro.net.runner import RetryPolicy
 from repro.net.transport import LocalBus, Transport
+from repro.obs.stats import percentile
 from repro.serve.gateway import AgreementService, InstanceOutcome
 
 NodeId = Hashable
@@ -67,6 +68,11 @@ class LoadConfig:
     max_inflight: int = 16
     queue_limit: int = 64
     round_timeout: float = 5.0
+    #: When set, the generator serves ``/metrics`` + ``/healthz`` on this
+    #: port (0 = ephemeral) for the duration of the run, scrapes its own
+    #: endpoint mid-run, and embeds the sample in the report
+    #: (``metrics_sample``).  ``None`` disables the observability layer.
+    metrics_port: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.mode not in ("open", "closed"):
@@ -107,6 +113,9 @@ class LoadReport:
     #: reference engine's (must be empty for the run to pass).
     divergences: List[str] = field(default_factory=list)
     dropped_submits: int = 0
+    #: Mid-run ``/metrics`` self-scrape (``repro load --metrics-port``):
+    #: ``{"endpoint", "port", "samples", "exposition": [lines...]}``.
+    metrics_sample: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -144,6 +153,7 @@ class LoadReport:
             "latency_s": self.latencies,
             "divergences": self.divergences,
             "ok": self.ok,
+            "metrics_sample": self.metrics_sample,
         }
 
     def save(self, path: str) -> None:
@@ -152,13 +162,9 @@ class LoadReport:
             handle.write("\n")
 
 
-def percentile(samples: List[float], q: float) -> float:
-    """Nearest-rank percentile (no interpolation, no numpy)."""
-    if not samples:
-        return 0.0
-    ordered = sorted(samples)
-    index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
-    return ordered[index]
+# ``percentile`` is imported from repro.obs.stats above and re-exported
+# here unchanged: the canonical nearest-rank implementation is shared
+# with NetMetrics.latency_percentiles and the wire bench.
 
 
 def latency_summary(samples: List[float]) -> Dict[str, float]:
@@ -201,6 +207,14 @@ async def run_load(
             transport = TcpTransport()
         else:
             transport = LocalBus()
+    events = None
+    obs_server = None
+    if config.metrics_port is not None:
+        from repro.obs.events import EventBus
+        from repro.obs.http import ObsServer
+        from repro.obs.prom import metrics_registry
+
+        events = EventBus()
     service = AgreementService(
         config.spec,
         nodes,
@@ -213,7 +227,21 @@ async def run_load(
         retry=RetryPolicy(),
         batching=config.batching,
         record_trace=False,
+        events=events,
     )
+    if events is not None:
+        obs_server = ObsServer(
+            lambda: metrics_registry(
+                service.aggregate_metrics, service=service, bus=events
+            ),
+            health=lambda: {
+                "instances_done": len(service.outcomes),
+                "inflight": service.inflight,
+                "queue_depth": service.queue_depth,
+            },
+            bus=events,
+            port=config.metrics_port,
+        )
     loop = asyncio.get_running_loop()
     rejections = 0
     dropped = 0
@@ -233,8 +261,47 @@ async def run_load(
         dropped += 1
         return None
 
+    metrics_sample: Optional[dict] = None
+
+    async def self_scrape() -> None:
+        """Scrape our own ``/metrics`` once, as soon as results exist.
+
+        Runs concurrently with the workload so the sample reflects a
+        *live* service (inflight gauges, partial counters), validates the
+        exposition before embedding it, and never fails the run: a broken
+        scrape just leaves ``metrics_sample`` unset.
+        """
+        nonlocal metrics_sample
+        from repro.obs.http import scrape as obs_scrape
+        from repro.obs.prom import parse_exposition
+
+        for _ in range(400):  # bounded: ~2s worst case
+            if service.outcomes:
+                break
+            await asyncio.sleep(0.005)
+        try:
+            status, body = await obs_scrape(obs_server.host, obs_server.port)
+            if status != 200:
+                return
+            parse_exposition(body)  # embed only well-formed expositions
+            lines = body.splitlines()
+            metrics_sample = {
+                "endpoint": f"{obs_server.url}/metrics",
+                "port": obs_server.port,
+                "samples": sum(
+                    1 for ln in lines if ln and not ln.startswith("#")
+                ),
+                "exposition": lines,
+            }
+        except Exception:
+            metrics_sample = None
+
+    scrape_task: Optional["asyncio.Task"] = None
     started = loop.time()
     async with service:
+        if obs_server is not None:
+            await obs_server.start()
+            scrape_task = asyncio.ensure_future(self_scrape())
         if config.mode == "open":
             arrival_rng = random.Random(config.seed + 1)
             submitted: List[str] = []
@@ -265,7 +332,11 @@ async def run_load(
             await asyncio.gather(
                 *(client() for _ in range(config.concurrency))
             )
+        if scrape_task is not None:
+            await scrape_task
     duration = loop.time() - started
+    if obs_server is not None:
+        await obs_server.close()
 
     divergences = check_divergence(config, workload, outcomes)
     return LoadReport(
@@ -276,6 +347,7 @@ async def run_load(
         latencies=latency_summary([o.latency for o in outcomes.values()]),
         divergences=divergences,
         dropped_submits=dropped,
+        metrics_sample=metrics_sample,
     )
 
 

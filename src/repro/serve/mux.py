@@ -198,6 +198,11 @@ class InstanceMux:
                 continue
             if instance_id not in self._queues:
                 self.register(instance_id)
+                self.metrics.publish(
+                    "instance_attached",
+                    instance=str(instance_id),
+                    node=str(node),
+                )
             self._queues[instance_id][node].put_nowait(frame)
 
 

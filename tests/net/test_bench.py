@@ -49,8 +49,12 @@ class TestPercentile:
         assert _percentile([], 0.5) == 0.0
 
     def test_nearest_rank(self):
+        # Canonical nearest-rank (ceil(q*n), 1-indexed): the median of an
+        # even-sized sample is its n/2-th order statistic, not the one
+        # above it (the old int(q*n) formula was biased one rank high
+        # whenever q*n landed on an integer).
         samples = [0.1, 0.2, 0.3, 0.4]
-        assert _percentile(samples, 0.50) == 0.3
+        assert _percentile(samples, 0.50) == 0.2
         assert _percentile(samples, 0.95) == 0.4
 
     def test_order_independent(self):

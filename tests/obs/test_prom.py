@@ -1,0 +1,218 @@
+"""Prometheus exposition: primitives, strict parser, golden catalog."""
+
+import math
+import os
+
+import pytest
+
+from repro.net.metrics import NetMetrics
+from repro.obs.events import EventBus
+from repro.obs.prom import (
+    Counter,
+    Gauge,
+    Histogram,
+    Registry,
+    metrics_registry,
+    parse_exposition,
+)
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden_metrics.prom")
+
+
+def build_golden_recorder():
+    """A hand-built recorder exercising every exported family.
+
+    Fully deterministic — no wall clock, no RNG — so the rendered
+    exposition is byte-stable and can be pinned as a golden file.
+    """
+    metrics = NetMetrics(transport="golden")
+    bus = EventBus()
+    metrics.attach_bus(bus)
+
+    metrics.record_batch(1, 4, 400, 120)
+    metrics.record_send(1, 100)
+    metrics.record_latency(1, 0.004)
+    metrics.record_latency(1, 0.03)
+    metrics.record_round_duration(1, 0.02)
+    metrics.record_batch(2, 4, 380, 110)
+    metrics.record_round_duration(2, 0.06)
+    metrics.record_timeout(2, "p1", "p2")
+    metrics.record_retry(2)
+    metrics.record_drop(2)
+    metrics.record_late(2)
+    metrics.record_send_failure(2)
+    metrics.substitutions = 2
+
+    metrics.record_chaos_drop(1)
+    metrics.record_chaos_dup(2)
+    metrics.record_chaos_reorder(2)
+    metrics.record_chaos_corruption(1)
+    metrics.record_crash_event()
+    metrics.record_partition_round()
+    metrics.record_decode_error()
+
+    metrics.record_reconnect("S", "p1")
+    metrics.record_dedup("S", "p1")
+    metrics.record_outage("S", "p1", 0.5)
+    metrics.record_fast_fail("S", "p1")
+    metrics.record_heartbeat("S", "p1")
+    metrics.record_link_state("S", "p1", "suspect")
+    metrics.record_link_state("p1", "p2", "dead")
+    metrics.record_endpoint_restart()
+    metrics.record_link_reset()
+
+    metrics.record_stray_frame()
+    metrics.record_watchdog_cancellation()
+    metrics.record_instance("i0", {"messages": 3})
+    return metrics, bus
+
+
+class TestPrimitives:
+    def test_counter_rejects_negatives(self):
+        counter = Counter("c_total", "help")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+        with pytest.raises(ValueError):
+            counter.set(-1)
+
+    def test_labeled_samples_sorted_and_escaped(self):
+        gauge = Gauge("g", "help", ("node",))
+        gauge.set(2, node="p2")
+        gauge.set(1, node='a"b\\c')
+        text = gauge.render()
+        assert text.splitlines()[2] == 'g{node="a\\"b\\\\c"} 1'
+        assert text.splitlines()[3] == 'g{node="p2"} 2'
+
+    def test_label_set_must_match(self):
+        gauge = Gauge("g", "help", ("node",))
+        with pytest.raises(ValueError, match="expects labels"):
+            gauge.set(1, other="x")
+
+    def test_invalid_names_rejected(self):
+        with pytest.raises(ValueError, match="invalid metric name"):
+            Counter("2bad", "help")
+        with pytest.raises(ValueError, match="invalid label name"):
+            Gauge("g", "help", ("bad-label",))
+
+    def test_histogram_buckets_cumulative_with_inf(self):
+        hist = Histogram("h_seconds", "help", (0.1, 1.0))
+        hist.observe_many([0.05, 0.5, 5.0])
+        samples = dict(
+            (name + labels, value)
+            for name, labels, value in hist.samples()
+        )
+        assert samples['h_seconds_bucket{le="0.1"}'] == 1
+        assert samples['h_seconds_bucket{le="1"}'] == 2
+        assert samples['h_seconds_bucket{le="+Inf"}'] == 3
+        assert samples["h_seconds_count"] == 3
+        assert samples["h_seconds_sum"] == pytest.approx(5.55)
+
+    def test_histogram_buckets_must_ascend(self):
+        with pytest.raises(ValueError, match="ascending"):
+            Histogram("h", "help", (1.0, 0.1))
+
+    def test_registry_rejects_duplicates(self):
+        registry = Registry()
+        registry.counter("x_total", "help")
+        with pytest.raises(ValueError, match="duplicate"):
+            registry.gauge("x_total", "help")
+
+
+class TestParser:
+    def test_round_trips_a_registry(self):
+        registry = Registry()
+        registry.counter("a_total", "help").inc(3)
+        registry.gauge("b", "help", ("k",)).set(1.5, k="v")
+        samples = parse_exposition(registry.render())
+        assert samples["a_total"] == 3
+        assert samples['b{k="v"}'] == 1.5
+
+    def test_special_values(self):
+        samples = parse_exposition("x +Inf\ny -Inf\nz NaN\n")
+        assert samples["x"] == math.inf
+        assert samples["y"] == -math.inf
+        assert math.isnan(samples["z"])
+
+    @pytest.mark.parametrize("bad", [
+        "# BOGUS comment here x",          # unknown comment keyword
+        "# TYPE x flavor",                  # unknown metric type
+        "metric",                           # no value
+        "metric{unclosed 1",                # broken label block
+        'metric{k="v" 1',                   # unterminated labels
+        "metric{k=v} 1",                    # unquoted label value
+        "metric abc",                       # unparseable value
+        "9metric 1",                        # invalid name
+    ])
+    def test_malformed_lines_raise(self, bad):
+        with pytest.raises(ValueError):
+            parse_exposition(bad + "\n")
+
+    def test_duplicate_samples_raise(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            parse_exposition("x 1\nx 2\n")
+
+
+class TestCatalogGolden:
+    def test_exposition_matches_golden_file(self):
+        metrics, bus = build_golden_recorder()
+        rendered = metrics_registry(metrics, bus=bus).render()
+        with open(GOLDEN_PATH, "r", encoding="utf-8") as handle:
+            golden = handle.read()
+        assert rendered == golden, (
+            "exposition catalog drifted; if the change is intentional, "
+            "regenerate tests/obs/golden_metrics.prom with "
+            "tests/obs/test_prom.py::build_golden_recorder"
+        )
+
+    def test_golden_exposition_is_well_formed(self):
+        metrics, bus = build_golden_recorder()
+        samples = parse_exposition(
+            metrics_registry(metrics, bus=bus).render()
+        )
+        # Spot-check the catalog against the recorder's own totals.
+        assert samples["repro_messages_sent_total"] == 9
+        assert samples["repro_frames_sent_total"] == 3
+        assert samples["repro_frames_batched_total"] == 2
+        assert samples["repro_substitutions_total"] == 2
+        assert samples['repro_chaos_events_total{kind="drop"}'] == 1
+        assert samples["repro_link_reconnects_total"] == 1
+        assert samples["repro_link_outage_seconds_total"] == 0.5
+        assert samples['repro_links_by_state{state="suspect"}'] == 1
+        assert samples['repro_links_by_state{state="dead"}'] == 1
+        assert samples["repro_instances_folded_total"] == 1
+        assert samples["repro_watchdog_cancellations_total"] == 1
+        assert samples["repro_delivery_latency_seconds_count"] == 2
+        assert samples["repro_round_duration_seconds_count"] == 2
+        # The bus saw the recorder hooks fire.
+        assert samples['repro_obs_events_total{kind="link_state"}'] == 2
+
+    def test_counters_agree_with_fingerprint(self):
+        # /metrics and the determinism fingerprint must tell one story.
+        metrics, bus = build_golden_recorder()
+        samples = parse_exposition(metrics_registry(metrics).render())
+        counters = metrics.counters()
+
+        def rounds_total(suffix: str) -> int:
+            return sum(
+                value for key, value in counters.items()
+                if key.startswith("r") and key.endswith("." + suffix)
+            )
+
+        assert samples["repro_messages_sent_total"] == rounds_total(
+            "messages_sent"
+        )
+        assert samples["repro_frames_sent_total"] == rounds_total(
+            "frames_sent"
+        )
+        assert samples["repro_timeouts_total"] == rounds_total("timeouts")
+        for prom_name, counter_key in (
+            ("repro_substitutions_total", "substitutions"),
+            ("repro_link_reconnects_total", "link.S.p1.reconnects"),
+            ("repro_endpoint_restarts_total", "endpoint_restarts"),
+            ("repro_stray_frames_total", "stray_frames"),
+            (
+                "repro_watchdog_cancellations_total",
+                "watchdog_cancellations",
+            ),
+        ):
+            assert samples[prom_name] == counters[counter_key], prom_name

@@ -168,6 +168,28 @@ class TestAdmissionControl:
         # far below the worst-case deadline.
         assert 0.0 < after < before
 
+    def test_retry_after_warm_path_clamped_like_cold_path(self):
+        # Regression: the warm path (latency history present) used to be
+        # max(0.01, avg) with no upper bound, so a run of slow instances
+        # (watchdog-envelope latencies, say) told rejected clients to go
+        # away for tens of seconds.  Both branches now share [0.01s, 1s].
+        async def scenario():
+            async with AgreementService(
+                SPEC, NODES, round_timeout=3.0
+            ) as service:
+                await service.submit_and_wait("S", "attack")
+                # Poison the history with pathological latencies the way a
+                # watchdog-bound campaign would.
+                service._latencies.extend([30.0] * 8)
+                slow = service.retry_after_hint()
+                service._latencies[:] = [1e-9] * 8
+                fast = service.retry_after_hint()
+                return slow, fast
+
+        slow, fast = run(scenario())
+        assert slow == 1.0   # upper clamp (was 26.7s before the fix)
+        assert fast == 0.01  # lower clamp survives on the warm path too
+
 
 class TestChaosAccounting:
     def test_per_instance_fault_attribution_differs_across_instances(self):
