@@ -9,6 +9,19 @@ export PYTHONPATH="src${PYTHONPATH:+:${PYTHONPATH}}"
 echo "== unit / property / integration tests (tier 1) =="
 python -m pytest -x -q
 
+echo "== line-coverage floor (core + verify) =="
+# pytest-cov is an optional extra; the floor is enforced wherever it is
+# installed and skipped (loudly) where it is not, so a bare checkout
+# still runs the rest of CI.
+if python -c "import pytest_cov" 2> /dev/null; then
+    python -m pytest -q -p pytest_cov \
+        --cov=repro.core --cov=repro.verify \
+        --cov-report=term-missing:skip-covered --cov-fail-under=85 \
+        tests/core tests/verify
+else
+    echo "  pytest-cov not installed; coverage floor skipped"
+fi
+
 echo "== experiment benchmarks =="
 python -m pytest benchmarks/ --benchmark-only
 
@@ -44,6 +57,12 @@ timeout 300 python -m repro chaos --kill-links --severity light --trials 4 --see
 echo "== trace conformance (golden trace + differential fuzz) =="
 python -m repro verify examples/traces/golden_m1u2.jsonl
 timeout 300 python -m repro fuzz --quick --seed 7
+
+echo "== schedule explorer (bounded DFS + shrink gate, archives BENCH_explore.json) =="
+# Seedless and deterministic: correct (1,2,5) must explore clean to the
+# bench depth, the seeded vote bug must be found and shrunk, and the
+# artifact records schedules/sec and the pruning ratio.
+timeout 300 python -m repro explore --bench --out BENCH_explore.json
 
 echo "== agreement service (multiplexed instances + load gate) =="
 # serve cross-checks every decision against the synchronous engine;

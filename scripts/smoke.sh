@@ -24,6 +24,12 @@ echo "== trace conformance (golden trace + differential fuzz) =="
 python -m repro verify examples/traces/golden_m1u2.jsonl
 timeout 120 python -m repro fuzz --quick --seed 7
 
+echo "== schedule explorer smoke (virtual clock, seedless) =="
+# Deterministic both ways: the correct running example must explore
+# clean, and the seeded vote bug must be found and shrunk to a
+# replayable one-deviation token.
+timeout 60 python -m repro explore --smoke
+
 echo "== agreement service (32 concurrent instances, one shared bus) =="
 # Both gates exit nonzero on any sync-engine divergence or dropped submit.
 timeout 120 python -m repro serve --instances 32 --max-inflight 32 --seed 7

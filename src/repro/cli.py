@@ -39,7 +39,12 @@ Exposes the library's main entry points for interactive exploration:
 * ``fuzz``         — differential fuzzing: sample small instances ×
   behaviours × chaos seeds, run each over sync / local-bus / tcp ×
   batched / unbatched, and feed every trace through the verify oracle
-  plus cross-mode decision equivalence.
+  plus cross-mode decision equivalence;
+* ``explore``      — deterministic schedule-space exploration: run the
+  real async runner on a virtual clock, enumerate per-frame
+  delivery/drop/stall/defer decisions to a deviation bound with
+  partial-order pruning, judge every execution with the verify oracle,
+  and shrink any violation to a minimal replayable schedule token.
 
 Every command prints plain text; exit status is 0 on success, 1 when an
 executed check fails (e.g. a violated agreement contract), 2 on usage
@@ -311,6 +316,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--replay", default="",
                    help="replay one case from a failure's replay token "
                         "(overrides sampling options)")
+
+    p = sub.add_parser(
+        "explore",
+        help="deterministic schedule-space exploration on a virtual clock",
+    )
+    _add_spec_arguments(p, m_default=1, u_default=2)
+    p.add_argument("--value", default="alpha", help="the sender's value")
+    p.add_argument("--faulty", default="",
+                   help="comma-separated node:kind behaviour faults "
+                        "(kinds: lie, silent, constant, two-faced)")
+    p.add_argument("--depth", type=int, default=2,
+                   help="max non-default schedule choices per execution")
+    p.add_argument("--budget", type=int, default=200,
+                   help="max executions before the campaign stops")
+    p.add_argument("--keep-going", action="store_true",
+                   help="enumerate every violation instead of stopping "
+                        "at the first")
+    _add_wire_arguments(p, timeout=1.0, transports=False)
+    p.add_argument("--supervise", action="store_true",
+                   help="explore through the self-healing supervision layer")
+    p.add_argument("--inject-vote-bug", type=int, default=0, metavar="OFFSET",
+                   help="skew every resolver's vote threshold by OFFSET "
+                        "(test hook: the explorer must catch the violation)")
+    p.add_argument("--replay", default="",
+                   help="re-execute one schedule from a violation's replay "
+                        "token (overrides every other option)")
+    p.add_argument("--smoke", action="store_true",
+                   help="fixed quick campaign for the CI gate: correct "
+                        "config must pass, seeded vote bug must be caught")
+    p.add_argument("--bench", action="store_true",
+                   help="full benchmark campaign; writes the artifact "
+                        "named by --out")
+    p.add_argument("--out", default="",
+                   help="benchmark artifact path "
+                        "(default BENCH_explore.json with --bench)")
 
     p = sub.add_parser("scenarios", help="Theorem 2 triple at and below the bound")
     p.add_argument("-m", type=int, required=True)
@@ -1092,6 +1132,58 @@ def _cmd_fuzz(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_explore(args) -> int:
+    from repro.explore import ExploreConfig, explore, run_token
+    from repro.explore.bench import (
+        DEFAULT_OUT,
+        render_bench,
+        run_bench,
+        write_bench,
+    )
+
+    if args.replay:
+        outcome = run_token(args.replay)
+        print(outcome.render())
+        return 0 if outcome.ok else 1
+
+    if args.smoke or args.bench:
+        # One fixed, seedless campaign: the correct running example must
+        # explore clean AND the seeded vote bug must be found and shrunk
+        # — a gate that can fail in both directions.
+        payload = run_bench(quick=args.smoke and not args.bench)
+        print(render_bench(payload))
+        out = args.out or (DEFAULT_OUT if args.bench else "")
+        if out:
+            write_bench(out, payload)
+            print(f"results written to {out}")
+        return 0 if payload["ok"] else 1
+
+    faults = []
+    for item in (f for f in args.faulty.split(",") if f):
+        node, _, kind = item.partition(":")
+        faults.append((node, kind or "lie"))
+    config = ExploreConfig(
+        m=args.m,
+        u=args.u,
+        n_nodes=args.nodes if args.nodes else 2 * args.m + args.u + 1,
+        sender_value=args.value,
+        faults=tuple(faults),
+        round_timeout=args.timeout,
+        batching=not args.no_batch,
+        supervise=args.supervise,
+        vote_offset=args.inject_vote_bug,
+    )
+    config.behaviors()  # surface unknown nodes/kinds as a usage error
+    report = explore(
+        config,
+        depth_bound=args.depth,
+        budget=args.budget,
+        stop_at_first=not args.keep_going,
+    )
+    print(report.render())
+    return 0 if report.ok else 1
+
+
 def _cmd_experiments(args) -> int:
     from repro.analysis.runner import run_experiments, summarize, write_results
 
@@ -1116,6 +1208,7 @@ _COMMANDS = {
     "chaos": _cmd_chaos,
     "verify": _cmd_verify,
     "fuzz": _cmd_fuzz,
+    "explore": _cmd_explore,
     "scenarios": _cmd_scenarios,
     "connectivity": _cmd_connectivity,
     "reliability": _cmd_reliability,

@@ -1,0 +1,558 @@
+"""Bounded schedule-space exploration over the real async runtime.
+
+One :class:`ExploreConfig` pins an agreement instance — spec, sender
+value, behaviour assignments, wire mode, virtual round deadline — and a
+*schedule* (tuple of menu indices) pins one execution of it: the runner,
+the fault adapters and (optionally) the supervision layer run unmodified
+on a :class:`~repro.explore.clock.VirtualClockLoop` over an
+:class:`~repro.explore.transport.ExploredTransport`, and the schedule
+decides every frame's fate.  :func:`run_schedule` executes exactly one
+such schedule, folds the trace into a
+:class:`~repro.verify.record.RunRecord` and judges it with the
+conformance oracle — so the explorer inherits all fourteen violation
+codes plus the D.1–D.4 tier checks for free.
+
+:func:`explore` then enumerates schedules with a delay-bounded DFS: it
+runs the all-defaults schedule, reads back the recorded decision trail,
+and branches on every decision point with every non-default option —
+bounded by the number of non-default choices (*depth_bound*, the
+classical delay bound) and by a total execution *budget*.  Each child
+prefix extends its parent at a decision index past the parent's own
+prefix, so every schedule is generated exactly once.  A violating
+execution is shrunk to a minimal prefix (greedily zeroing deviations,
+then lowering the survivors) before being reported with its replay
+token.
+
+Fault accounting mirrors the chaos layer: schedule-induced misses charge
+their source into the record's ``faulty`` set, so each execution is
+judged in the tier its *effective* fault count selects — schedules that
+knock out more than ``u`` sources are archived, not asserted, exactly
+like chaos runs beyond the degradation envelope.  On a correct protocol
+no in-bound schedule can produce a violation; the explorer exists to
+prove that claim execution by execution instead of assuming it.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.core.behavior import (
+    BehaviorMap,
+    ConstantLiar,
+    LieAboutSender,
+    SilentBehavior,
+    TwoFacedBehavior,
+)
+from repro.core.eig import byz_resolver
+from repro.core.protocol import ProtocolSession
+from repro.core.spec import DegradableSpec
+from repro.exceptions import ConfigurationError
+from repro.explore.clock import run_on_virtual_clock
+from repro.explore.transport import (
+    DecisionPoint,
+    ExploredTransport,
+    ScheduleController,
+)
+from repro.net.adapters import behavior_adapters
+from repro.net.runner import AsyncRoundRunner, NetRunOutcome, RetryPolicy
+from repro.verify.oracle import ConformanceReport, verify_record
+from repro.verify.record import RunRecord, record_net_outcome
+
+SENDER = "S"
+
+#: Behaviour kinds an explored configuration may assign (same vocabulary
+#: as the fuzzer's replay tokens).
+FAULT_KINDS = ("lie", "silent", "constant", "two-faced")
+
+
+# ----------------------------------------------------------------------
+# Configuration and replay tokens
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ExploreConfig:
+    """One fully determined agreement instance to explore schedules of."""
+
+    m: int = 1
+    u: int = 2
+    n_nodes: int = 5
+    sender_value: str = "alpha"
+    #: ``((node, kind), ...)`` sorted by node; kinds from FAULT_KINDS.
+    faults: Tuple[Tuple[str, str], ...] = ()
+    #: Virtual round deadline — schedule delays scale with it, so its
+    #: exact value never changes which executions exist, only their
+    #: virtual timestamps.
+    round_timeout: float = 1.0
+    batching: bool = True
+    #: Wrap the stack in a SupervisedTransport (no heartbeat), covering
+    #: the supervision layer's send/recv path under explored schedules.
+    supervise: bool = False
+    #: TEST-ONLY HOOK: skew every ``VOTE`` threshold by this offset
+    #: (clamped to the legal [1, beta] band).  A non-zero offset plants a
+    #: deliberately broken vote for the explorer to catch; production
+    #: configurations always use 0.
+    vote_offset: int = 0
+
+    def __post_init__(self) -> None:
+        self.spec()  # validate N > 2m + u eagerly
+
+    def spec(self) -> DegradableSpec:
+        return DegradableSpec(m=self.m, u=self.u, n_nodes=self.n_nodes)
+
+    def nodes(self) -> List[str]:
+        return [SENDER] + [f"p{k}" for k in range(1, self.n_nodes)]
+
+    def behaviors(self) -> BehaviorMap:
+        nodes = self.nodes()
+        behaviors: BehaviorMap = {}
+        for node, kind in self.faults:
+            if node not in nodes:
+                raise ConfigurationError(
+                    f"explore config names unknown faulty node {node!r}"
+                )
+            if kind == "lie":
+                behaviors[node] = LieAboutSender("forged", SENDER)
+            elif kind == "silent":
+                behaviors[node] = SilentBehavior()
+            elif kind == "constant":
+                behaviors[node] = ConstantLiar("forged")
+            elif kind == "two-faced":
+                behaviors[node] = TwoFacedBehavior(
+                    {p: ("x" if i % 2 else "y") for i, p in enumerate(nodes)}
+                )
+            else:
+                raise ConfigurationError(
+                    f"unknown fault kind {kind!r}; choose from {FAULT_KINDS}"
+                )
+        return behaviors
+
+    @property
+    def behavior_faulty(self) -> FrozenSet[str]:
+        return frozenset(node for node, _ in self.faults)
+
+    def token(self, schedule: Sequence[int] = ()) -> str:
+        """Replay token naming this config plus one schedule."""
+        faults = (
+            "+".join(f"{n}:{k}" for n, k in self.faults) or "-"
+        )
+        sched = ".".join(str(c) for c in trim_schedule(schedule)) or "-"
+        return (
+            f"m={self.m},u={self.u},n={self.n_nodes},"
+            f"value={self.sender_value},faults={faults},"
+            f"timeout={self.round_timeout},batch={int(self.batching)},"
+            f"sup={int(self.supervise)},bug={self.vote_offset},"
+            f"sched={sched}"
+        )
+
+
+def trim_schedule(schedule: Sequence[int]) -> Tuple[int, ...]:
+    """Canonical form: trailing defaults are implied, so strip them."""
+    choices = list(schedule)
+    while choices and choices[-1] == 0:
+        choices.pop()
+    return tuple(choices)
+
+
+def parse_explore_token(token: str) -> Tuple[ExploreConfig, Tuple[int, ...]]:
+    """Inverse of :meth:`ExploreConfig.token`."""
+    fields_map: Dict[str, str] = {}
+    for part in token.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" not in part:
+            raise ConfigurationError(
+                f"malformed explore token segment {part!r} in {token!r}"
+            )
+        key, value = part.split("=", 1)
+        fields_map[key.strip()] = value.strip()
+    required = {"m", "u", "n"}
+    missing = required - set(fields_map)
+    if missing:
+        raise ConfigurationError(
+            f"explore token {token!r} is missing fields: {sorted(missing)}"
+        )
+    try:
+        faults: Tuple[Tuple[str, str], ...] = ()
+        raw_faults = fields_map.get("faults", "-")
+        if raw_faults not in ("", "-"):
+            pairs = []
+            for chunk in raw_faults.split("+"):
+                node, _, kind = chunk.partition(":")
+                if not node or not kind:
+                    raise ConfigurationError(
+                        f"malformed fault assignment {chunk!r} in {token!r}"
+                    )
+                pairs.append((node, kind))
+            faults = tuple(sorted(pairs))
+        raw_sched = fields_map.get("sched", "-")
+        schedule: Tuple[int, ...] = ()
+        if raw_sched not in ("", "-"):
+            schedule = tuple(int(c) for c in raw_sched.split("."))
+        config = ExploreConfig(
+            m=int(fields_map["m"]),
+            u=int(fields_map["u"]),
+            n_nodes=int(fields_map["n"]),
+            sender_value=fields_map.get("value", "alpha"),
+            faults=faults,
+            round_timeout=float(fields_map.get("timeout", 1.0)),
+            batching=bool(int(fields_map.get("batch", 1))),
+            supervise=bool(int(fields_map.get("sup", 0))),
+            vote_offset=int(fields_map.get("bug", 0)),
+        )
+        return config, schedule
+    except ValueError as exc:
+        raise ConfigurationError(
+            f"malformed explore token {token!r}: {exc}"
+        ) from exc
+
+
+# ----------------------------------------------------------------------
+# Single-schedule execution
+# ----------------------------------------------------------------------
+@dataclass
+class ScheduleOutcome:
+    """One explored execution, fully judged."""
+
+    config: ExploreConfig
+    schedule: Tuple[int, ...]
+    trail: Tuple[DecisionPoint, ...]
+    report: ConformanceReport
+    record: RunRecord
+    decisions: Dict[object, object]
+    fingerprint: str
+    afflicted: FrozenSet[object]
+    offered: int
+    pruned: int
+
+    @property
+    def ok(self) -> bool:
+        return self.report.ok
+
+    @property
+    def token(self) -> str:
+        return self.config.token(self.schedule)
+
+    @property
+    def deviations(self) -> int:
+        return sum(1 for c in self.schedule if c != 0)
+
+    def render(self) -> str:
+        status = "ok" if self.ok else "VIOLATION"
+        tier = self.config.spec().guarantee_for(len(self.record.faulty))
+        lines = [
+            f"[{status}] {self.token}",
+            f"    decisions: "
+            + ", ".join(
+                f"{n}={v}" for n, v in sorted(
+                    self.decisions.items(), key=lambda kv: str(kv[0])
+                )
+            ),
+            f"    afflicted: "
+            + (", ".join(sorted(map(str, self.afflicted))) or "(none)")
+            + f" -> tier {tier}",
+            f"    fingerprint: {self.fingerprint}",
+        ]
+        if not self.ok:
+            for violation in self.report.violations:
+                lines.append(f"    {violation.render()}")
+        for point in self.trail:
+            if point.choice != 0:
+                lines.append(f"    {point.label}")
+        return "\n".join(lines)
+
+
+def _skewed_resolver(offset: int):
+    """The deliberately broken vote: threshold off by *offset*, clamped
+    into the legal band so the bug degrades decisions instead of raising."""
+
+    def resolve(threshold, ballots):
+        skewed = min(max(threshold + offset, 1), len(ballots))
+        return byz_resolver(skewed, ballots)
+
+    return resolve
+
+
+def run_schedule(
+    config: ExploreConfig,
+    schedule: Sequence[int] = (),
+    events=None,
+) -> ScheduleOutcome:
+    """Execute one schedule of *config* on the virtual clock and judge it."""
+    spec = config.spec()
+    nodes = config.nodes()
+    controller = ScheduleController(schedule)
+    transport = ExploredTransport(
+        controller,
+        round_timeout=config.round_timeout,
+        batching=config.batching,
+    )
+    explored = transport
+
+    async def _run() -> NetRunOutcome:
+        stack = explored
+        if config.supervise:
+            from repro.net.supervision import SupervisedTransport
+
+            stack = SupervisedTransport(explored, rng=random.Random(0))
+        session = ProtocolSession.byz(
+            spec, nodes, SENDER, config.sender_value
+        )
+        if config.vote_offset:
+            broken = _skewed_resolver(config.vote_offset)
+            for process in session.processes:
+                process.resolver = broken
+        runner = AsyncRoundRunner(
+            session,
+            transport=stack,
+            adapters=behavior_adapters(config.behaviors()),
+            round_timeout=config.round_timeout,
+            # The explored transport never raises: retries would only buy
+            # wall-clock; a single attempt keeps decision points 1:1 with
+            # frames.
+            retry=RetryPolicy(max_attempts=1),
+            batching=config.batching,
+            events=events,
+        )
+        result = await runner.run()
+        return NetRunOutcome(
+            result=result, metrics=runner.metrics, trace=runner.trace
+        )
+
+    outcome = run_on_virtual_clock(_run())
+    faulty = set(config.behavior_faulty) | set(transport.afflicted)
+    record = record_net_outcome(
+        spec,
+        nodes,
+        SENDER,
+        config.sender_value,
+        faulty,
+        outcome,
+        batched=config.batching,
+    )
+    report = verify_record(record)
+    return ScheduleOutcome(
+        config=config,
+        schedule=trim_schedule(controller.choices),
+        trail=tuple(controller.trail),
+        report=report,
+        record=record,
+        decisions=dict(outcome.decisions),
+        fingerprint=record.fingerprint(),
+        afflicted=frozenset(transport.afflicted),
+        offered=controller.offered,
+        pruned=controller.pruned,
+    )
+
+
+def run_token(token: str, events=None) -> ScheduleOutcome:
+    """Replay one ``repro explore`` token bit for bit."""
+    config, schedule = parse_explore_token(token)
+    return run_schedule(config, schedule, events=events)
+
+
+# ----------------------------------------------------------------------
+# Shrinking
+# ----------------------------------------------------------------------
+def shrink_schedule(
+    config: ExploreConfig,
+    schedule: Sequence[int],
+    outcome: Optional[ScheduleOutcome] = None,
+) -> Tuple[ScheduleOutcome, int]:
+    """Minimize a violating schedule while preserving *some* violation.
+
+    Greedy fixpoint: repeatedly try zeroing each deviation (rightmost
+    first — later deviations are the likeliest to be incidental), then
+    lowering each surviving choice index.  The result is 1-minimal:
+    removing or lowering any single remaining deviation loses the
+    violation.  Returns the shrunk outcome and the number of candidate
+    executions it cost.
+    """
+    current = trim_schedule(schedule)
+    best = outcome if outcome is not None else run_schedule(config, current)
+    if best.ok:
+        raise ConfigurationError(
+            f"refusing to shrink a conforming schedule: {best.token}"
+        )
+    runs = 0
+    improved = True
+    while improved:
+        improved = False
+        deviations = [i for i, c in enumerate(current) if c != 0]
+        for i in reversed(deviations):
+            candidate = trim_schedule(
+                current[:i] + (0,) + current[i + 1:]
+            )
+            attempt = run_schedule(config, candidate)
+            runs += 1
+            if not attempt.ok:
+                current, best = candidate, attempt
+                improved = True
+                break
+        if improved:
+            continue
+        for i in reversed([i for i, c in enumerate(current) if c > 1]):
+            for lower in range(1, current[i]):
+                candidate = current[:i] + (lower,) + current[i + 1:]
+                attempt = run_schedule(config, candidate)
+                runs += 1
+                if not attempt.ok:
+                    current, best = candidate, attempt
+                    improved = True
+                    break
+            if improved:
+                break
+    return best, runs
+
+
+# ----------------------------------------------------------------------
+# Bounded DFS
+# ----------------------------------------------------------------------
+@dataclass
+class ExploreViolation:
+    """One violating schedule: as found, and shrunk to a minimal prefix."""
+
+    found: ScheduleOutcome
+    shrunk: ScheduleOutcome
+    shrink_runs: int
+
+    @property
+    def token(self) -> str:
+        return self.shrunk.token
+
+    def render(self) -> str:
+        lines = [
+            f"violation found at schedule {self.found.schedule} "
+            f"({self.found.deviations} deviations), shrunk to "
+            f"{self.shrunk.schedule} ({self.shrunk.deviations}) "
+            f"in {self.shrink_runs} candidate runs",
+            self.shrunk.render(),
+            f'    replay: python -m repro explore --replay "{self.token}"',
+        ]
+        return "\n".join(lines)
+
+
+@dataclass
+class ExploreReport:
+    """Everything one bounded exploration produced."""
+
+    config: ExploreConfig
+    depth_bound: int
+    budget: int
+    executions: int = 0
+    decision_points: int = 0
+    offered: int = 0
+    pruned: int = 0
+    violations: List[ExploreViolation] = field(default_factory=list)
+    budget_exhausted: bool = False
+    frontier_exhausted: bool = False
+    elapsed: float = 0.0
+    unique_fingerprints: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    @property
+    def schedules_per_sec(self) -> float:
+        return self.executions / self.elapsed if self.elapsed > 0 else 0.0
+
+    @property
+    def pruning_ratio(self) -> float:
+        total = self.offered + self.pruned
+        return self.pruned / total if total else 0.0
+
+    def render(self) -> str:
+        status = "ok" if self.ok else "VIOLATIONS"
+        lines = [
+            f"[{status}] explored {self.executions} schedules "
+            f"(depth bound {self.depth_bound}, budget {self.budget}"
+            f"{', exhausted' if self.budget_exhausted else ''}) "
+            f"over {self.decision_points} decision points "
+            f"in {self.elapsed:.2f}s "
+            f"({self.schedules_per_sec:.0f} schedules/s)",
+            f"    partial-order pruning: {self.pruned} of "
+            f"{self.offered + self.pruned} options pruned "
+            f"({self.pruning_ratio:.0%}); "
+            f"{self.unique_fingerprints} distinct execution fingerprints",
+        ]
+        for violation in self.violations:
+            lines.append(violation.render())
+        return "\n".join(lines)
+
+
+def explore(
+    config,
+    depth_bound: int = 2,
+    budget: int = 200,
+    stop_at_first: bool = True,
+    events=None,
+) -> ExploreReport:
+    """Delay-bounded DFS over the schedule space of *config*.
+
+    *config* may be an :class:`ExploreConfig` or a bare
+    :class:`~repro.core.spec.DegradableSpec` (explored fault-free with
+    defaults).  *depth_bound* caps the number of non-default choices per
+    schedule; *budget* caps total executions (schedule runs; shrinking a
+    violation is budgeted separately since it terminates quickly).
+    """
+    if isinstance(config, DegradableSpec):
+        config = ExploreConfig(
+            m=config.m, u=config.u, n_nodes=config.n_nodes
+        )
+    if depth_bound < 0:
+        raise ConfigurationError(
+            f"depth_bound must be >= 0, got {depth_bound}"
+        )
+    if budget < 1:
+        raise ConfigurationError(f"budget must be >= 1, got {budget}")
+    report = ExploreReport(
+        config=config, depth_bound=depth_bound, budget=budget
+    )
+    started = time.perf_counter()
+    fingerprints = set()
+    stack: List[Tuple[int, ...]] = [()]
+    while stack:
+        if report.executions >= budget:
+            report.budget_exhausted = True
+            break
+        prefix = stack.pop()
+        outcome = run_schedule(config, prefix, events=events)
+        report.executions += 1
+        report.decision_points += len(outcome.trail)
+        report.offered += outcome.offered
+        report.pruned += outcome.pruned
+        fingerprints.add(outcome.fingerprint)
+        if not outcome.ok:
+            shrunk, shrink_runs = shrink_schedule(
+                config, outcome.schedule, outcome
+            )
+            report.violations.append(
+                ExploreViolation(
+                    found=outcome, shrunk=shrunk, shrink_runs=shrink_runs
+                )
+            )
+            if stop_at_first:
+                break
+        deviations = sum(1 for c in prefix if c != 0)
+        if deviations + 1 > depth_bound:
+            continue
+        # Branch on every decision at or past this prefix: each child is
+        # generated from exactly one parent, so the search tree never
+        # revisits a schedule.
+        choices = tuple(point.choice for point in outcome.trail)
+        children: List[Tuple[int, ...]] = []
+        for i in range(len(prefix), len(outcome.trail)):
+            for alternative in range(1, len(outcome.trail[i].menu)):
+                children.append(choices[:i] + (alternative,))
+        # LIFO stack + reversed children = earliest decision points are
+        # explored first, keeping shallow (early-round) deviations ahead
+        # of deep ones under tight budgets.
+        stack.extend(reversed(children))
+    else:
+        report.frontier_exhausted = True
+    report.unique_fingerprints = len(fingerprints)
+    report.elapsed = time.perf_counter() - started
+    return report

@@ -1,0 +1,348 @@
+"""Explored transport: every frame's fate is a schedule decision point.
+
+:class:`ExploredTransport` is an in-memory transport (per-node deques, no
+sockets, no copying) with one twist: each ``send(frame)`` asks a
+:class:`ScheduleController` what to do with the frame —
+
+* ``deliver`` — enqueue immediately (the *default*: choosing it at every
+  decision point reproduces the happy-path execution);
+* ``drop`` — the frame never arrives; its receiver rides out the round
+  deadline and resolves the missing paths to ``V_d`` (the paper's
+  assumption (b), forced rather than suffered);
+* ``stall`` — deliver *after* the round deadline: the receiver still
+  sees an absence in-round, and the stale frame is metered as a late
+  frame when it finally surfaces (the chaos layer's extreme-latency
+  case, made deterministic);
+* ``defer`` — deliver later but still inside the round: races the
+  delivery against early round close (a receiver whose pending set
+  resolves first consumes the frame a round late).
+
+The controller records every decision into a *trail*; the choice indices
+form the schedule token that replays the execution bit for bit.
+
+**Partial-order pruning.**  The runner sorts each round's inbox into the
+synchronous engine's delivery order before stepping, so *within-round
+arrival order is protocol-irrelevant by construction* — two schedules
+differing only in commuting deliveries reach identical protocol states.
+The menus exploit that: ``defer`` is only offered where a delay can
+actually race something (unbatched DATA vs. its trailing MARK); batched
+frames and markers never offer it, and protocol-equivalent action pairs
+(stalling vs. dropping a bare MARK — same inbox, same absences) are
+collapsed.  Every option a menu withholds is counted, so the explorer
+can report its pruning ratio.
+
+**Fault accounting.**  A frame that misses the round it belongs to — by
+drop, stall, or a defer that lost its race — is an absence the protocol
+charges to silence, so the transport charges its *source* into
+``afflicted`` exactly like the chaos layer's accounting: the explored
+execution is then judged in the D.1–D.4 tier selected by its effective
+fault count.  The transport detects misses positively (a tracked frame
+not consumed by the time a later round opens) rather than trusting the
+schedule, so defers that *won* their race charge nobody.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import ConfigurationError, TransportError
+from repro.net.codec import BATCH, DATA, MARK, PING, PONG, Frame
+from repro.net.transport import Transport
+
+NodeId = Hashable
+
+# Schedule actions, in canonical menu order (index 0 is the default).
+DELIVER = "deliver"
+DROP = "drop"
+STALL = "stall"
+DEFER = "defer"
+
+#: Fraction of the round timeout a deferred frame is delayed: late enough
+#: to lose a race against an early round close, early enough to beat the
+#: deadline when the receiver is still collecting.
+DEFER_FRACTION = 0.45
+
+#: How far past the round deadline a stalled frame surfaces.
+STALL_FRACTION = 0.5
+
+
+class ExploreScheduleError(ConfigurationError):
+    """A schedule names a choice its decision point does not offer."""
+
+
+@dataclass(frozen=True)
+class DecisionPoint:
+    """One consulted decision: which frame, what menu, what was chosen."""
+
+    index: int
+    round_no: int
+    kind: str
+    source: NodeId
+    destination: NodeId
+    menu: Tuple[str, ...]
+    choice: int
+
+    @property
+    def action(self) -> str:
+        return self.menu[self.choice]
+
+    @property
+    def label(self) -> str:
+        return (
+            f"#{self.index} r{self.round_no} {self.kind} "
+            f"{self.source}->{self.destination}: "
+            f"{self.action} (menu {'/'.join(self.menu)})"
+        )
+
+
+class ScheduleController:
+    """Feeds a choice sequence to decision points, recording the trail.
+
+    A *schedule* is a tuple of menu indices consumed in decision order;
+    once it is exhausted every further decision takes the default
+    (index 0, always ``deliver``).  The recorded trail — including each
+    point's menu width — is what the explorer uses to enumerate sibling
+    schedules and what the replay token serializes.
+    """
+
+    def __init__(self, schedule: Sequence[int] = ()) -> None:
+        self.schedule: Tuple[int, ...] = tuple(int(c) for c in schedule)
+        if any(c < 0 for c in self.schedule):
+            raise ExploreScheduleError(
+                f"schedule choices must be >= 0, got {self.schedule}"
+            )
+        self.trail: List[DecisionPoint] = []
+        #: Total options offered across all decision points.
+        self.offered = 0
+        #: Options partial-order pruning removed from menus.
+        self.pruned = 0
+
+    def choose(
+        self,
+        round_no: int,
+        kind: str,
+        source: NodeId,
+        destination: NodeId,
+        menu: Sequence[str],
+        pruned: int,
+    ) -> str:
+        index = len(self.trail)
+        choice = self.schedule[index] if index < len(self.schedule) else 0
+        if choice >= len(menu):
+            raise ExploreScheduleError(
+                f"decision #{index} ({kind} {source!r}->{destination!r} "
+                f"round {round_no}) offers {len(menu)} options "
+                f"{tuple(menu)}; schedule chose {choice}"
+            )
+        self.offered += len(menu)
+        self.pruned += pruned
+        point = DecisionPoint(
+            index=index,
+            round_no=round_no,
+            kind=kind,
+            source=source,
+            destination=destination,
+            menu=tuple(menu),
+            choice=choice,
+        )
+        self.trail.append(point)
+        return point.action
+
+    @property
+    def choices(self) -> Tuple[int, ...]:
+        return tuple(point.choice for point in self.trail)
+
+    @property
+    def deviations(self) -> int:
+        """Number of non-default choices taken."""
+        return sum(1 for point in self.trail if point.choice != 0)
+
+
+@dataclass
+class _Tracked:
+    """Lifecycle of one sent frame, for positive miss detection."""
+
+    frame: Frame
+    action: str
+    consumed: bool = False
+    charged: bool = False
+    timer: Optional[asyncio.TimerHandle] = field(default=None, repr=False)
+
+
+class ExploredTransport(Transport):
+    """In-memory transport whose deliveries the schedule decides."""
+
+    name = "explored"
+    #: Decisions must be consumed in one deterministic order; serialized
+    #: sends keep decision index == send order even for batched rounds.
+    ordered_sends = True
+
+    def __init__(
+        self,
+        controller: ScheduleController,
+        round_timeout: float,
+        batching: bool = True,
+    ) -> None:
+        if round_timeout <= 0:
+            raise ValueError(
+                f"round_timeout must be > 0, got {round_timeout}"
+            )
+        self.controller = controller
+        self.round_timeout = round_timeout
+        self.batching = batching
+        #: Sources whose frames missed the round they belonged to.
+        self.afflicted: Set[NodeId] = set()
+        self._inboxes: Dict[NodeId, Deque[_Tracked]] = {}
+        self._waiters: Dict[NodeId, Deque["asyncio.Future"]] = {}
+        self._tracked: List[_Tracked] = []
+        # Round numbers are per multiplexing instance (None outside a
+        # mux), so boundaries and miss detection are keyed accordingly.
+        self._deadlines: Dict[Tuple[object, int], float] = {}
+        self._instance_round: Dict[object, int] = {}
+
+    # ------------------------------------------------------------------
+    # Menus (partial-order pruning lives here)
+    # ------------------------------------------------------------------
+    def _menu(self, frame: Frame) -> Tuple[Tuple[str, ...], int]:
+        """Return (menu, pruned) for *frame*.
+
+        ``pruned`` counts the actions withheld because they commute with
+        an offered one: within-round reorderings of batched frames (the
+        inbox sort makes them protocol-equivalent to immediate delivery),
+        stalling a bare MARK (same inbox and same absence as dropping
+        it), and any tampering with supervision heartbeats (explored
+        configurations arm no failure detector, so a dropped PING only
+        re-sends).
+        """
+        if frame.kind in (PING, PONG):
+            return (DELIVER,), 3
+        if frame.kind == MARK:
+            # defer commutes (the round closes later but sees the same
+            # inbox); stall is protocol-equivalent to drop (the receiver
+            # times out either way, the stale MARK carries no data).
+            return (DELIVER, DROP), 2
+        if frame.kind == BATCH:
+            # In-round reorderings commute: the batch carries its own
+            # mark, so a pre-deadline delay cannot lose a race.
+            return (DELIVER, DROP, STALL), 1
+        if frame.kind == DATA:
+            # The one genuine in-round race: a deferred DATA frame can
+            # lose against its source's MARK closing the round early.
+            return (DELIVER, DROP, STALL, DEFER), 0
+        return (DELIVER,), 0
+
+    # ------------------------------------------------------------------
+    # Transport contract
+    # ------------------------------------------------------------------
+    async def open(self, nodes: Sequence[NodeId]) -> None:
+        self._inboxes = {node: deque() for node in nodes}
+        self._waiters = {node: deque() for node in nodes}
+
+    def round_opened(
+        self, round_no: int, deadline: float, instance=None
+    ) -> None:
+        self._instance_round[instance] = max(
+            self._instance_round.get(instance, 0), round_no
+        )
+        self._deadlines[(instance, round_no)] = deadline
+        # Positive miss detection: anything of this instance from an
+        # earlier round that is still unconsumed — queued, in flight, or
+        # dropped — missed the round it belonged to.  Its source is an
+        # absence the oracle must see as fault placement.
+        for entry in self._tracked:
+            if (
+                entry.frame.instance == instance
+                and entry.frame.round_no < round_no
+                and not entry.consumed
+            ):
+                self._charge(entry)
+
+    async def send(self, frame: Frame) -> int:
+        if frame.destination not in self._inboxes:
+            raise TransportError(
+                f"no endpoint for destination {frame.destination!r}"
+            )
+        menu, pruned = self._menu(frame)
+        action = self.controller.choose(
+            frame.round_no,
+            frame.kind,
+            frame.source,
+            frame.destination,
+            menu,
+            pruned,
+        )
+        entry = _Tracked(frame=frame, action=action)
+        self._tracked.append(entry)
+        if action == DELIVER:
+            self._deliver(entry)
+        elif action == DROP:
+            pass  # never arrives; charged when a later round opens
+        elif action in (STALL, DEFER):
+            loop = asyncio.get_running_loop()
+            now = loop.time()
+            deadline = self._deadlines.get(
+                (frame.instance, frame.round_no), now + self.round_timeout
+            )
+            if action == STALL:
+                when = deadline + STALL_FRACTION * self.round_timeout
+            else:
+                when = now + DEFER_FRACTION * self.round_timeout
+            entry.timer = loop.call_at(when, self._deliver, entry)
+        return 0
+
+    async def recv(self, node: NodeId) -> Frame:
+        inbox = self._inboxes.get(node)
+        if inbox is None:
+            raise TransportError(f"no endpoint for node {node!r}")
+        while not inbox:
+            loop = asyncio.get_running_loop()
+            waiter = loop.create_future()
+            self._waiters[node].append(waiter)
+            try:
+                await waiter
+            finally:
+                if not waiter.done():
+                    try:
+                        self._waiters[node].remove(waiter)
+                    except ValueError:
+                        pass
+        entry = inbox.popleft()
+        entry.consumed = True
+        current = self._instance_round.get(entry.frame.instance, 0)
+        if entry.frame.round_no < current:
+            # Consumed, but a round late (a stalled frame surfacing, or a
+            # defer that lost its race): still a miss.
+            self._charge(entry)
+        return entry.frame
+
+    async def close(self) -> None:
+        for entry in self._tracked:
+            if entry.timer is not None:
+                entry.timer.cancel()
+            if not entry.consumed:
+                self._charge(entry)
+        self._inboxes = {}
+        self._waiters = {}
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _deliver(self, entry: _Tracked) -> None:
+        inbox = self._inboxes.get(entry.frame.destination)
+        if inbox is None:
+            return  # delivered after close: a miss, charged in close()
+        inbox.append(entry)
+        waiters = self._waiters[entry.frame.destination]
+        while waiters:
+            waiter = waiters.popleft()
+            if not waiter.done():
+                waiter.set_result(None)
+                break
+
+    def _charge(self, entry: _Tracked) -> None:
+        if not entry.charged:
+            entry.charged = True
+            self.afflicted.add(entry.frame.source)

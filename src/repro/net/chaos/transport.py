@@ -88,6 +88,11 @@ class ChaosTransport(Transport):
         self.metrics = metrics
         self.inner.attach_metrics(metrics)
 
+    def round_opened(
+        self, round_no: int, deadline: float, instance=None
+    ) -> None:
+        self.inner.round_opened(round_no, deadline, instance)
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------

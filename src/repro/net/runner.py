@@ -200,6 +200,9 @@ class AsyncRoundRunner:
                 survivors = self._apply_adapters(round_no, outgoing)
                 round_started = loop.time()
                 deadline = round_started + self.round_timeout
+                self.transport.round_opened(
+                    round_no, deadline, self.instance_id
+                )
                 if self.batching:
                     expected = await self._send_round_batched(
                         round_no, survivors, deadline

@@ -73,6 +73,25 @@ class Transport(ABC):
         is a no-op.
         """
 
+    def round_opened(
+        self, round_no: int, deadline: float, instance=None
+    ) -> None:
+        """Runner notification: *round_no* just opened; it closes at
+        *deadline* (loop time).
+
+        Timing seam for transports whose behaviour depends on round
+        boundaries — the schedule explorer's
+        :class:`~repro.explore.transport.ExploredTransport` uses it to
+        place delayed deliveries exactly before or after the deadline the
+        runner will actually enforce, instead of re-deriving it.
+        *instance* carries the runner's multiplexing identity (None for
+        single-instance runs): round numbers are per instance, so a
+        shared transport under a :class:`~repro.serve.mux.InstanceMux`
+        needs it to attribute the boundary.  Wrapping transports must
+        forward the call down their stack.  The default is a no-op; the
+        notification is purely informational and must not raise.
+        """
+
     async def send_corrupted(self, frame: Frame, rng: random.Random) -> int:
         """Deliver a corrupted rendition of *frame* to its destination.
 
@@ -214,6 +233,11 @@ class FlakyTransport(Transport):
 
     def attach_metrics(self, metrics: NetMetrics) -> None:
         self.inner.attach_metrics(metrics)
+
+    def round_opened(
+        self, round_no: int, deadline: float, instance=None
+    ) -> None:
+        self.inner.round_opened(round_no, deadline, instance)
 
     async def open(self, nodes: Sequence[NodeId]) -> None:
         await self.inner.open(nodes)

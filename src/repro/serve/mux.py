@@ -239,6 +239,18 @@ class InstanceChannel(Transport):
         # directly).
         self.metrics = metrics
 
+    def round_opened(
+        self, round_no: int, deadline: float, instance=None
+    ) -> None:
+        # Round boundaries are per-instance but the timing seam belongs to
+        # the shared wire: forward so a round-aware shared transport (the
+        # schedule explorer's) sees every instance's deadlines.  The
+        # runner already stamps its instance id; default it here for
+        # direct-driven channels.
+        self.mux.transport.round_opened(
+            round_no, deadline, self.instance_id if instance is None else instance
+        )
+
     async def open(self, nodes: Sequence[NodeId]) -> None:
         unknown = [n for n in nodes if n not in self.mux.nodes]
         if unknown:

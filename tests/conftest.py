@@ -5,13 +5,19 @@ failure mode the self-healing layer exists to prevent) fails loudly in
 seconds instead of hanging CI.  When the ``pytest-timeout`` plugin is
 installed it owns the job; otherwise a SIGALRM fallback below enforces
 the same ceiling on platforms that have it (main thread, POSIX).  Mark a
-test ``@pytest.mark.timeout(seconds)`` to override its budget.
+test ``@pytest.mark.timeout(seconds)`` to override its budget, or
+``@pytest.mark.no_wall_timeout`` to opt out entirely — the explorer's
+virtual-clock tests simulate hundreds of protocol seconds in
+milliseconds, so a wall-clock ceiling keyed to simulated time would be
+meaningless there, and the explorer enforces its own horizon guard
+(:class:`repro.explore.ExploreDeadlockError`) instead.
 """
 
 from __future__ import annotations
 
 import signal
 import threading
+from typing import Optional
 
 import pytest
 
@@ -23,7 +29,10 @@ DEFAULT_TEST_TIMEOUT = 120.0
 SLOW_TEST_TIMEOUT = 600.0
 
 
-def _timeout_budget(item) -> float:
+def _timeout_budget(item) -> Optional[float]:
+    """The test's wall-clock ceiling, or ``None`` to waive it."""
+    if item.get_closest_marker("no_wall_timeout") is not None:
+        return None
     marker = item.get_closest_marker("timeout")
     if marker is not None and marker.args:
         return float(marker.args[0])
@@ -46,6 +55,9 @@ def pytest_runtest_call(item):
         yield
         return
     budget = _timeout_budget(item)
+    if budget is None:  # no_wall_timeout: the test polices itself
+        yield
+        return
 
     def _expired(signum, frame):
         pytest.fail(

@@ -1,0 +1,175 @@
+"""Hypothesis property suite: VOTE algebra, spec bounds, EIG re-resolution.
+
+Three families the example-based suites cannot pin as laws:
+
+* **VOTE algebra** — ties (however many-way) always yield ``V_d``;
+  winners are monotone under reinforcement (adding more copies of the
+  winner never unseats it) and stable under raising the threshold (the
+  decision can fall back to ``V_d``, never flip to a different value);
+  :func:`~repro.core.eig.byz_resolver` is ``vote`` itself, so it
+  inherits permutation invariance.
+* **Spec bounds** — feasibility is *exactly* ``N > 2m + u``:
+  ``DegradableSpec`` accepts every ``N >= min_nodes = 2m + u + 1`` and
+  rejects ``N = 2m + u``, for random ``(m, u)``.
+* **EIG re-resolution** — after a real message-passing run under a
+  random adversary, every fault-free receiver's recorded decision equals
+  an independent ``tree.resolve`` fold of its own EIG tree, and the
+  whole decision map equals the functional ``run_degradable_agreement``
+  oracle: three derivations, one answer.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.behavior import (
+    ConstantLiar,
+    LieAboutSender,
+    SilentBehavior,
+    TwoFacedBehavior,
+)
+from repro.core.byz import run_degradable_agreement
+from repro.core.eig import byz_resolver
+from repro.core.protocol import execute_degradable_protocol
+from repro.core.spec import DegradableSpec
+from repro.core.values import DEFAULT
+from repro.core.vote import vote
+from repro.exceptions import ConfigurationError
+from tests.conftest import node_names
+
+values_st = st.lists(
+    st.sampled_from(["alpha", "beta", "gamma", DEFAULT]),
+    min_size=1,
+    max_size=12,
+)
+
+
+def thresholds_for(ballots):
+    return st.integers(min_value=1, max_value=len(ballots))
+
+
+class TestVoteAlgebra:
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.sampled_from(["alpha", "beta"]),
+        st.sampled_from(["gamma", DEFAULT]),
+    )
+    def test_exact_ties_default(self, threshold, first, second):
+        ballots = [first] * threshold + [second] * threshold
+        assert vote(threshold, ballots) == DEFAULT
+
+    @given(values_st.flatmap(lambda b: st.tuples(st.just(b), thresholds_for(b))))
+    def test_winner_is_monotone_under_reinforcement(self, case):
+        ballots, threshold = case
+        winner = vote(threshold, ballots)
+        if winner == DEFAULT:
+            return
+        assert vote(threshold, ballots + [winner]) == winner
+
+    @given(values_st.flatmap(lambda b: st.tuples(st.just(b), thresholds_for(b))))
+    def test_raising_threshold_never_flips_the_winner(self, case):
+        ballots, threshold = case
+        winner = vote(threshold, ballots)
+        if winner == DEFAULT:
+            # A tie can sharpen into a winner at a stricter threshold;
+            # only an actual winner is monotone.
+            return
+        for higher in range(threshold + 1, len(ballots) + 1):
+            assert vote(higher, ballots) in (winner, DEFAULT)
+
+    @given(
+        values_st.flatmap(lambda b: st.tuples(st.just(b), thresholds_for(b))),
+        st.randoms(use_true_random=False),
+    )
+    def test_byz_resolver_is_permutation_invariant(self, case, rng):
+        ballots, threshold = case
+        shuffled = list(ballots)
+        rng.shuffle(shuffled)
+        assert byz_resolver(threshold, shuffled) == byz_resolver(
+            threshold, ballots
+        )
+
+    @given(values_st)
+    def test_byz_resolver_is_vote(self, ballots):
+        threshold = max(1, len(ballots) - 1)
+        assert byz_resolver(threshold, ballots) == vote(threshold, ballots)
+
+
+class TestSpecBounds:
+    mu_st = st.tuples(
+        st.integers(min_value=0, max_value=4),
+        st.integers(min_value=0, max_value=4),
+    ).map(lambda t: (min(t), max(t))).filter(lambda t: t[1] >= 1)
+
+    @given(mu_st)
+    def test_min_nodes_is_the_feasibility_edge(self, mu):
+        m, u = mu
+        spec = DegradableSpec(m=m, u=u, n_nodes=2 * m + u + 1)
+        assert spec.min_nodes == 2 * m + u + 1
+        with pytest.raises(ConfigurationError):
+            DegradableSpec(m=m, u=u, n_nodes=2 * m + u)
+
+    @given(mu_st, st.integers(min_value=0, max_value=5))
+    def test_every_size_at_or_past_the_bound_is_feasible(self, mu, slack):
+        m, u = mu
+        spec = DegradableSpec(m=m, u=u, n_nodes=2 * m + u + 1 + slack)
+        assert spec.n_nodes >= spec.min_nodes
+
+
+def adversaries(nodes, count):
+    """Strategy: *count* distinct faulty receivers with random behaviours."""
+    behavior_st = st.sampled_from(["lie", "silent", "constant", "two-faced"])
+
+    def build(picks):
+        chosen, kinds = picks
+        behaviors = {}
+        for node, kind in zip(chosen, kinds):
+            if kind == "lie":
+                behaviors[node] = LieAboutSender("forged", "S")
+            elif kind == "silent":
+                behaviors[node] = SilentBehavior()
+            elif kind == "constant":
+                behaviors[node] = ConstantLiar("forged")
+            else:
+                behaviors[node] = TwoFacedBehavior(
+                    {p: ("x" if i % 2 else "y") for i, p in enumerate(nodes)}
+                )
+        return behaviors
+
+    return st.tuples(
+        st.lists(
+            st.sampled_from(nodes), min_size=count, max_size=count, unique=True
+        ),
+        st.lists(behavior_st, min_size=count, max_size=count),
+    ).map(build)
+
+
+class TestEigResolveEquivalence:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.sampled_from([(1, 1), (1, 2), (2, 2)]),
+        st.data(),
+    )
+    def test_three_derivations_one_answer(self, mu, data):
+        m, u = mu
+        spec = DegradableSpec(m=m, u=u, n_nodes=2 * m + u + 1)
+        nodes = node_names(spec.n_nodes)
+        n_faulty = data.draw(st.integers(min_value=0, max_value=u))
+        behaviors = data.draw(adversaries(nodes, n_faulty))
+
+        functional = run_degradable_agreement(
+            spec, nodes, "S", "alpha", behaviors
+        )
+        message_passing, engine = execute_degradable_protocol(
+            spec, nodes, "S", "alpha", behaviors, record_trace=False
+        )
+        assert message_passing.decisions == functional.decisions
+
+        # Re-resolve each fault-free receiver's stored tree from scratch:
+        # the state machine's recorded decision must be a pure fold of it.
+        for process in engine.processes.values():
+            if process.node_id == "S" or process.node_id in behaviors:
+                continue
+            refold = process.tree.resolve("S", spec.m, byz_resolver)
+            assert message_passing.decisions[process.node_id] == refold

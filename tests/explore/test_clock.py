@@ -1,0 +1,102 @@
+"""The virtual clock: simulated seconds cost microseconds, hangs fail.
+
+The explorer's determinism rests on the event loop never consulting the
+wall clock: ``loop.time()`` is a counter the selector proxy advances by
+exactly the nearest timer's remaining interval.  These tests pin the
+three contractual behaviours — time is virtual (big simulated spans run
+instantly), genuinely unwakeable awaits raise
+:class:`ExploreDeadlockError` instead of hanging, and the horizon guard
+converts a timer-driven infinite loop into the same diagnosable error.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import pytest
+
+from repro.explore import (
+    ExploreDeadlockError,
+    VirtualClockLoop,
+    run_on_virtual_clock,
+)
+from repro.explore.clock import DEFAULT_START_TIME
+
+
+class TestVirtualTime:
+    def test_sleep_advances_virtual_not_wall_time(self):
+        async def nap():
+            loop = asyncio.get_running_loop()
+            before = loop.time()
+            await asyncio.sleep(150.0)
+            return loop.time() - before
+
+        wall_start = time.perf_counter()
+        elapsed = run_on_virtual_clock(nap())
+        wall = time.perf_counter() - wall_start
+        assert elapsed == pytest.approx(150.0)
+        assert wall < 1.0
+
+    def test_clock_starts_at_start_time(self):
+        async def now():
+            return asyncio.get_running_loop().time()
+
+        assert run_on_virtual_clock(now()) == DEFAULT_START_TIME
+        assert run_on_virtual_clock(now(), start_time=42.0) == 42.0
+
+    def test_wait_for_times_out_virtually(self):
+        async def wait_on_silence():
+            loop = asyncio.get_running_loop()
+            with pytest.raises(asyncio.TimeoutError):
+                await asyncio.wait_for(loop.create_future(), timeout=30.0)
+            return loop.time()
+
+        assert run_on_virtual_clock(wait_on_silence()) == pytest.approx(
+            DEFAULT_START_TIME + 30.0
+        )
+
+    def test_timers_fire_in_order(self):
+        fired = []
+
+        async def schedule():
+            loop = asyncio.get_running_loop()
+            loop.call_later(3.0, fired.append, "late")
+            loop.call_later(1.0, fired.append, "early")
+            await asyncio.sleep(5.0)
+
+        run_on_virtual_clock(schedule())
+        assert fired == ["early", "late"]
+
+
+class TestGuards:
+    def test_unwakeable_await_raises_deadlock(self):
+        async def hang():
+            await asyncio.get_running_loop().create_future()
+
+        with pytest.raises(ExploreDeadlockError):
+            run_on_virtual_clock(hang())
+
+    def test_horizon_bounds_timer_loops(self):
+        async def tick_forever():
+            while True:
+                await asyncio.sleep(1.0)
+
+        with pytest.raises(ExploreDeadlockError):
+            run_on_virtual_clock(tick_forever(), horizon=50.0)
+
+    def test_loop_closes_after_run(self):
+        async def trivial():
+            return "done"
+
+        assert run_on_virtual_clock(trivial()) == "done"
+        # A fresh run gets a fresh loop; nothing leaks between runs.
+        assert run_on_virtual_clock(trivial()) == "done"
+
+    def test_loop_is_selector_subclass(self):
+        loop = VirtualClockLoop()
+        try:
+            assert isinstance(loop, asyncio.SelectorEventLoop)
+            assert loop.time() == DEFAULT_START_TIME
+        finally:
+            loop.close()

@@ -1,0 +1,53 @@
+"""Observing an explored execution never changes it.
+
+Extends the ``repro.obs`` tentpole invariant to the explorer: attaching
+an :class:`~repro.obs.events.EventBus` to a schedule run (or a whole
+campaign) must change no decision, no affliction, and no fingerprint —
+the bus sees the run, the run never sees the bus.
+"""
+
+from __future__ import annotations
+
+from repro.explore import ExploreConfig, explore, run_schedule
+from repro.obs.events import EventBus
+
+
+class TestObservedEqualsUnobserved:
+    def test_schedule_run_identical_with_bus_attached(self):
+        config = ExploreConfig()
+        for schedule in [(), (1,), (2, 1)]:
+            bus = EventBus()
+            observed = run_schedule(config, schedule, events=bus)
+            baseline = run_schedule(config, schedule)
+            assert observed.fingerprint == baseline.fingerprint
+            assert observed.decisions == baseline.decisions
+            assert observed.afflicted == baseline.afflicted
+            assert observed.report.codes == baseline.report.codes
+            assert bus.total_events > 0
+
+    def test_violating_run_identical_with_bus_attached(self):
+        config = ExploreConfig(vote_offset=1)
+        bus = EventBus()
+        observed = run_schedule(config, (1,), events=bus)
+        baseline = run_schedule(config, (1,))
+        assert not observed.ok and not baseline.ok
+        assert observed.fingerprint == baseline.fingerprint
+        assert observed.report.codes == baseline.report.codes
+
+    def test_campaign_identical_with_bus_attached(self):
+        bus = EventBus()
+        observed = explore(ExploreConfig(), depth_bound=1, budget=20, events=bus)
+        baseline = explore(ExploreConfig(), depth_bound=1, budget=20)
+        assert observed.ok == baseline.ok
+        assert observed.executions == baseline.executions
+        assert observed.decision_points == baseline.decision_points
+        assert observed.unique_fingerprints == baseline.unique_fingerprints
+        assert bus.counts["round_started"] >= 1
+
+    def test_broken_subscriber_does_not_perturb_the_run(self):
+        bus = EventBus()
+        bus.subscribe(lambda event: (_ for _ in ()).throw(RuntimeError()))
+        observed = run_schedule(ExploreConfig(), (1,), events=bus)
+        baseline = run_schedule(ExploreConfig(), (1,))
+        assert bus.subscriber_errors == bus.total_events > 0
+        assert observed.fingerprint == baseline.fingerprint

@@ -1,0 +1,70 @@
+"""The whole service stack under the explorer's transport.
+
+The explorer is not a toy harness: the same :class:`ExploredTransport`
+slots under :class:`~repro.serve.gateway.AgreementService`'s mux, runs
+real multi-instance campaigns on the virtual clock, and every demuxed
+per-instance record still verifies.  Round numbers restart at 1 for each
+instance, so this is also the regression test for per-instance miss
+accounting (a later instance's round 1 must not make an earlier
+instance's frames look stale, and vice versa).
+"""
+
+from __future__ import annotations
+
+from repro.core.spec import DegradableSpec
+from repro.explore import (
+    ExploredTransport,
+    ScheduleController,
+    run_on_virtual_clock,
+)
+from repro.serve import AgreementService, record_service_run
+from repro.verify import demux_record, verify_record
+
+SPEC = DegradableSpec(m=1, u=2, n_nodes=5)
+NODES = ["S", "p1", "p2", "p3", "p4"]
+
+
+def run_service(schedule=()):
+    controller = ScheduleController(schedule)
+    transport = ExploredTransport(controller, round_timeout=1.0)
+
+    async def scenario():
+        async with AgreementService(
+            SPEC, NODES, transport=transport, round_timeout=1.0
+        ) as service:
+            first = await service.submit_and_wait("S", "attack")
+            second = await service.submit_and_wait("S", "hold")
+            return first, second, record_service_run(service)
+
+    first, second, record = run_on_virtual_clock(scenario())
+    return first, second, record, transport, controller
+
+
+class TestServiceOnExploredTransport:
+    def test_sequential_instances_decide_and_verify(self):
+        first, second, record, transport, controller = run_service()
+        assert set(first.decisions.values()) == {"attack"}
+        assert set(second.decisions.values()) == {"hold"}
+        # Default schedule: every frame delivered on time, nobody charged.
+        assert transport.afflicted == set()
+        sub_records = demux_record(record)
+        assert len(sub_records) == 2
+        for sub in sub_records.values():
+            assert verify_record(sub).ok
+
+    def test_decisions_are_deterministic_across_runs(self):
+        _, _, record_a, _, controller_a = run_service()
+        _, _, record_b, _, controller_b = run_service()
+        assert controller_a.choices == controller_b.choices
+        assert [p.label for p in controller_a.trail] == [
+            p.label for p in controller_b.trail
+        ]
+        assert record_a.fingerprint() == record_b.fingerprint()
+
+    def test_instance_rounds_do_not_cross_charge(self):
+        first, second, record, transport, _ = run_service()
+        # Two instances, interleaved round numbering, zero afflicted:
+        # the per-instance keying never mistook one instance's round-1
+        # frames for the other's stragglers.
+        assert transport.afflicted == set()
+        assert record.trace.instance_ids() is not None

@@ -1,0 +1,220 @@
+"""ExploredTransport in isolation: menus, tracking, and fault charging.
+
+Driven directly (no runner) on the virtual clock so each decision-point
+behaviour — menu composition per frame kind, drop/stall/defer timing,
+positive miss detection — is pinned where it lives, without the
+protocol's own absences muddying attribution.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.explore import (
+    DEFER,
+    DELIVER,
+    DROP,
+    STALL,
+    ExploreScheduleError,
+    ExploredTransport,
+    ScheduleController,
+    run_on_virtual_clock,
+)
+from repro.net.codec import BATCH, DATA, MARK, PING, Frame
+from repro.sim.messages import Message, RelayPayload
+
+
+def data_frame(round_no=1, source="S", destination="p1", instance=None):
+    return Frame(
+        kind=DATA,
+        round_no=round_no,
+        source=source,
+        destination=destination,
+        message=Message(
+            source=source,
+            destination=destination,
+            payload=RelayPayload(path=(source,), value="alpha"),
+            round_sent=round_no,
+        ),
+        instance=instance,
+    )
+
+
+def make(schedule=(), timeout=1.0, batching=True):
+    controller = ScheduleController(schedule)
+    transport = ExploredTransport(
+        controller, round_timeout=timeout, batching=batching
+    )
+    return controller, transport
+
+
+def drive(transport, coro):
+    async def _run():
+        await transport.open(["S", "p1", "p2"])
+        try:
+            return await coro()
+        finally:
+            await transport.close()
+
+    return run_on_virtual_clock(_run())
+
+
+class TestMenus:
+    @pytest.mark.parametrize(
+        "kind,expected_menu",
+        [
+            (DATA, (DELIVER, DROP, STALL, DEFER)),
+            (BATCH, (DELIVER, DROP, STALL)),
+            (MARK, (DELIVER, DROP)),
+            (PING, (DELIVER,)),
+        ],
+    )
+    def test_menu_per_kind(self, kind, expected_menu):
+        controller, transport = make()
+        menu, pruned = transport._menu(
+            Frame(kind=kind, round_no=1, source="S", destination="p1")
+        )
+        assert menu == expected_menu
+        # Every kind accounts for the same action universe: offered
+        # options plus pruned commuting ones always total four.
+        assert len(menu) + pruned == 4
+
+    def test_controller_counts_offered_and_pruned(self):
+        controller, transport = make()
+
+        async def scenario():
+            await transport.send(data_frame())
+            return await transport.recv("p1")
+
+        drive(transport, scenario)
+        assert controller.offered == 4
+        assert controller.pruned == 0
+        assert controller.choices == (0,)
+        assert controller.deviations == 0
+
+
+class TestScheduleValidation:
+    def test_choice_past_menu_width_raises(self):
+        controller, transport = make(schedule=(9,))
+
+        async def scenario():
+            await transport.send(data_frame())
+
+        with pytest.raises(ExploreScheduleError, match="offers 4 options"):
+            drive(transport, scenario)
+
+    def test_negative_choice_rejected_eagerly(self):
+        with pytest.raises(ExploreScheduleError):
+            ScheduleController((-1,))
+
+    def test_trail_records_the_decision(self):
+        controller, transport = make(schedule=(1,))
+
+        async def scenario():
+            await transport.send(data_frame())
+
+        drive(transport, scenario)
+        (point,) = controller.trail
+        assert point.action == DROP
+        assert (point.source, point.destination) == ("S", "p1")
+        assert "drop" in point.label
+
+
+class TestActions:
+    def test_default_delivers_immediately(self):
+        controller, transport = make()
+
+        async def scenario():
+            await transport.send(data_frame())
+            frame = await transport.recv("p1")
+            return frame
+
+        frame = drive(transport, scenario)
+        assert frame.message.payload.value == "alpha"
+        assert transport.afflicted == set()
+
+    def test_drop_charges_source_when_next_round_opens(self):
+        controller, transport = make(schedule=(1,))
+
+        async def scenario():
+            transport.round_opened(1, asyncio.get_running_loop().time() + 1.0)
+            await transport.send(data_frame(round_no=1))
+            assert transport.afflicted == set()  # not charged yet
+            transport.round_opened(2, asyncio.get_running_loop().time() + 2.0)
+            return set(transport.afflicted)
+
+        assert drive(transport, scenario) == {"S"}
+
+    def test_stall_surfaces_after_deadline_and_charges(self):
+        controller, transport = make(schedule=(2,))
+
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            deadline = loop.time() + 1.0
+            transport.round_opened(1, deadline)
+            await transport.send(data_frame(round_no=1))
+            transport.round_opened(2, deadline + 1.0)
+            frame = await transport.recv("p1")
+            return frame, loop.time() >= deadline, set(transport.afflicted)
+
+        frame, past_deadline, afflicted = drive(transport, scenario)
+        assert frame.round_no == 1
+        assert past_deadline
+        assert afflicted == {"S"}
+
+    def test_defer_that_wins_its_race_charges_nobody(self):
+        controller, transport = make(schedule=(3,))
+
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            transport.round_opened(1, loop.time() + 1.0)
+            await transport.send(data_frame(round_no=1))
+            # Still round 1 when it surfaces 0.45 timeouts later: on time.
+            frame = await transport.recv("p1")
+            return frame, set(transport.afflicted)
+
+        frame, afflicted = drive(transport, scenario)
+        assert frame.round_no == 1
+        assert afflicted == set()
+
+    def test_unconsumed_frames_charged_at_close(self):
+        controller, transport = make(schedule=(1,))
+
+        async def scenario():
+            await transport.send(data_frame())
+
+        drive(transport, scenario)
+        assert transport.afflicted == {"S"}
+
+    def test_unknown_destination_raises(self):
+        from repro.exceptions import TransportError
+
+        controller, transport = make()
+
+        async def scenario():
+            await transport.send(data_frame(destination="ghost"))
+
+        with pytest.raises(TransportError, match="ghost"):
+            drive(transport, scenario)
+
+
+class TestInstanceAwareness:
+    def test_rounds_are_tracked_per_instance(self):
+        # Instance "b" opening round 2 must not make instance "a"'s
+        # round-1 frames look stale: boundaries are per-instance.
+        controller, transport = make()
+
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            frame = data_frame(round_no=1, instance="a")
+            transport.round_opened(1, loop.time() + 1.0, instance="a")
+            await transport.send(frame)
+            transport.round_opened(2, loop.time() + 1.0, instance="b")
+            consumed = await transport.recv("p1")
+            return consumed, set(transport.afflicted)
+
+        consumed, afflicted = drive(transport, scenario)
+        assert consumed.instance == "a"
+        assert afflicted == set()

@@ -384,3 +384,64 @@ class TestLoad:
         )
         assert code == 0
         assert "open" in out
+
+
+class TestExplore:
+    def test_clean_campaign(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "explore", "--depth", "1", "--budget", "40"
+        )
+        assert code == 0
+        assert "[ok]" in out
+        assert "partial-order pruning" in out
+
+    def test_seeded_bug_exits_nonzero_with_replay_token(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "explore", "--inject-vote-bug", "1",
+            "--depth", "2", "--budget", "50",
+        )
+        assert code == 1
+        assert "VOTE_MISMATCH" in out
+        assert 'explore --replay "' in out
+
+    def test_replay_token_reproduces_verdict(self, capsys):
+        token = (
+            "m=1,u=2,n=5,value=alpha,faults=-,timeout=1.0,"
+            "batch=1,sup=0,bug=1,sched=1"
+        )
+        code_a, out_a, _ = run_cli(capsys, "explore", "--replay", token)
+        code_b, out_b, _ = run_cli(capsys, "explore", "--replay", token)
+        assert code_a == code_b == 1
+        assert out_a == out_b
+        assert "fingerprint" in out_a
+
+    def test_smoke_gate(self, capsys):
+        code, out, _ = run_cli(capsys, "explore", "--smoke")
+        assert code == 0
+        assert "verdict  ok" in out
+
+    def test_bench_writes_artifact(self, capsys, tmp_path):
+        out_path = tmp_path / "BENCH_explore.json"
+        code, out, _ = run_cli(
+            capsys, "explore", "--smoke", "--bench", "--out", str(out_path)
+        )
+        assert code == 0
+        assert out_path.exists()
+        import json
+
+        payload = json.loads(out_path.read_text())
+        assert payload["schema"] == "repro.bench.explore/v1"
+        assert payload["correct"]["violations"] == 0
+        assert payload["broken_vote"]["violations"] > 0
+
+    def test_faulty_flag_and_usage_errors(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "explore", "--faulty", "p1:silent",
+            "--depth", "1", "--budget", "20",
+        )
+        assert code == 0
+        code, _, err = run_cli(
+            capsys, "explore", "--faulty", "ghost:lie", "--budget", "5"
+        )
+        assert code == 2
+        assert "unknown faulty node" in err

@@ -1,0 +1,117 @@
+"""Regression tests for the conftest wall-clock ceiling itself.
+
+The SIGALRM fallback in ``tests/conftest.py`` is test infrastructure, so
+it gets its own tests: a ``pytester``-driven inner pytest run loads the
+*real* conftest hook (imported from this directory, not a copy that
+could drift) and checks both directions —
+
+* ``@pytest.mark.timeout(t)`` converts an over-budget sleep into a
+  failure (the ceiling is live), and
+* adding ``@pytest.mark.no_wall_timeout`` waives the ceiling entirely,
+  which is what lets explorer tests simulate hundreds of protocol
+  seconds of virtual time under a wall clock that never fires.
+
+Skipped wholesale on platforms without SIGALRM, where the fallback
+deliberately does nothing.
+"""
+
+from __future__ import annotations
+
+import signal
+from pathlib import Path
+
+import pytest
+
+pytest_plugins = ["pytester"]
+
+_HAS_SIGALRM = hasattr(signal, "SIGALRM") and hasattr(signal, "setitimer")
+
+pytestmark = pytest.mark.skipif(
+    not _HAS_SIGALRM, reason="SIGALRM fallback is inert on this platform"
+)
+
+#: The conftest under test — loaded by path so the inner run exercises
+#: the exact hook this repository ships.
+_CONFTEST = Path(__file__).resolve().parent / "conftest.py"
+
+_INNER_CONFTEST = f"""
+import importlib.util
+
+_spec = importlib.util.spec_from_file_location("repo_conftest", {str(_CONFTEST)!r})
+_mod = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(_mod)
+
+pytest_runtest_call = _mod.pytest_runtest_call
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "timeout(seconds): ceiling")
+    config.addinivalue_line("markers", "no_wall_timeout: waive ceiling")
+"""
+
+
+def _run_inner(pytester, body: str):
+    pytester.makeconftest(_INNER_CONFTEST)
+    pytester.makepyfile(body)
+    return pytester.runpytest_inprocess("-p", "no:cacheprovider")
+
+
+def test_ceiling_fails_overbudget_test(pytester):
+    result = _run_inner(
+        pytester,
+        """
+        import time, pytest
+
+        @pytest.mark.timeout(0.2)
+        def test_sleeps_past_ceiling():
+            time.sleep(2.0)
+        """,
+    )
+    result.assert_outcomes(failed=1)
+    result.stdout.fnmatch_lines(["*exceeded its 0.2s wall-clock ceiling*"])
+
+
+def test_no_wall_timeout_waives_ceiling(pytester):
+    result = _run_inner(
+        pytester,
+        """
+        import time, pytest
+
+        @pytest.mark.timeout(0.2)
+        @pytest.mark.no_wall_timeout
+        def test_sleeps_past_ceiling_unharmed():
+            time.sleep(0.5)
+        """,
+    )
+    result.assert_outcomes(passed=1)
+
+
+# no_wall_timeout here is load-bearing twice: it keeps the *outer* run's
+# itimer out of the inner waived test's assertion, and it exercises the
+# marker on a real in-tree test.
+@pytest.mark.no_wall_timeout
+def test_timer_armed_and_waived_per_marker(pytester):
+    result = _run_inner(
+        pytester,
+        """
+        import signal, pytest
+
+        def test_timer_armed_by_default():
+            # The ceiling hook armed an itimer around this very call.
+            assert signal.getitimer(signal.ITIMER_REAL)[0] > 0
+
+        @pytest.mark.no_wall_timeout
+        def test_timer_absent_under_waiver():
+            assert signal.getitimer(signal.ITIMER_REAL) == (0.0, 0.0)
+        """,
+    )
+    result.assert_outcomes(passed=2)
+
+
+def test_budget_helper_defaults_unmarked(request):
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location("_repo_conftest", _CONFTEST)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    assert mod._timeout_budget(request.node) == mod.DEFAULT_TEST_TIMEOUT
