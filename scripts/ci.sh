@@ -72,12 +72,15 @@ timeout 300 python -m repro serve --instances 32 --max-inflight 32 --seed 7
 timeout 300 python -m repro serve --instances 8 --chaos light --seed 5 --timeout 0.5
 timeout 300 python -m repro load --instances 64 --seed 7 --metrics-port 0 --out BENCH_serve.json
 
-echo "== observability gate (live /metrics + /healthz scrape) =="
+echo "== observability gate (live scrape + traced kill-links smoke) =="
 # Starts repro serve --metrics-port, scrapes the endpoint while live,
 # and fails on any malformed exposition line or unhealthy /healthz.
+# Then runs repro trace --kill-links on a known-degraded seed and fails
+# unless the span JSONL validates, the Perfetto JSON parses with every
+# parent resolving, and the summary names a degraded round.
 # The stats verb then re-renders the archived load report (with its
 # embedded mid-run sample) as exposition, exercising the offline path.
-timeout 120 python scripts/obs_gate.py
+timeout 180 python scripts/obs_gate.py
 timeout 60 python -m repro stats BENCH_serve.json --prom > /dev/null
 timeout 60 python -m repro stats BENCH_net.json > /dev/null
 

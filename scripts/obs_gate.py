@@ -13,6 +13,14 @@ fails on:
 * a ``/healthz`` body that is not ``{"status": "ok", ...}``,
 * the serve subprocess itself exiting nonzero.
 
+It then runs a traced kill-links smoke (``repro trace --kill-links``)
+on a seed known to ride out a deadline, and fails on:
+
+* a nonzero trace exit or a summary without a degraded round,
+* a span log whose header is not ``repro.spans/v1`` or whose spans
+  fail :func:`repro.trace.validate_spans`,
+* a Perfetto JSON that does not parse or whose parents do not resolve.
+
 Run from the repo root with ``PYTHONPATH=src`` (scripts/ci.sh and
 scripts/smoke.sh do both).
 """
@@ -22,14 +30,21 @@ from __future__ import annotations
 import json
 import subprocess
 import sys
+import tempfile
 import time
 import urllib.error
 import urllib.request
+from pathlib import Path
 
 from repro.obs.prom import parse_exposition
+from repro.trace import SCHEMA, read_spans, validate_spans
 
 LINGER = 8.0
 DEADLINE = 60.0
+
+#: Kill-links seed whose light-chaos run rides out at least one round
+#: deadline (same property tests/trace/test_cli.py pins).
+DEGRADED_SEED = 3
 
 
 def fail(message: str) -> "NoReturn":  # noqa: F821 - py<3.11 typing
@@ -42,6 +57,68 @@ def fetch(url: str, timeout: float = 5.0) -> str:
         if response.status != 200:
             fail(f"GET {url} returned {response.status}")
         return response.read().decode("utf-8")
+
+
+def trace_gate() -> None:
+    """Traced kill-links smoke: artifacts valid, parents resolve."""
+    with tempfile.TemporaryDirectory(prefix="repro-trace-gate-") as tmp:
+        spans_path = str(Path(tmp) / "spans.jsonl")
+        perfetto_path = str(Path(tmp) / "trace.json")
+        result = subprocess.run(
+            [
+                sys.executable, "-m", "repro", "trace",
+                "--kill-links", "--seed", str(DEGRADED_SEED),
+                "--spans", spans_path, "--perfetto", perfetto_path,
+            ],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        if result.returncode != 0:
+            fail(
+                f"repro trace exited {result.returncode}:\n"
+                f"{result.stdout}{result.stderr}"
+            )
+        if "dominated by" not in result.stdout:
+            fail("trace summary named no dominant cost")
+        if "DEGRADED" not in result.stdout:
+            fail(
+                f"seed {DEGRADED_SEED} no longer produces a degraded "
+                "round — pick a new seed here and in "
+                "tests/trace/test_cli.py"
+            )
+
+        header, spans = read_spans(spans_path)
+        if header.get("schema") != SCHEMA:
+            fail(f"span log header schema is {header.get('schema')!r}")
+        problems = validate_spans(spans)
+        if problems:
+            fail(f"span validation: {problems}")
+
+        try:
+            with open(perfetto_path, "r", encoding="utf-8") as fh:
+                perfetto = json.load(fh)
+        except ValueError as exc:
+            fail(f"Perfetto JSON does not parse: {exc}")
+        duration_events = [
+            e for e in perfetto.get("traceEvents", []) if e["ph"] == "X"
+        ]
+        if not duration_events:
+            fail("Perfetto trace has no duration events")
+        ids = {e["args"]["span_id"] for e in duration_events}
+        unresolved = [
+            e["args"]["parent_id"]
+            for e in duration_events
+            if e["args"]["parent_id"] is not None
+            and e["args"]["parent_id"] not in ids
+        ]
+        if unresolved:
+            fail(f"Perfetto parents do not resolve: {unresolved}")
+        print(
+            f"obs gate: trace ok — {len(spans)} spans, "
+            f"{len(duration_events)} Perfetto events, parents resolve, "
+            "degraded round named"
+        )
 
 
 def main() -> int:
@@ -109,10 +186,12 @@ def main() -> int:
             f"obs gate: ok — {len(samples)} well-formed series from "
             f"{endpoint}, /healthz ok, serve exited 0"
         )
-        return 0
     finally:
         if proc.poll() is None:
             proc.kill()
+
+    trace_gate()
+    return 0
 
 
 if __name__ == "__main__":

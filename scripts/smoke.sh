@@ -35,8 +35,8 @@ echo "== agreement service (32 concurrent instances, one shared bus) =="
 timeout 120 python -m repro serve --instances 32 --max-inflight 32 --seed 7
 timeout 120 python -m repro load --quick --instances 32 --seed 7 --metrics-port 0 --out BENCH_serve.json
 
-echo "== observability gate (live /metrics + /healthz scrape) =="
-timeout 120 python scripts/obs_gate.py
+echo "== observability gate (live scrape + traced kill-links smoke) =="
+timeout 180 python scripts/obs_gate.py
 timeout 60 python -m repro stats BENCH_serve.json --prom > /dev/null
 
 echo "Smoke green."

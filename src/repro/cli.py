@@ -32,6 +32,13 @@ Exposes the library's main entry points for interactive exploration:
   trace record); ``--prom`` emits Prometheus text exposition so recorded
   runs scrape into the same dashboards as live ones
   (``serve``/``load`` gain ``--metrics-port`` for the live endpoint);
+* ``trace``        — record a causal span trace of one seeded run
+  (``net`` single instance or ``serve`` multi-instance, optionally under
+  chaos / the kill-links soak), export it as lossless span JSONL plus a
+  Perfetto-loadable Chrome trace, and print the per-round critical path
+  ("round 3 dominated by retry backoff on link S->p2"); span ids derive
+  from the seed and logical coordinates only, so same-seed traces are
+  bit-identical and tracing never perturbs the run it observes;
 * ``verify``       — audit a recorded trace offline: re-derive every
   fault-free node's vote tree from the recorded deliveries and check vote
   arithmetic, round structure, absence→V_d accounting and the D.1–D.4
@@ -239,6 +246,42 @@ def build_parser() -> argparse.ArgumentParser:
                    help="serve /metrics during the run (0 = ephemeral), "
                         "self-scrape it mid-run, and embed the sample in "
                         "the report")
+
+    p = sub.add_parser(
+        "trace",
+        help="record a causal span trace of one seeded run and render "
+             "its per-round critical path (exports span JSONL + "
+             "Perfetto-loadable JSON)",
+    )
+    _add_spec_arguments(p, m_default=1, u_default=2)
+    _add_wire_arguments(p, timeout=0.5)
+    _add_seed_argument(
+        p, 0, "seeds chaos, supervision backoff and every span id"
+    )
+    p.add_argument("--mode", default="net", choices=["net", "serve"],
+                   help="net: one traced agreement instance; serve: a "
+                        "traced multi-instance service run")
+    p.add_argument("--value", default="alpha", help="sender's value")
+    p.add_argument("--instances", type=int, default=4,
+                   help="serve mode: concurrent agreement instances")
+    p.add_argument("--chaos", default="", metavar="SEVERITY",
+                   help="run under seeded chaos "
+                        "(light/heavy/partition/crash)")
+    p.add_argument("--kill-links", action="store_true",
+                   help="net mode: the self-healing soak — hard-reset "
+                        "every connection at each relay round and "
+                        "crash-restart one seeded victim's endpoint, "
+                        "under a reconnecting supervisor (implies "
+                        "'light' chaos unless --chaos says otherwise)")
+    p.add_argument("--spans", default="TRACE_spans.jsonl",
+                   help="write the lossless span log here ('' to skip)")
+    p.add_argument("--perfetto", default="TRACE_perfetto.json",
+                   help="write the Chrome-trace-event JSON here — open "
+                        "it at https://ui.perfetto.dev ('' to skip)")
+    p.add_argument("--record", default="",
+                   help="also record the repro.verify trace here and "
+                        "cross-check its TIMEOUT records against the "
+                        "span-side deadline ride-outs")
 
     p = sub.add_parser(
         "stats",
@@ -634,9 +677,19 @@ def _cmd_serve(args) -> int:
                     service.aggregate_metrics, service=service, bus=events
                 ),
                 health=lambda: {
+                    # Override the default "ok" once any instance was
+                    # watchdog-cancelled: still HTTP 200 (the process is
+                    # alive and scrapable), but probes see the distinction.
+                    "status": (
+                        "degraded"
+                        if service.aggregate_metrics.watchdog_cancellations
+                        else "ok"
+                    ),
                     "instances_done": len(service.outcomes),
                     "inflight": service.inflight,
                     "queue_depth": service.queue_depth,
+                    "watchdogged":
+                        service.aggregate_metrics.watchdog_cancellations,
                 },
                 bus=events,
                 port=args.metrics_port,
@@ -731,7 +784,12 @@ def _cmd_load(args) -> int:
     print(f"load: {config.mode} loop, {config.instances} instance(s), "
           f"(m={config.m}, u={config.u}, N={config.n_nodes}) over "
           f"'{config.transport}', seed={config.seed}")
-    report = asyncio.run(run_load(config))
+    # The announce hook surfaces the *bound* metrics endpoint the moment
+    # it exists (--metrics-port 0 picks an ephemeral port), so scrapers
+    # and the CI gate parse this line instead of racing on a fixed port.
+    report = asyncio.run(run_load(
+        config, announce=lambda line: print(f"  {line}", flush=True)
+    ))
     latency = report.latencies
     print(f"  done={report.instances_done}  "
           f"throughput={report.throughput:.1f}/s  "
@@ -756,6 +814,202 @@ def _cmd_load(args) -> int:
         return 0
     print("load: FAILED")
     return 1
+
+
+def _cmd_trace(args) -> int:
+    import asyncio
+    import random as random_module
+    from dataclasses import replace as dc_replace
+
+    from repro.net import LocalBus, TcpTransport, run_agreement_async
+    from repro.trace import (
+        Tracer,
+        critical_paths,
+        cross_link,
+        summary_lines,
+        validate_spans,
+        write_perfetto,
+        write_spans,
+    )
+
+    if args.timeout <= 0:
+        print(f"error: --timeout must be > 0, got {args.timeout}",
+              file=sys.stderr)
+        return 2
+    if args.mode == "serve" and args.kill_links:
+        print("error: --kill-links is a net-mode soak "
+              "(the service runs its own supervision)", file=sys.stderr)
+        return 2
+    if args.instances < 1:
+        print(f"error: --instances must be >= 1, got {args.instances}",
+              file=sys.stderr)
+        return 2
+    n = args.nodes if args.nodes is not None else 2 * args.m + args.u + 1
+    spec = DegradableSpec(m=args.m, u=args.u, n_nodes=n)
+    nodes = ["S"] + [f"p{k}" for k in range(1, n)]
+    severity = args.chaos or ("light" if args.kill_links else "")
+    tracer = Tracer(seed=args.seed)
+
+    if args.mode == "net":
+        base = TcpTransport() if args.transport == "tcp" else LocalBus()
+        transport = base
+        chaos_transport = None
+        if severity:
+            from repro.net.chaos import (
+                ChaosTransport,
+                EndpointRestart,
+                make_policy,
+            )
+
+            # Same construction as the chaos campaign's kill-links trial:
+            # one RNG drives victim selection and every per-frame draw, so
+            # a (seed, severity) pair here reproduces that schedule.
+            rng = random_module.Random(args.seed)
+            policy = make_policy(severity, spec, nodes, rng, seed=args.seed)
+            if args.kill_links:
+                receivers = [node for node in nodes if node != "S"]
+                victim = receivers[rng.randrange(len(receivers))]
+                policy = dc_replace(
+                    policy,
+                    link_resets=tuple(range(2, spec.rounds + 1)),
+                    restarts=(EndpointRestart(node=victim, at_round=2),),
+                )
+            chaos_transport = ChaosTransport(base, policy, rng=rng)
+            transport = chaos_transport
+        outcome = asyncio.run(
+            run_agreement_async(
+                spec,
+                nodes,
+                "S",
+                args.value,
+                transport=transport,
+                round_timeout=args.timeout,
+                batching=not args.no_batch,
+                supervise=args.kill_links,
+                supervision_rng=(
+                    random_module.Random(args.seed)
+                    if args.kill_links else None
+                ),
+                tracer=tracer,
+            )
+        )
+        afflicted = (
+            set(chaos_transport.log.afflicted) if chaos_transport else set()
+        )
+        trace_events = outcome.trace.events if outcome.trace else ()
+        print(f"{spec}; traced net run, seed={args.seed}"
+              + (f", '{severity}' chaos" if severity else "")
+              + (", kill-links soak" if args.kill_links else ""))
+        if afflicted:
+            from repro.net.chaos import tier_for
+
+            print(f"  f_eff={len(afflicted)} "
+                  f"afflicted={sorted(str(a) for a in afflicted)} "
+                  f"tier={tier_for(spec, len(afflicted))}")
+        for node in nodes[1:]:
+            print(f"  {node} -> {outcome.result.decisions[node]!r}")
+        if args.record:
+            from repro.verify import record_net_outcome
+
+            record_net_outcome(
+                spec, nodes, "S", args.value, frozenset(afflicted),
+                outcome, batched=not args.no_batch,
+            ).save(args.record)
+            print(f"  verify trace recorded to {args.record}")
+    else:
+        from repro.serve import AgreementService, record_service_run
+        from repro.serve.load import VALUES
+
+        chaos = None
+        chaos_rng = None
+        if severity:
+            from repro.net.chaos import make_policy
+
+            chaos_rng = random_module.Random(args.seed)
+            chaos = make_policy(
+                severity, spec, nodes, chaos_rng, seed=args.seed
+            )
+        rng = random_module.Random(args.seed)
+        plan = [
+            (nodes[i % len(nodes)], rng.choice(VALUES))
+            for i in range(args.instances)
+        ]
+
+        async def run_service():
+            service = AgreementService(
+                spec,
+                nodes,
+                transport=(
+                    TcpTransport() if args.transport == "tcp" else LocalBus()
+                ),
+                chaos=chaos,
+                chaos_rng=chaos_rng,
+                round_timeout=args.timeout,
+                batching=not args.no_batch,
+                tracer=tracer,
+            )
+            async with service:
+                iids = [
+                    service.submit(sender, value) for sender, value in plan
+                ]
+                decided = [await service.decision(iid) for iid in iids]
+            return service, decided
+
+        service, outcomes = asyncio.run(run_service())
+        print(f"{spec}; traced service run, seed={args.seed}, "
+              f"{len(outcomes)} instance(s)"
+              + (f", '{severity}' chaos" if severity else ""))
+        for outcome in outcomes:
+            status = "ok " if outcome.ok else "FAIL"
+            print(f"  [{status}] {outcome.instance_id}  "
+                  f"sender={outcome.sender} tier={outcome.tier}  "
+                  f"latency={outcome.latency * 1000:.1f}ms")
+        record = record_service_run(service)
+        trace_events = record.trace.events
+        if args.record:
+            record.save(args.record)
+            print(f"  verify trace recorded to {args.record}")
+
+    abandoned = tracer.close_open()
+    spans = tracer.spans
+    print()
+    print(f"spans: {len(spans)} recorded, trace id {tracer.trace_id}"
+          + (f", {abandoned} closed at export (cancelled mid-run)"
+             if abandoned else ""))
+    problems = validate_spans(spans)
+    if args.spans:
+        write_spans(args.spans, spans, tracer=tracer)
+        print(f"  span log written to {args.spans}")
+    if args.perfetto:
+        write_perfetto(args.perfetto, spans, tracer=tracer)
+        print(f"  perfetto trace written to {args.perfetto} "
+              f"(open at https://ui.perfetto.dev)")
+
+    paths = critical_paths(spans)
+    print()
+    print("critical path:")
+    for line in summary_lines(paths):
+        print(f"  {line}")
+    degraded = [p for p in paths if p.degraded]
+    if degraded:
+        print(f"  {len(degraded)} degraded round(s): deadline ride-outs "
+              f"substituted V_d per assumption (b)")
+
+    discrepancies = cross_link(paths, trace_events)
+    print()
+    if discrepancies:
+        print("span/verify cross-check: MISMATCH")
+        for item in discrepancies:
+            print(f"  !! {item}")
+    else:
+        print("span/verify cross-check: consistent (every span-side "
+              "ride-out matches a TIMEOUT trace record)")
+    if problems:
+        print("span validation: FAILED")
+        for item in problems:
+            print(f"  !! {item}")
+        return 1
+    return 0 if not discrepancies else 1
 
 
 def _cmd_stats(args) -> int:
@@ -1203,6 +1457,7 @@ _COMMANDS = {
     "net": _cmd_net,
     "serve": _cmd_serve,
     "load": _cmd_load,
+    "trace": _cmd_trace,
     "stats": _cmd_stats,
     "bench": _cmd_bench,
     "chaos": _cmd_chaos,

@@ -77,6 +77,7 @@ class ChaosTransport(Transport):
         self.rng = rng if rng is not None else random.Random(policy.seed)
         self.log = log if log is not None else ChaosLog()
         self.metrics: Optional[NetMetrics] = None
+        self.tracer = None
         self._held: Dict[Link, Frame] = {}
         self._round_seen = 0
 
@@ -87,6 +88,10 @@ class ChaosTransport(Transport):
     def attach_metrics(self, metrics: NetMetrics) -> None:
         self.metrics = metrics
         self.inner.attach_metrics(metrics)
+
+    def attach_tracer(self, tracer) -> None:
+        self.tracer = tracer
+        self.inner.attach_tracer(tracer)
 
     def round_opened(
         self, round_no: int, deadline: float, instance=None
@@ -271,6 +276,8 @@ class ChaosTransport(Transport):
                 self.inner.reset_connections()
                 if self.metrics is not None:
                     self.metrics.record_link_reset()
+                if self.tracer is not None:
+                    self.tracer.instant("chaos_reset", "chaos", round_no=r)
                 self.log.record(
                     ChaosEvent(
                         kind="reset",
@@ -284,6 +291,14 @@ class ChaosTransport(Transport):
                     await self.inner.restart_endpoint(restart.node)
                     if self.metrics is not None:
                         self.metrics.record_endpoint_restart()
+                    if self.tracer is not None:
+                        self.tracer.instant(
+                            "chaos_restart",
+                            "chaos",
+                            round_no=r,
+                            source=restart.node,
+                            charged=str(restart.node),
+                        )
                     self.log.record(
                         ChaosEvent(
                             kind="restart",
@@ -311,6 +326,18 @@ class ChaosTransport(Transport):
                 instance=frame.instance,
             )
         )
+        if self.tracer is not None:
+            # Charge the injection to the causing node(s) on the span the
+            # frame's sender opened — the wire trace context — so the
+            # causal chain reads sender -> injection -> observed absence.
+            charged = sorted(str(n) for n in afflicted) or [str(frame.source)]
+            self.tracer.event_on(
+                frame.trace,
+                f"chaos_{kind}",
+                charged=",".join(charged),
+                round=frame.round_no,
+                link=f"{frame.source}->{frame.destination}",
+            )
         if self.metrics is None:
             return
         if kind in ("drop", "partition", "crash"):

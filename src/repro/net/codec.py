@@ -125,6 +125,13 @@ class Frame:
     double-delivered.  ``None`` — the default — means the link is
     unsupervised; the key is omitted from the encoding, keeping
     unsupervised frames byte-identical to the legacy wire format.
+
+    ``trace`` is the optional trace-context field (:mod:`repro.trace`):
+    the span id of the send that produced this frame, letting every layer
+    the frame passes through — chaos injection, supervision healing, demux
+    — attach its record to the causing span.  ``None`` — the default —
+    omits the ``"tc"`` key, so untraced frames (and every archived v1/v2
+    byte stream) encode and decode byte-identically to before.
     """
 
     kind: str
@@ -137,6 +144,7 @@ class Frame:
     mark: bool = False
     instance: Optional[Hashable] = None
     seq: Optional[int] = None
+    trace: Optional[str] = None
 
 
 # ----------------------------------------------------------------------
@@ -176,6 +184,11 @@ def encode_frame(frame: Frame) -> bytes:
         # Orthogonal to the envelope version: only supervised links pay
         # for the key, so unsupervised encodings stay byte-identical.
         body["seq"] = frame.seq
+    if frame.trace is not None:
+        # Trace context rides the same conditional-key pattern: only
+        # traced frames carry it, so untraced encodings (and all archived
+        # byte streams) are untouched.
+        body["tc"] = frame.trace
     try:
         return json.dumps(body, sort_keys=True, separators=(",", ":")).encode("utf-8")
     except (TypeError, ValueError) as exc:
@@ -213,6 +226,7 @@ def decode_frame(data: bytes) -> Frame:
         mark=mark,
         instance=from_jsonable(body["iid"]) if "iid" in body else None,
         seq=body.get("seq"),
+        trace=body.get("tc"),
     )
 
 

@@ -48,7 +48,7 @@ from __future__ import annotations
 
 import asyncio
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Dict, Hashable, List, Optional, Sequence, Set
 
 from repro.core.behavior import BehaviorMap
@@ -70,6 +70,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.net.chaos.policy import ChaosPolicy
     from repro.net.supervision import HeartbeatPolicy
     from repro.obs.events import EventBus
+    from repro.trace import Span, Tracer
 
 NodeId = Hashable
 
@@ -135,6 +136,7 @@ class AsyncRoundRunner:
         record_trace: bool = True,
         instance_id: Optional[Hashable] = None,
         events: Optional["EventBus"] = None,
+        tracer: Optional["Tracer"] = None,
     ) -> None:
         if round_timeout <= 0:
             raise ValueError(f"round_timeout must be > 0, got {round_timeout}")
@@ -158,6 +160,14 @@ class AsyncRoundRunner:
         # Let the transport stack record what only it can see (decode
         # errors, injected chaos) into the same recorder.
         self.transport.attach_metrics(self.metrics)
+        #: Optional span tracer (:mod:`repro.trace`).  Purely
+        #: observational: recording draws zero RNG and never awaits, so a
+        #: same-seed run is identical with it attached or not — the
+        #: tracing-determinism suite pins this.
+        self.tracer = tracer
+        if tracer is not None:
+            self.transport.attach_tracer(tracer)
+        self._round_span: Optional["Span"] = None
         #: Canonical execution trace: protocol events are logged by the
         #: processes themselves (via :meth:`ProtocolSession.attach_trace`),
         #: wire events by this runner.  Same schema as the synchronous
@@ -195,6 +205,14 @@ class AsyncRoundRunner:
                     ),
                 )
                 self._record_expected(round_no)
+                if self.tracer is not None:
+                    self._round_span = self.tracer.begin(
+                        "round",
+                        "runner",
+                        parent=self.tracer.scope_parent(self.instance_id),
+                        instance=self.instance_id,
+                        round_no=round_no,
+                    )
                 outgoing = self._step_processes(round_no, inboxes)
                 emitted_total += len(outgoing)
                 survivors = self._apply_adapters(round_no, outgoing)
@@ -234,6 +252,11 @@ class AsyncRoundRunner:
                 self.metrics.record_round_duration(
                     round_no, loop.time() - round_started
                 )
+                if self.tracer is not None and self._round_span is not None:
+                    self.tracer.end(
+                        self._round_span, messages=len(survivors)
+                    )
+                    self._round_span = None
                 self.metrics.publish(
                     "round_closed",
                     round=round_no,
@@ -461,7 +484,27 @@ class AsyncRoundRunner:
         invariant on slow wires).
         """
         loop = asyncio.get_running_loop()
+        span = None
+        if self.tracer is not None:
+            span = self.tracer.begin(
+                "send",
+                "runner",
+                parent=(
+                    self._round_span.span_id
+                    if self._round_span is not None
+                    else None
+                ),
+                instance=self.instance_id,
+                round_no=round_no,
+                source=frame.source,
+                destination=frame.destination,
+                kind=frame.kind,
+            )
+            # Trace context rides the wire: every layer the frame passes
+            # through downstream charges its work to this send span.
+            frame = replace(frame, trace=span.span_id)
         delay = self.retry.base_delay
+        attempt = 0
         for attempt in range(1, self.retry.max_attempts + 1):
             try:
                 nbytes = await self.transport.send(frame)
@@ -472,6 +515,10 @@ class AsyncRoundRunner:
                 if remaining <= 0:
                     break
                 self.metrics.record_retry(round_no)
+                if span is not None:
+                    self.tracer.event(
+                        span, "retry", attempt=attempt, backoff=delay
+                    )
                 await asyncio.sleep(min(delay, remaining))
                 if deadline - loop.time() <= 0:
                     break
@@ -489,8 +536,12 @@ class AsyncRoundRunner:
                     self._batch_savings(frame, nbytes),
                 )
             self._trace_frame(EventKind.FRAME_SENT, round_no, frame)
+            if span is not None:
+                self.tracer.end(span, ok=True, attempts=attempt)
             return True
         self.metrics.record_send_failure(round_no)
+        if span is not None:
+            self.tracer.end(span, ok=False, attempts=attempt)
         return False
 
     def _trace_frame(
@@ -584,6 +635,21 @@ class AsyncRoundRunner:
         frame kind it hit.
         """
         loop = asyncio.get_running_loop()
+        span = None
+        if self.tracer is not None:
+            span = self.tracer.begin(
+                "collect",
+                "runner",
+                parent=(
+                    self._round_span.span_id
+                    if self._round_span is not None
+                    else None
+                ),
+                instance=self.instance_id,
+                round_no=round_no,
+                destination=node,
+                waiting=len(pending),
+            )
         inbox: List[Message] = []
         while pending:
             remaining = deadline - loop.time()
@@ -623,6 +689,10 @@ class AsyncRoundRunner:
                 self.metrics.record_late(round_no)
         for peer in sorted(pending, key=str):
             self.metrics.record_timeout(round_no, node, peer)
+            if span is not None:
+                self.tracer.event(
+                    span, "timeout", peer=str(peer), node=str(node)
+                )
             if self.trace is not None:
                 self.trace.record(
                     TraceEvent(
@@ -634,6 +704,8 @@ class AsyncRoundRunner:
                         note="peer unresolved at round deadline",
                     )
                 )
+        if span is not None:
+            self.tracer.end(span, delivered=len(inbox), unresolved=len(pending))
         return inbox
 
 
@@ -659,6 +731,7 @@ async def run_agreement_async(
     heartbeat: Optional["HeartbeatPolicy"] = None,
     supervision_rng: Optional[random.Random] = None,
     events: Optional["EventBus"] = None,
+    tracer: Optional["Tracer"] = None,
 ) -> NetRunOutcome:
     """Run one m/u-degradable agreement over an async transport.
 
@@ -688,6 +761,12 @@ async def run_agreement_async(
     recorder: round/link lifecycle events are published as they happen.
     Publication draws zero RNG and never enters the determinism
     fingerprint — same-seed runs are identical with it on or off.
+
+    *tracer* attaches a :class:`~repro.trace.Tracer` to the runner and
+    the whole transport stack: round/collect/send spans, supervision
+    heal spans, chaos injection events and demux spans are recorded with
+    deterministic ids.  Same invariant as *events*: observing a run
+    never changes it.
     """
     stack: List[AsyncFaultAdapter] = []
     if behaviors:
@@ -727,6 +806,7 @@ async def run_agreement_async(
         batching=batching,
         record_trace=record_trace,
         events=events,
+        tracer=tracer,
     )
     result = await runner.run()
     return NetRunOutcome(

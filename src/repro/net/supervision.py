@@ -175,6 +175,7 @@ class SupervisedTransport(Transport):
         self.rng = rng if rng is not None else random.Random(0)
         self.dedup_window = dedup_window
         self.metrics: Optional[NetMetrics] = None
+        self.tracer = None
         self._nodes: Tuple[NodeId, ...] = ()
         self._links: Dict[Link, LinkSupervisor] = {}
         self._next_seq: Dict[Link, int] = {}
@@ -191,6 +192,10 @@ class SupervisedTransport(Transport):
     def attach_metrics(self, metrics: NetMetrics) -> None:
         self.metrics = metrics
         self.inner.attach_metrics(metrics)
+
+    def attach_tracer(self, tracer) -> None:
+        self.tracer = tracer
+        self.inner.attach_tracer(tracer)
 
     def round_opened(
         self, round_no: int, deadline: float, instance=None
@@ -276,22 +281,50 @@ class SupervisedTransport(Transport):
             if self.metrics is not None:
                 self.metrics.record_fast_fail(*link)
                 self.metrics.record_send_failure(frame.round_no)
+            if self.tracer is not None:
+                self.tracer.instant(
+                    "fast_fail",
+                    "supervision",
+                    parent=frame.trace,
+                    round_no=frame.round_no,
+                    source=frame.source,
+                    destination=frame.destination,
+                )
             return 0
         seq = self._next_seq.get(link, 0) + 1
         self._next_seq[link] = seq
         frame = replace(frame, seq=seq)
         loop = asyncio.get_running_loop()
         outage_started: Optional[float] = None
+        heal_span = None
         for attempt in range(1, self.backoff.max_attempts + 1):
             try:
                 nbytes = await self.inner.send(frame)
             except TransportError:
                 if outage_started is None:
                     outage_started = loop.time()
+                    if self.tracer is not None:
+                        heal_span = self.tracer.begin(
+                            "link_heal",
+                            "supervision",
+                            parent=frame.trace,
+                            round_no=frame.round_no,
+                            source=frame.source,
+                            destination=frame.destination,
+                            seq=seq,
+                        )
                 self._note_miss(link, sup)
                 if attempt >= self.backoff.max_attempts or sup.state == DEAD:
                     break
-                await asyncio.sleep(self.backoff.delay(attempt, self.rng))
+                backoff_delay = self.backoff.delay(attempt, self.rng)
+                if heal_span is not None:
+                    self.tracer.event(
+                        heal_span,
+                        "backoff",
+                        attempt=attempt,
+                        delay=backoff_delay,
+                    )
+                await asyncio.sleep(backoff_delay)
                 continue
             if outage_started is not None and self.metrics is not None:
                 seconds = loop.time() - outage_started
@@ -303,6 +336,8 @@ class SupervisedTransport(Transport):
                     seconds=seconds,
                     healed=True,
                 )
+            if heal_span is not None:
+                self.tracer.end(heal_span, healed=True)
             self._note_alive(link, sup)
             return nbytes
         # Retry budget exhausted (or the link died mid-retry): the outage
@@ -318,6 +353,8 @@ class SupervisedTransport(Transport):
                 healed=False,
             )
             self.metrics.record_send_failure(frame.round_no)
+        if heal_span is not None:
+            self.tracer.end(heal_span, healed=False)
         return 0
 
     async def send_corrupted(self, frame: Frame, rng: random.Random) -> int:
@@ -409,7 +446,28 @@ class SupervisedTransport(Transport):
                         await self.inner.send(ping)
                     except TransportError:
                         self._note_miss(link, sup)
+                        if self.tracer is not None:
+                            self.tracer.instant(
+                                "heartbeat_probe",
+                                "supervision",
+                                source=source,
+                                destination=destination,
+                                delivered=False,
+                                state=sup.state,
+                            )
                         continue
                     sup.ping_outstanding = True
                     if self.metrics is not None:
                         self.metrics.record_heartbeat(*link)
+                    # Cadence-driven, so probe spans exist only on runs with
+                    # a HeartbeatPolicy armed; the span-id determinism suite
+                    # runs without one (probe *count* is wall-clock shaped).
+                    if self.tracer is not None:
+                        self.tracer.instant(
+                            "heartbeat_probe",
+                            "supervision",
+                            source=source,
+                            destination=destination,
+                            delivered=True,
+                            state=sup.state,
+                        )

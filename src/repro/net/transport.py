@@ -73,6 +73,18 @@ class Transport(ABC):
         is a no-op.
         """
 
+    def attach_tracer(self, tracer) -> None:
+        """Offer a span tracer to the transport (optional seam).
+
+        Mirrors :meth:`attach_metrics`: the runner attaches its
+        :class:`~repro.trace.Tracer` before opening the transport, and
+        layers that do causally interesting work the runner cannot see —
+        chaos injections, supervision healing, demuxing — record spans
+        and span events there.  Wrapping transports must forward the
+        call.  The default is a no-op; tracing is strictly observational
+        and must never change transport behaviour.
+        """
+
     def round_opened(
         self, round_no: int, deadline: float, instance=None
     ) -> None:
@@ -233,6 +245,9 @@ class FlakyTransport(Transport):
 
     def attach_metrics(self, metrics: NetMetrics) -> None:
         self.inner.attach_metrics(metrics)
+
+    def attach_tracer(self, tracer) -> None:
+        self.inner.attach_tracer(tracer)
 
     def round_opened(
         self, round_no: int, deadline: float, instance=None

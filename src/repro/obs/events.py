@@ -50,6 +50,7 @@ __all__ = [
     "ROUND_STARTED",
     "SERVICE_STARTED",
     "SERVICE_STOPPED",
+    "SPAN_CLOSED",
     "STRAY_FRAME",
     "WATCHDOG_CANCELLATION",
 ]
@@ -71,6 +72,7 @@ INSTANCE_WATCHDOGGED = "instance_watchdogged"
 WATCHDOG_CANCELLATION = "watchdog_cancellation"
 SERVICE_STARTED = "service_started"
 SERVICE_STOPPED = "service_stopped"
+SPAN_CLOSED = "span_closed"
 
 
 @dataclass(frozen=True)
@@ -117,6 +119,12 @@ class EventBus:
         #: Subscriber callbacks that raised (the event still reached every
         #: other subscriber and the ring buffer).
         self.subscriber_errors = 0
+        #: Events the bounded ring has evicted to make room — each one is
+        #: an event ``recent()`` (and the ``/events`` route) can no longer
+        #: serve.  Exported as ``repro_obs_events_dropped_total`` so a
+        #: too-small ring is visible instead of silently lossy.
+        #: Subscribers always saw the event; only the replay buffer lost it.
+        self.events_dropped = 0
 
     # ------------------------------------------------------------------
     # Publishing
@@ -131,6 +139,10 @@ class EventBus:
         event = ObsEvent(
             seq=self._seq, kind=kind, data=data, ts=time.time()
         )
+        if len(self._recent) == self.capacity:
+            # The deque is about to evict its oldest event: count the
+            # overflow instead of overwriting silently.
+            self.events_dropped += 1
         self._recent.append(event)
         self.counts[kind] = self.counts.get(kind, 0) + 1
         for subscriber in self._subscribers:

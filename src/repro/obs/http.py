@@ -7,8 +7,12 @@ no frameworks, no threads — good enough for a Prometheus scraper, a
 * ``GET /metrics`` — the Prometheus text exposition of a freshly built
   :class:`~repro.obs.prom.Registry` (the ``source`` callable snapshots
   live state per scrape);
-* ``GET /healthz`` — JSON liveness (``{"status": "ok", ...}`` from the
-  optional ``health`` callable);
+* ``GET /healthz`` — JSON liveness: ``{"status": "ok", ...}`` by
+  default, merged with the optional ``health`` callable's payload.  The
+  callable may *override* ``status`` — ``repro serve``/``repro load``
+  report ``"degraded"`` (still HTTP 200; liveness and service health are
+  different questions) once any instance has been watchdog-cancelled
+  this run;
 * ``GET /events`` — the event bus's recent ring buffer as JSON
   (``?n=50`` bounds the tail);
 * anything else — 404.
@@ -154,6 +158,11 @@ class ObsServer:
                 self.source().render(),
             )
         if path == "/healthz":
+            # The health callable's payload is merged over the default,
+            # so it may downgrade status to "degraded".  Always HTTP 200:
+            # the process is alive and scrapable either way — degradation
+            # is reported in the body, not as an error a probe would
+            # misread as "restart me".
             payload: Dict[str, object] = {"status": "ok"}
             if self.health is not None:
                 payload.update(self.health())

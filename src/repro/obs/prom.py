@@ -365,6 +365,7 @@ def metrics_registry(
     metrics: "NetMetrics",
     service: Optional["AgreementService"] = None,
     bus: Optional["EventBus"] = None,
+    tracer=None,
 ) -> Registry:
     """Snapshot one recorder (plus optional service/bus state) as a Registry.
 
@@ -372,7 +373,9 @@ def metrics_registry(
     already maintains, so ``/metrics`` agrees with
     :meth:`NetMetrics.counters` without double bookkeeping.  Rebuilt per
     scrape: cheap (one pass over the recorder) and race-free enough for
-    a single event loop.
+    a single event loop.  *tracer* (a :class:`repro.trace.Tracer`) adds
+    the span-derived families: per-category span counts and duration
+    histograms.
     """
     registry = Registry()
 
@@ -589,5 +592,28 @@ def metrics_registry(
             "repro_obs_subscriber_errors_total",
             "Event-bus subscriber callbacks that raised.",
         ).set(bus.subscriber_errors)
+        registry.counter(
+            "repro_obs_events_dropped_total",
+            "Events evicted from the bounded ring buffer "
+            "(no longer replayable via /events).",
+        ).set(bus.events_dropped)
+
+    if tracer is not None:
+        by_category = tracer.durations_by_category()
+        span_counter = registry.counter(
+            "repro_spans_total",
+            "Finished trace spans, by instrumented layer.",
+            ("category",),
+        )
+        span_duration = registry.histogram(
+            "repro_span_duration_seconds",
+            "Duration of finished trace spans, by instrumented layer.",
+            DURATION_BUCKETS,
+            ("category",),
+        )
+        for category in sorted(by_category):
+            durations_list = by_category[category]
+            span_counter.set(len(durations_list), category=category)
+            span_duration.observe_many(durations_list, category=category)
 
     return registry

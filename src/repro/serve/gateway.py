@@ -148,6 +148,7 @@ class AgreementService:
         heartbeat: Optional["HeartbeatPolicy"] = None,
         supervision_rng: Optional[random.Random] = None,
         events: Optional["EventBus"] = None,
+        tracer=None,
     ) -> None:
         if max_inflight < 1:
             raise ConfigurationError(
@@ -195,7 +196,12 @@ class AgreementService:
                     else random.Random(seed)
                 ),
             )
-        self.mux = InstanceMux(base, self.nodes)
+        #: Optional span tracer: one admission→verdict span per instance,
+        #: parenting the per-round spans its runner opens, with the whole
+        #: transport stack (supervision heals, chaos injections, demux)
+        #: attached via the mux.  Observational only — zero RNG, no awaits.
+        self.tracer = tracer
+        self.mux = InstanceMux(base, self.nodes, tracer=tracer)
         #: Observability bus (optional): lifecycle events — admission,
         #: verdicts, watchdog firings, link state — are published here.
         #: Publication draws zero RNG and never touches the determinism
@@ -345,6 +351,17 @@ class AgreementService:
         loop = asyncio.get_running_loop()
         future: "asyncio.Future" = loop.create_future()
         self._futures[instance_id] = future
+        if self.tracer is not None:
+            # The admission→verdict span: opened at submit, closed when
+            # the verdict lands, parenting every round span the instance's
+            # runner opens (scope registry keyed by instance id).
+            span = self.tracer.begin(
+                "instance",
+                "gateway",
+                instance=instance_id,
+                sender=str(sender),
+            )
+            self.tracer.set_scope(instance_id, span.span_id)
         self._admitted += 1
         self._pending.put_nowait(
             _Job(
@@ -478,6 +495,7 @@ class AgreementService:
             record_trace=self.record_trace,
             instance_id=job.instance_id,
             events=self.events,
+            tracer=self.tracer,
         )
         watchdogged = False
         try:
@@ -533,6 +551,15 @@ class AgreementService:
             trace=None if watchdogged else runner.trace,
             watchdogged=watchdogged,
         )
+        if self.tracer is not None:
+            span = self.tracer.scope_span(job.instance_id)
+            if span is not None:
+                self.tracer.end(
+                    span,
+                    tier=tier,
+                    ok=report.satisfied,
+                    watchdogged=watchdogged,
+                )
         self._latencies.append(latency)
         self.outcomes[job.instance_id] = outcome
         self.aggregate_metrics.publish(

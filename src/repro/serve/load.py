@@ -190,13 +190,21 @@ def plan_workload(config: LoadConfig) -> List[Tuple[NodeId, object]]:
 
 
 async def run_load(
-    config: LoadConfig, transport: Optional[Transport] = None
+    config: LoadConfig,
+    transport: Optional[Transport] = None,
+    tracer=None,
+    announce=None,
 ) -> LoadReport:
     """Run one seeded workload against a fresh service; return the report.
 
     *transport* overrides the config's transport choice (tests inject a
     prepared TcpTransport); by default ``"local"`` builds a LocalBus and
-    ``"tcp"`` a TcpTransport.
+    ``"tcp"`` a TcpTransport.  *tracer* (a :class:`repro.trace.Tracer`)
+    records admission→verdict spans across the run and adds the span
+    families to the served ``/metrics``.  *announce* is called with one
+    line as soon as the metrics endpoint is bound — with
+    ``--metrics-port 0`` the ephemeral port is only known then, so CI
+    parses this line instead of racing on a fixed port.
     """
     nodes = [f"n{i}" for i in range(config.n_nodes)]
     workload = plan_workload(config)
@@ -228,16 +236,30 @@ async def run_load(
         batching=config.batching,
         record_trace=False,
         events=events,
+        tracer=tracer,
     )
     if events is not None:
         obs_server = ObsServer(
             lambda: metrics_registry(
-                service.aggregate_metrics, service=service, bus=events
+                service.aggregate_metrics,
+                service=service,
+                bus=events,
+                tracer=tracer,
             ),
             health=lambda: {
+                # Watchdogged instances mean degraded service: alive and
+                # scrapable (HTTP 200 either way), but not healthy.
+                "status": (
+                    "degraded"
+                    if service.aggregate_metrics.watchdog_cancellations
+                    else "ok"
+                ),
                 "instances_done": len(service.outcomes),
                 "inflight": service.inflight,
                 "queue_depth": service.queue_depth,
+                "watchdogged": (
+                    service.aggregate_metrics.watchdog_cancellations
+                ),
             },
             bus=events,
             port=config.metrics_port,
@@ -301,6 +323,9 @@ async def run_load(
     async with service:
         if obs_server is not None:
             await obs_server.start()
+            if announce is not None:
+                # The bound port is only known now (--metrics-port 0).
+                announce(f"metrics: {obs_server.url}/metrics")
             scrape_task = asyncio.ensure_future(self_scrape())
         if config.mode == "open":
             arrival_rng = random.Random(config.seed + 1)

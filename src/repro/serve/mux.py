@@ -55,6 +55,7 @@ class InstanceMux:
         transport: Transport,
         nodes: Sequence[NodeId],
         metrics: Optional[NetMetrics] = None,
+        tracer=None,
     ) -> None:
         self.transport = transport
         self.nodes: tuple = tuple(nodes)
@@ -65,6 +66,12 @@ class InstanceMux:
         if not self.metrics.transport:
             self.metrics.transport = transport.name
         transport.attach_metrics(self.metrics)
+        #: Shared span tracer: attached to the shared stack exactly once
+        #: (like the aggregate recorder); per-instance runners carry the
+        #: same tracer, so channel re-attachment must not re-wire it.
+        self.tracer = tracer
+        if tracer is not None:
+            transport.attach_tracer(tracer)
         self._queues: Dict[InstanceId, Dict[NodeId, "asyncio.Queue[Frame]"]] = {}
         self._retired: Set[InstanceId] = set()
         self._pumps: List["asyncio.Task"] = []
@@ -195,7 +202,27 @@ class InstanceMux:
             instance_id = frame.instance
             if instance_id is None or instance_id in self._retired:
                 self.metrics.record_stray_frame()
+                if self.tracer is not None:
+                    self.tracer.instant(
+                        "demux",
+                        "mux",
+                        parent=frame.trace,
+                        round_no=frame.round_no,
+                        source=frame.source,
+                        destination=node,
+                        stray=True,
+                    )
                 continue
+            if self.tracer is not None:
+                self.tracer.instant(
+                    "demux",
+                    "mux",
+                    parent=frame.trace,
+                    instance=instance_id,
+                    round_no=frame.round_no,
+                    source=frame.source,
+                    destination=node,
+                )
             if instance_id not in self._queues:
                 self.register(instance_id)
                 self.metrics.publish(
@@ -238,6 +265,13 @@ class InstanceChannel(Transport):
         # the channel's own bookkeeping (runner-side counters reach it
         # directly).
         self.metrics = metrics
+
+    def attach_tracer(self, tracer) -> None:
+        # Deliberately NOT forwarded, same reason as attach_metrics: the
+        # mux attached the shared tracer to the shared stack exactly once.
+        # Every instance's runner carries the same tracer object anyway,
+        # so there is nothing to rewire per channel.
+        pass
 
     def round_opened(
         self, round_no: int, deadline: float, instance=None

@@ -1,0 +1,40 @@
+"""repro.trace — deterministic causal span tracing for the agreement stack.
+
+See :mod:`repro.trace.spans` for the model and the determinism
+contract, :mod:`repro.trace.export` for the JSONL / Perfetto exporters,
+and :mod:`repro.trace.critical` for per-round critical-path analysis.
+The ``repro trace`` CLI verb records a traced run end to end.
+"""
+
+from .spans import Span, SpanEvent, Tracer, span_key
+from .export import (
+    SCHEMA,
+    perfetto_trace,
+    read_spans,
+    spans_from_jsonl,
+    spans_to_jsonl,
+    validate_spans,
+    write_perfetto,
+    write_spans,
+)
+from .critical import CostEntry, RoundPath, critical_paths, cross_link, summary_lines
+
+__all__ = [
+    "Span",
+    "SpanEvent",
+    "Tracer",
+    "span_key",
+    "SCHEMA",
+    "perfetto_trace",
+    "read_spans",
+    "spans_from_jsonl",
+    "spans_to_jsonl",
+    "validate_spans",
+    "write_perfetto",
+    "write_spans",
+    "CostEntry",
+    "RoundPath",
+    "critical_paths",
+    "cross_link",
+    "summary_lines",
+]

@@ -1,0 +1,277 @@
+"""Span exporters: lossless JSONL and Chrome-trace-event (Perfetto) JSON.
+
+Two formats, two audiences:
+
+* **JSONL** (:func:`write_spans` / :func:`read_spans`) is the lossless
+  archival form — schema ``repro.spans/v1``, one header line followed by
+  one object per span, every field round-tripping exactly.  This is the
+  format gates and the determinism suite diff.
+* **Perfetto** (:func:`perfetto_trace` / :func:`write_perfetto`) is the
+  Chrome trace-event rendering — open ``ui.perfetto.dev`` and load the
+  file.  Timestamps are microseconds on the run's clock (monotonic for
+  real runs, virtual for explored schedules); they are for *rendering
+  only* and never feed ids or fingerprints.
+
+:func:`validate_spans` is the structural gate: every ``parent_id`` must
+resolve within the span set, ids must be unique, and every span must be
+closed.  ``scripts/obs_gate.py`` runs it against a traced smoke run.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .spans import Span, SpanEvent, Tracer
+
+__all__ = [
+    "SCHEMA",
+    "span_to_dict",
+    "span_from_dict",
+    "spans_to_jsonl",
+    "spans_from_jsonl",
+    "write_spans",
+    "read_spans",
+    "perfetto_trace",
+    "write_perfetto",
+    "validate_spans",
+]
+
+SCHEMA = "repro.spans/v1"
+
+_FIELDS = (
+    "span_id",
+    "parent_id",
+    "name",
+    "category",
+    "start",
+    "end",
+    "instance",
+    "round_no",
+    "source",
+    "destination",
+    "seq",
+    "attrs",
+)
+
+
+def span_to_dict(span: Span) -> Dict[str, object]:
+    """Lossless dict form of one span (stable key order via _FIELDS)."""
+    out: Dict[str, object] = {name: getattr(span, name) for name in _FIELDS}
+    out["events"] = [
+        {"name": ev.name, "ts": ev.ts, "attrs": ev.attrs} for ev in span.events
+    ]
+    return out
+
+
+def span_from_dict(data: Dict[str, object]) -> Span:
+    """Inverse of :func:`span_to_dict`."""
+    events = [
+        SpanEvent(
+            name=str(ev["name"]),
+            ts=float(ev["ts"]),
+            attrs=dict(ev.get("attrs", {})),
+        )
+        for ev in data.get("events", ())
+    ]
+    kwargs = {name: data.get(name) for name in _FIELDS}
+    kwargs["attrs"] = dict(kwargs.get("attrs") or {})
+    return Span(events=events, **kwargs)
+
+
+def _header(tracer: Optional[Tracer]) -> Dict[str, object]:
+    head: Dict[str, object] = {"schema": SCHEMA}
+    if tracer is not None:
+        head["seed"] = tracer.seed
+        head["trace_id"] = tracer.trace_id
+    return head
+
+
+def spans_to_jsonl(
+    spans: Sequence[Span], tracer: Optional[Tracer] = None
+) -> str:
+    """Header line + one canonical-JSON line per span."""
+    lines = [json.dumps(_header(tracer), sort_keys=True, separators=(",", ":"))]
+    for span in spans:
+        lines.append(
+            json.dumps(
+                span_to_dict(span), sort_keys=True, separators=(",", ":")
+            )
+        )
+    return "\n".join(lines) + "\n"
+
+
+def spans_from_jsonl(text: str) -> Tuple[Dict[str, object], List[Span]]:
+    """Parse a span log; returns (header, spans).
+
+    Raises :class:`ValueError` on a missing/mismatched schema header or a
+    malformed line — gates want loud failures, not partial reads.
+    """
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        raise ValueError("empty span log")
+    header = json.loads(lines[0])
+    if not isinstance(header, dict) or header.get("schema") != SCHEMA:
+        raise ValueError(
+            f"span log header missing schema {SCHEMA!r}: {lines[0][:120]}"
+        )
+    spans = []
+    for lineno, line in enumerate(lines[1:], start=2):
+        data = json.loads(line)
+        if not isinstance(data, dict) or "span_id" not in data:
+            raise ValueError(f"line {lineno}: not a span object")
+        spans.append(span_from_dict(data))
+    return header, spans
+
+
+def write_spans(
+    path: str, spans: Sequence[Span], tracer: Optional[Tracer] = None
+) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(spans_to_jsonl(spans, tracer))
+
+
+def read_spans(path: str) -> Tuple[Dict[str, object], List[Span]]:
+    with open(path, "r", encoding="utf-8") as fh:
+        return spans_from_jsonl(fh.read())
+
+
+# ----------------------------------------------------------------------
+# Perfetto (Chrome trace-event format)
+# ----------------------------------------------------------------------
+def _track(span: Span) -> Tuple[str, str]:
+    """(pid-name, tid-name): group by instance, lane by link or category."""
+    pid = span.instance if span.instance is not None else "run"
+    if span.source is not None or span.destination is not None:
+        tid = f"link {span.link}"
+    else:
+        tid = span.category
+    return pid, tid
+
+
+def perfetto_trace(
+    spans: Sequence[Span], tracer: Optional[Tracer] = None
+) -> Dict[str, object]:
+    """Chrome-trace-event dict loadable in ui.perfetto.dev.
+
+    Complete spans become ``"X"`` duration events; span events become
+    ``"i"`` instants on the same track.  Process/thread name metadata
+    groups tracks by instance and directed link.
+    """
+    events: List[Dict[str, object]] = []
+    pids: Dict[str, int] = {}
+    tids: Dict[Tuple[str, str], int] = {}
+
+    def pid_of(name: str) -> int:
+        if name not in pids:
+            pids[name] = len(pids) + 1
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "process_name",
+                    "pid": pids[name],
+                    "args": {"name": name},
+                }
+            )
+        return pids[name]
+
+    def tid_of(pid_name: str, name: str) -> int:
+        key = (pid_name, name)
+        if key not in tids:
+            tids[key] = len(tids) + 1
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": pid_of(pid_name),
+                    "tid": tids[key],
+                    "args": {"name": name},
+                }
+            )
+        return tids[key]
+
+    for span in spans:
+        if span.end is None:
+            continue
+        pid_name, tid_name = _track(span)
+        pid = pid_of(pid_name)
+        tid = tid_of(pid_name, tid_name)
+        args: Dict[str, object] = {
+            "span_id": span.span_id,
+            "parent_id": span.parent_id,
+        }
+        if span.round_no is not None:
+            args["round"] = span.round_no
+        if span.seq is not None:
+            args["seq"] = span.seq
+        args.update(span.attrs)
+        events.append(
+            {
+                "ph": "X",
+                "ts": span.start * 1e6,
+                "dur": max(span.duration * 1e6, 1.0),
+                "pid": pid,
+                "tid": tid,
+                "name": span.name,
+                "cat": span.category,
+                "args": args,
+            }
+        )
+        for ev in span.events:
+            events.append(
+                {
+                    "ph": "i",
+                    "s": "t",
+                    "ts": ev.ts * 1e6,
+                    "pid": pid,
+                    "tid": tid,
+                    "name": ev.name,
+                    "cat": span.category,
+                    "args": dict(ev.attrs),
+                }
+            )
+    trace: Dict[str, object] = {
+        "displayTimeUnit": "ms",
+        "traceEvents": events,
+    }
+    if tracer is not None:
+        trace["otherData"] = {"seed": tracer.seed, "trace_id": tracer.trace_id}
+    return trace
+
+
+def write_perfetto(
+    path: str, spans: Sequence[Span], tracer: Optional[Tracer] = None
+) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(perfetto_trace(spans, tracer), fh)
+        fh.write("\n")
+
+
+# ----------------------------------------------------------------------
+# Validation
+# ----------------------------------------------------------------------
+def validate_spans(spans: Iterable[Span]) -> List[str]:
+    """Structural problems in a span set; empty list means valid.
+
+    Checks: unique span ids, every ``parent_id`` resolving within the
+    set, every span closed, ``end >= start``.
+    """
+    problems: List[str] = []
+    seen: Dict[str, Span] = {}
+    for span in spans:
+        if span.span_id in seen:
+            problems.append(f"duplicate span id {span.span_id}")
+        seen[span.span_id] = span
+    for span in seen.values():
+        if span.parent_id is not None and span.parent_id not in seen:
+            problems.append(
+                f"span {span.span_id} ({span.name}) parent "
+                f"{span.parent_id} does not resolve"
+            )
+        if span.end is None:
+            problems.append(f"span {span.span_id} ({span.name}) never closed")
+        elif span.end < span.start:
+            problems.append(
+                f"span {span.span_id} ({span.name}) ends before it starts"
+            )
+    return problems

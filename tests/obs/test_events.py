@@ -34,6 +34,28 @@ class TestPublish:
         with pytest.raises(ValueError, match="capacity"):
             EventBus(capacity=0)
 
+    def test_ring_overflow_is_counted_as_dropped(self):
+        bus = EventBus(capacity=4)
+        for i in range(4):
+            bus.publish("tick", i=i)
+        assert bus.events_dropped == 0  # exactly full, nothing evicted yet
+        for i in range(4, 10):
+            bus.publish("tick", i=i)
+        # Every publish past capacity evicted (dropped) the oldest event.
+        assert bus.events_dropped == 6
+        assert len(bus) == 4
+
+    def test_dropped_counter_reaches_the_exposition(self):
+        from repro.obs.prom import metrics_registry, parse_exposition
+
+        bus = EventBus(capacity=2)
+        for i in range(5):
+            bus.publish("tick", i=i)
+        samples = parse_exposition(
+            metrics_registry(NetMetrics(), bus=bus).render()
+        )
+        assert samples["repro_obs_events_dropped_total"] == 3
+
     def test_to_dict_is_json_shaped(self):
         event = EventBus().publish("link_state", source="S", state="dead")
         payload = event.to_dict()
@@ -67,6 +89,44 @@ class TestSubscribers:
         # The event still reached the healthy subscriber and the ring.
         assert seen == ["round_started"]
         assert len(bus) == 1
+
+    def test_slow_subscriber_never_blocks_publication(self):
+        # publish() is a plain synchronous call with no awaits: even a
+        # dawdling subscriber cannot make publication yield to the event
+        # loop, so concurrently-scheduled tasks never interleave with it
+        # and the protocol path that published is never reordered.
+        import time
+
+        bus = EventBus()
+        order = []
+
+        def slow(event):
+            time.sleep(0.002)
+            order.append(("slow", event.seq))
+
+        bus.subscribe(slow)
+        bus.subscribe(lambda e: order.append(("fast", e.seq)))
+
+        async def scenario():
+            ticker_ran = []
+
+            async def ticker():
+                ticker_ran.append(len(order))
+
+            task = asyncio.ensure_future(ticker())
+            bus.publish("tick", i=1)
+            bus.publish("tick", i=2)
+            published_before_yield = list(order)
+            await task
+            return published_before_yield, ticker_ran
+
+        published, ticker_ran = asyncio.run(scenario())
+        # Both events reached both subscribers before the loop ever got
+        # control back — the scheduled ticker saw the finished list.
+        assert published == [
+            ("slow", 1), ("fast", 1), ("slow", 2), ("fast", 2),
+        ]
+        assert ticker_ran == [4]
 
     def test_unsubscribe_is_idempotent(self):
         bus = EventBus()

@@ -51,6 +51,21 @@ class TestRoutes:
         assert payload["status"] == "ok"
         assert payload["instances_done"] == 7
 
+    def test_healthz_reports_degraded_but_stays_200(self):
+        # A watchdogged instance degrades the *status* without failing
+        # the probe: orchestrators keep routing, dashboards go amber.
+        async def scenario():
+            async with make_server(
+                health=lambda: {"status": "degraded", "watchdogged": 2}
+            ) as server:
+                return await scrape(server.host, server.port, "/healthz")
+
+        status, body = run(scenario())
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["status"] == "degraded"
+        assert payload["watchdogged"] == 2
+
     def test_events_route_serves_ring_buffer(self):
         bus = EventBus()
         bus.publish("round_started", round=1)
@@ -132,6 +147,24 @@ class TestLiveLoadScrape:
         )
         assert any(
             key.startswith("repro_instances_total") for key in samples
+        )
+
+    def test_ephemeral_port_is_announced_once_bound(self):
+        # Port 0 lets the OS pick: the chosen port must be announced so
+        # scrapers (and CI) never race on a fixed number.
+        from repro.serve.load import LoadConfig, run_load
+
+        announced = []
+        config = LoadConfig(
+            instances=2, concurrency=2, round_timeout=2.0, metrics_port=0
+        )
+        report = run(run_load(config, announce=announced.append))
+        metrics_lines = [l for l in announced if l.startswith("metrics: ")]
+        assert len(metrics_lines) == 1
+        port = report.metrics_sample["port"]
+        assert port > 0
+        assert metrics_lines[0] == (
+            f"metrics: http://127.0.0.1:{port}/metrics"
         )
 
     def test_report_round_trips_sample_through_json(self, tmp_path):

@@ -1,0 +1,160 @@
+"""Exporters: lossless JSONL round-trip, Perfetto rendering, validation."""
+
+import json
+
+import pytest
+
+from repro.trace import (
+    SCHEMA,
+    Tracer,
+    perfetto_trace,
+    read_spans,
+    spans_from_jsonl,
+    spans_to_jsonl,
+    validate_spans,
+    write_perfetto,
+    write_spans,
+)
+from repro.trace.export import span_from_dict, span_to_dict
+
+
+def sample_tracer():
+    ticks = iter(x * 0.5 for x in range(100))
+    tracer = Tracer(seed=11, clock=lambda: next(ticks))
+    root = tracer.begin("instance", "gateway", instance="i0001", sender="S")
+    rnd = tracer.begin("round", "runner", parent=root.span_id,
+                       instance="i0001", round_no=1)
+    send = tracer.begin("send", "runner", parent=rnd.span_id,
+                        instance="i0001", round_no=1, source="S",
+                        destination="p1", seq=3, kind="batch")
+    tracer.event(send, "retry", attempt=1, backoff=0.01)
+    tracer.end(send, ok=True, attempts=2)
+    tracer.end(rnd, messages=4)
+    tracer.end(root, tier="byzantine", ok=True)
+    return tracer
+
+
+class TestJsonlRoundTrip:
+    def test_every_field_round_trips(self):
+        tracer = sample_tracer()
+        header, spans = spans_from_jsonl(
+            spans_to_jsonl(tracer.spans, tracer)
+        )
+        assert header == {
+            "schema": SCHEMA, "seed": 11, "trace_id": tracer.trace_id,
+        }
+        assert [span_to_dict(s) for s in spans] == [
+            span_to_dict(s) for s in tracer.spans
+        ]
+        # Events (name, ts, attrs) survive exactly.
+        send = next(s for s in spans if s.name == "send")
+        assert send.events[0].name == "retry"
+        assert send.events[0].attrs == {"attempt": 1, "backoff": 0.01}
+        assert send.seq == 3
+
+    def test_span_dict_round_trip_is_exact(self):
+        tracer = sample_tracer()
+        for span in tracer.spans:
+            assert span_to_dict(span_from_dict(span_to_dict(span))) == (
+                span_to_dict(span)
+            )
+
+    def test_file_round_trip(self, tmp_path):
+        tracer = sample_tracer()
+        path = str(tmp_path / "spans.jsonl")
+        write_spans(path, tracer.spans, tracer)
+        header, spans = read_spans(path)
+        assert header["trace_id"] == tracer.trace_id
+        assert len(spans) == len(tracer.spans)
+
+    def test_missing_schema_header_raises(self):
+        with pytest.raises(ValueError, match="schema"):
+            spans_from_jsonl('{"not": "a header"}\n')
+
+    def test_empty_log_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            spans_from_jsonl("\n\n")
+
+    def test_non_span_line_raises(self):
+        text = spans_to_jsonl([], sample_tracer()) + '{"bogus": 1}\n'
+        with pytest.raises(ValueError, match="line 2"):
+            spans_from_jsonl(text)
+
+
+class TestPerfetto:
+    def test_trace_parses_and_every_parent_resolves(self, tmp_path):
+        tracer = sample_tracer()
+        path = str(tmp_path / "trace.json")
+        write_perfetto(path, tracer.spans, tracer)
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+        assert data["displayTimeUnit"] == "ms"
+        assert data["otherData"] == {
+            "seed": 11, "trace_id": tracer.trace_id,
+        }
+        duration_events = [
+            e for e in data["traceEvents"] if e["ph"] == "X"
+        ]
+        ids = {e["args"]["span_id"] for e in duration_events}
+        for event in duration_events:
+            parent = event["args"]["parent_id"]
+            assert parent is None or parent in ids
+
+    def test_metadata_names_instances_and_links(self):
+        data = perfetto_trace(sample_tracer().spans)
+        meta = [e for e in data["traceEvents"] if e["ph"] == "M"]
+        names = {e["args"]["name"] for e in meta}
+        assert "i0001" in names          # process per instance
+        assert "link S->p1" in names     # thread per directed link
+        assert "gateway" in names        # linkless spans lane by category
+
+    def test_span_events_become_instants(self):
+        data = perfetto_trace(sample_tracer().spans)
+        instants = [e for e in data["traceEvents"] if e["ph"] == "i"]
+        assert [e["name"] for e in instants] == ["retry"]
+        assert instants[0]["s"] == "t"
+
+    def test_open_spans_are_skipped(self):
+        tracer = Tracer()
+        tracer.begin("round", "runner", round_no=1)
+        data = perfetto_trace(tracer.spans)
+        assert [e for e in data["traceEvents"] if e["ph"] == "X"] == []
+
+    def test_zero_duration_spans_get_visible_floor(self):
+        tracer = Tracer(clock=lambda: 1.0)
+        tracer.instant("fast_fail", "supervision")
+        data = perfetto_trace(tracer.spans)
+        (event,) = [e for e in data["traceEvents"] if e["ph"] == "X"]
+        assert event["dur"] == 1.0  # 1 microsecond floor
+
+
+class TestValidation:
+    def test_valid_set_is_clean(self):
+        assert validate_spans(sample_tracer().spans) == []
+
+    def test_unresolved_parent_flagged(self):
+        tracer = Tracer()
+        tracer.end(tracer.begin("send", "runner", parent="feedfacedeadbeef"))
+        assert any(
+            "does not resolve" in p for p in validate_spans(tracer.spans)
+        )
+
+    def test_never_closed_span_flagged(self):
+        tracer = Tracer()
+        tracer.begin("round", "runner", round_no=1)
+        assert any("never closed" in p for p in validate_spans(tracer.spans))
+
+    def test_duplicate_ids_flagged(self):
+        tracer = Tracer()
+        span = tracer.end(tracer.begin("round", "runner", round_no=1))
+        assert any(
+            "duplicate" in p for p in validate_spans([span, span])
+        )
+
+    def test_end_before_start_flagged(self):
+        tracer = Tracer(clock=lambda: 5.0)
+        span = tracer.begin("round", "runner", round_no=1)
+        span.end = 1.0
+        assert any(
+            "ends before" in p for p in validate_spans([span])
+        )
